@@ -1,0 +1,77 @@
+"""Core-engine micro-benchmarks.
+
+These are not paper figures; they track the raw performance of the pieces the
+exploration is built on, so regressions in the hot path (the per-chromosome
+objective evaluation) are caught early:
+
+* single-chromosome evaluation (the GA executes this ~10^5 times per run),
+* validity checking alone,
+* the analytical scheduler,
+* one discrete-event simulation,
+* a small end-to-end NSGA-II run.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.allocation import AllocationEvaluator, Nsga2Optimizer
+from repro.application import ListScheduler, paper_mapping, paper_task_graph
+from repro.config import GeneticParameters
+from repro.simulation import OnocSimulator
+from repro.topology import RingOnocArchitecture
+
+
+@pytest.fixture(scope="module")
+def setup():
+    architecture = RingOnocArchitecture.grid(4, 4, wavelength_count=8)
+    task_graph = paper_task_graph()
+    mapping = paper_mapping(architecture)
+    evaluator = AllocationEvaluator(architecture, task_graph, mapping)
+    return architecture, task_graph, mapping, evaluator
+
+
+def test_single_chromosome_evaluation(benchmark, setup):
+    """Objective evaluation of one valid chromosome (the GA hot path)."""
+    _, _, _, evaluator = setup
+    allocation = [(0, 1), (2, 3), (4, 5), (6, 7), (0, 1), (2, 3)]
+    solution = benchmark(evaluator.evaluate_allocation, allocation)
+    assert solution.is_valid
+
+
+def test_validity_check_only(benchmark, setup):
+    """Validity rules alone (empty communications + wavelength conflicts)."""
+    _, _, _, evaluator = setup
+    rng = np.random.default_rng(0)
+    chromosome = evaluator.random_chromosome(rng)
+    report = benchmark(evaluator.check_validity, chromosome)
+    assert report is not None
+
+
+def test_analytical_scheduler(benchmark, setup):
+    """The Eq. 10-12 schedule of the paper application."""
+    _, task_graph, mapping, _ = setup
+    scheduler = ListScheduler(task_graph, mapping)
+    schedule = benchmark(scheduler.schedule, [2, 3, 1, 2, 4, 1])
+    assert schedule.makespan_cycles > 0
+
+
+def test_discrete_event_simulation(benchmark, setup):
+    """One full discrete-event run of the paper application."""
+    architecture, task_graph, mapping, _ = setup
+    simulator = OnocSimulator(architecture, task_graph, mapping)
+    report = benchmark(simulator.run, [(0,), (1,), (2,), (3,), (4,), (5,)])
+    assert report.is_conflict_free
+
+
+def test_small_nsga2_run(benchmark, setup):
+    """A complete (small) NSGA-II exploration: population 16, 8 generations."""
+    _, _, _, evaluator = setup
+
+    def run():
+        optimizer = Nsga2Optimizer(evaluator, GeneticParameters.smoke_test())
+        return optimizer.run()
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.valid_solution_count > 0

@@ -1,0 +1,89 @@
+"""Figure 6(a) — Pareto fronts of bit energy versus global execution time.
+
+The paper's headline figure: for 4, 8 and 12 wavelengths, the Pareto front in
+the (execution time, bit energy) plane.  Its qualitative findings are
+
+* the most energy-efficient solution is the ``[1,1,1,1,1,1]`` allocation (one
+  wavelength per communication), at the slowest end of every front;
+* execution time improves markedly from 4 to 8 wavelengths (28.3 -> 23.8 kcc
+  in the paper) but only marginally from 8 to 12 (23.8 -> 22.96 kcc), tending
+  towards the 20 kcc computation-only floor;
+* bit energy grows with the number of reserved wavelengths (3.5 -> ~8 fJ/bit).
+
+This benchmark regenerates the three fronts and asserts those shapes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import ascii_scatter, write_csv
+
+#: Best (smallest) execution time of each front in the paper, kilo-clock-cycles.
+PAPER_BEST_TIME_KCC = {4: 28.3, 8: 23.8, 12: 22.96}
+
+#: The computation-only execution-time floor shown in the paper's figure.
+PAPER_TIME_FLOOR_KCC = 20.0
+
+
+def test_fig6a_energy_versus_time(benchmark, suite, results_dir):
+    """Regenerate the Fig. 6a fronts and check their shape."""
+    series_by_nw = benchmark.pedantic(suite.fig6a, rounds=1, iterations=1)
+    assert set(series_by_nw) == {4, 8, 12}
+
+    rows = []
+    for wavelength_count, series in sorted(series_by_nw.items()):
+        for time_kcc, energy_fj in series:
+            rows.append(
+                {
+                    "wavelength_count": wavelength_count,
+                    "execution_time_kcycles": time_kcc,
+                    "bit_energy_fj": energy_fj,
+                }
+            )
+    write_csv(results_dir / "fig6a_energy_vs_time.csv", rows)
+
+    points, markers = [], []
+    for wavelength_count, series in series_by_nw.items():
+        marker = {4: "4", 8: "8", 12: "c"}[wavelength_count]
+        points.extend(series)
+        markers.extend(marker * len(series))
+    print()
+    print("Fig. 6a — bit energy (fJ/bit) vs execution time (kcc); "
+          "markers: 4=4wl, 8=8wl, c=12wl")
+    print(ascii_scatter(points, markers=markers, x_label="execution time (kcc)",
+                        y_label="bit energy (fJ/bit)"))
+    print()
+    print("paper best times (kcc):      ", PAPER_BEST_TIME_KCC)
+    measured_best = {nw: min(x for x, _ in series) for nw, series in series_by_nw.items()}
+    print("reproduced best times (kcc): ",
+          {nw: round(value, 2) for nw, value in measured_best.items()})
+
+    for wavelength_count, series in series_by_nw.items():
+        times = [x for x, _ in series]
+        energies = [y for _, y in series]
+
+        # Every front is a clean trade-off staircase.
+        assert times == sorted(times)
+        assert all(a >= b for a, b in zip(energies, energies[1:]))
+
+        # Times never cross the 20 kcc computation floor and the slowest point
+        # is the 38 kcc single-wavelength execution.
+        assert min(times) >= PAPER_TIME_FLOOR_KCC - 1e-9
+        assert max(times) == pytest.approx(38.0, abs=0.5)
+
+        # Energy magnitudes stay in the paper's few-fJ/bit regime.
+        assert 2.0 < min(energies) < 6.0
+        assert max(energies) < 15.0
+
+        # The slowest / most energy-frugal point is the [1,1,1,1,1,1] allocation.
+        record = suite.record(wavelength_count)
+        best_energy = record.result.best_by("energy")
+        assert best_energy.wavelength_counts == (1,) * 6
+
+    # Who wins and by how much: 4wl -> 8wl is a big step, 8wl -> 12wl a small one.
+    assert measured_best[8] < measured_best[4] - 1.0
+    assert abs(measured_best[12] - measured_best[8]) < (measured_best[4] - measured_best[8])
+    # The reproduced crossover points sit near the paper's reported best times.
+    for wavelength_count, expected in PAPER_BEST_TIME_KCC.items():
+        assert measured_best[wavelength_count] == pytest.approx(expected, abs=3.0)

@@ -1,0 +1,77 @@
+"""Figure 6(b) — Pareto fronts of average BER versus global execution time.
+
+The paper plots log10(BER) against execution time for 4, 8 and 12 wavelengths.
+Its observations:
+
+* reserving more wavelengths shortens the execution but degrades the BER
+  (more parallel signals in the waveguide, hence more inter-channel
+  crosstalk at the receivers);
+* the reported log10(BER) values sit between roughly -3.7 and -3.0;
+* across NW the BER envelope moves only slightly (the FSR is fixed, so the
+  channel spacing shrinks as NW grows).
+
+This benchmark regenerates the fronts and asserts those trends.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import ascii_scatter, write_csv
+
+#: The log10(BER) window spanned by the paper's Fig. 6b fronts.
+PAPER_LOG_BER_WINDOW = (-3.7, -3.0)
+
+
+def test_fig6b_ber_versus_time(benchmark, suite, results_dir):
+    """Regenerate the Fig. 6b fronts and check their shape."""
+    series_by_nw = benchmark.pedantic(suite.fig6b, rounds=1, iterations=1)
+    assert set(series_by_nw) == {4, 8, 12}
+
+    rows = []
+    for wavelength_count, series in sorted(series_by_nw.items()):
+        for time_kcc, log_ber in series:
+            rows.append(
+                {
+                    "wavelength_count": wavelength_count,
+                    "execution_time_kcycles": time_kcc,
+                    "log10_ber": log_ber,
+                }
+            )
+    write_csv(results_dir / "fig6b_ber_vs_time.csv", rows)
+
+    points, markers = [], []
+    for wavelength_count, series in series_by_nw.items():
+        marker = {4: "4", 8: "8", 12: "c"}[wavelength_count]
+        points.extend(series)
+        markers.extend(marker * len(series))
+    print()
+    print("Fig. 6b — log10(BER) vs execution time (kcc); markers: 4=4wl, 8=8wl, c=12wl")
+    print(ascii_scatter(points, markers=markers, x_label="execution time (kcc)",
+                        y_label="log10(BER)"))
+
+    paper_low, paper_high = PAPER_LOG_BER_WINDOW
+    for wavelength_count, series in series_by_nw.items():
+        times = [x for x, _ in series]
+        log_bers = [y for _, y in series]
+
+        # Trade-off staircase: faster solutions never have a better BER.
+        assert times == sorted(times)
+        assert all(a >= b for a, b in zip(log_bers, log_bers[1:]))
+
+        # The values stay within (a slightly padded) paper window.
+        assert min(log_bers) > paper_low - 1.0
+        assert max(log_bers) < paper_high + 0.5
+
+        # Execution-time axis identical to Fig. 6a: floor at 20 kcc, and the
+        # front spans up to the slow single-wavelength regime (the slowest
+        # point of the (time, BER) projection can sit slightly below 38 kcc
+        # when a marginally faster solution has an equal or better BER).
+        assert min(times) >= 20.0 - 1e-9
+        assert 28.0 < max(times) <= 38.0 + 1e-9
+
+    # Faster (more parallel) fronts pay in BER: the fastest point of the
+    # 12-wavelength front is worse than the slowest point of the same front.
+    for series in series_by_nw.values():
+        if len(series) >= 2:
+            assert series[0][1] >= series[-1][1]

@@ -1,0 +1,65 @@
+"""Figure 7 — every valid 8-wavelength allocation in the (time, BER) plane.
+
+Fig. 7 of the paper scatters all 86 525 valid solutions generated for the
+8-wavelength configuration against execution time and log10(BER), highlighting
+the Pareto front.  Its message: the overwhelming majority of valid wavelength
+allocations are far from the front, so the allocation must be chosen carefully.
+
+This benchmark regenerates the scatter (with the benchmark GA sizing), prints
+it, and asserts the paper's qualitative statements.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import ascii_scatter, write_csv
+
+
+def test_fig7_valid_solution_cloud(benchmark, suite, results_dir):
+    """Regenerate the Fig. 7 scatter for 8 wavelengths."""
+    data = benchmark.pedantic(suite.fig7, args=(8,), rounds=1, iterations=1)
+    cloud = data["valid_solutions"]
+    front = data["pareto_front"]
+
+    write_csv(
+        results_dir / "fig7_valid_solutions.csv",
+        [{"execution_time_kcycles": x, "log10_ber": y} for x, y in cloud],
+    )
+    write_csv(
+        results_dir / "fig7_pareto_front.csv",
+        [{"execution_time_kcycles": x, "log10_ber": y} for x, y in front],
+    )
+
+    print()
+    print(f"Fig. 7 — {len(cloud)} valid solutions, {len(front)} on the Pareto front "
+          "('.' = valid, 'O' = front)")
+    print(
+        ascii_scatter(
+            cloud + front,
+            markers=["."] * len(cloud) + ["O"] * len(front),
+            x_label="execution time (kcc)",
+            y_label="log10(BER)",
+        )
+    )
+
+    # A large cloud with a small front, as in the paper (86525 vs 29).
+    assert len(cloud) > 100
+    assert len(front) >= 3
+    assert len(front) < 0.1 * len(cloud)
+
+    # The front bounds the cloud from below/left: no valid solution dominates a
+    # front point in the (time, BER) projection.
+    front_points = np.asarray(front)
+    for x, y in cloud:
+        dominated = np.logical_and(front_points[:, 0] >= x, front_points[:, 1] >= y)
+        strictly = np.logical_and(front_points[:, 0] > x, front_points[:, 1] > y)
+        assert not np.any(np.logical_and(dominated, strictly))
+
+    # Most of the cloud is far from the front: the median point is dominated by
+    # some front point with a clear margin in at least one objective.
+    times = np.asarray([x for x, _ in cloud])
+    bers = np.asarray([y for _, y in cloud])
+    best_time = front_points[:, 0].min()
+    assert np.median(times) > best_time + 1.0
+    assert np.median(bers) > front_points[:, 1].min()

@@ -1,0 +1,55 @@
+"""Table I — power loss parameter values.
+
+Table I of the paper lists the device-level loss/crosstalk constants the whole
+evaluation uses.  This benchmark regenerates that table from the library's
+defaults, checks each value against the published one, and measures how long
+the photonic configuration and a full 16-core architecture take to build.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import format_table
+from repro.config import PhotonicParameters
+from repro.paper import table1_rows
+from repro.topology import RingOnocArchitecture
+
+#: Published value of every Table I parameter, in dB (per cm / per 90deg where relevant).
+PAPER_TABLE1 = {
+    "Lp": -0.274,
+    "Lb": -0.005,
+    "Lp0": -0.005,
+    "Lp1": -0.5,
+    "Kp0": -20.0,
+    "Kp1": -25.0,
+}
+
+
+def _library_values() -> dict:
+    parameters = PhotonicParameters()
+    return {
+        "Lp": parameters.propagation_loss_db_per_cm,
+        "Lb": parameters.bending_loss_db_per_90deg,
+        "Lp0": parameters.mr_off_pass_loss_db,
+        "Lp1": parameters.mr_on_loss_db,
+        "Kp0": parameters.mr_off_crosstalk_db,
+        "Kp1": parameters.mr_on_crosstalk_db,
+    }
+
+
+def test_table1_values_match_paper(benchmark):
+    """Every Table I constant used by the library equals the published value."""
+    values = benchmark(_library_values)
+    for symbol, expected in PAPER_TABLE1.items():
+        assert values[symbol] == pytest.approx(expected), symbol
+    print()
+    print("Table I (power loss values) — paper vs library defaults")
+    print(format_table(table1_rows()))
+
+
+def test_architecture_construction_speed(benchmark):
+    """Building the full 4x4, 8-wavelength architecture stays cheap."""
+    architecture = benchmark(RingOnocArchitecture.grid, 4, 4, 8)
+    assert architecture.core_count == 16
+    assert architecture.wavelength_count == 8

@@ -1,0 +1,57 @@
+"""Table II — number of valid solutions and Pareto-front sizes per wavelength count.
+
+The paper reports, for 4/8/12 wavelengths, how many distinct valid wavelength
+allocations the GA generated and how many of them lie on the (execution time,
+bit energy) Pareto front:
+
+    ===========  =============  ===============
+    wavelengths  Pareto front   valid solutions
+    ===========  =============  ===============
+    4            10             28 284
+    8            29             86 525
+    12           51             100 578
+    ===========  =============  ===============
+
+Absolute counts depend on the number of GA evaluations (the benchmark sizing is
+smaller than the paper's 400 x 300 run unless ``REPRO_PAPER_FULL=1``), so this
+benchmark checks the *shape*: both columns grow with the number of wavelengths
+and the front stays a tiny fraction of the valid set.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import format_table, write_csv
+
+#: The paper's Table II, for side-by-side printing.
+PAPER_TABLE2 = [
+    {"wavelength_count": 4, "pareto_front_size": 10, "valid_solution_count": 28284},
+    {"wavelength_count": 8, "pareto_front_size": 29, "valid_solution_count": 86525},
+    {"wavelength_count": 12, "pareto_front_size": 51, "valid_solution_count": 100578},
+]
+
+
+def test_table2_solution_counts(benchmark, suite, results_dir):
+    """Regenerate Table II and check its orderings."""
+    rows = benchmark.pedantic(suite.table2, rounds=1, iterations=1)
+
+    print()
+    print("Table II — paper")
+    print(format_table(PAPER_TABLE2))
+    print()
+    print("Table II — reproduced")
+    print(format_table(rows))
+    write_csv(results_dir / "table2_solution_counts.csv", rows)
+
+    by_nw = {row["wavelength_count"]: row for row in rows}
+    assert set(by_nw) == {4, 8, 12}
+
+    # Valid-solution counts grow with the number of wavelengths (fewer conflicts).
+    assert by_nw[4]["valid_solution_count"] < by_nw[8]["valid_solution_count"]
+    assert by_nw[8]["valid_solution_count"] <= by_nw[12]["valid_solution_count"] * 1.05
+
+    # The Pareto front grows from 4 to 8 wavelengths, as in the paper.
+    assert by_nw[4]["pareto_front_size"] < by_nw[8]["pareto_front_size"]
+
+    # The front is a tiny fraction of the explored valid space (paper: <0.1%).
+    for row in rows:
+        assert row["pareto_front_size"] < 0.1 * row["valid_solution_count"]

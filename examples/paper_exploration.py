@@ -1,0 +1,103 @@
+#!/usr/bin/env python
+"""Reproduce the paper's evaluation section end to end.
+
+Runs the exploration for 4, 8 and 12 wavelengths (Section IV), then prints
+
+* Table I  (the power-loss parameters actually used),
+* Table II (valid-solution and Pareto-front counts),
+* the Fig. 6a fronts (bit energy vs execution time) as an ASCII scatter,
+* the Fig. 6b fronts (log10 BER vs execution time) as an ASCII scatter,
+* the Fig. 7 scatter for 8 wavelengths,
+
+and writes every front to ``results/`` as CSV.
+
+By default the GA uses a reduced sizing so the script finishes in well under a
+minute; set the environment variable ``REPRO_PAPER_FULL=1`` to use the paper's
+400-individual / 300-generation configuration.
+
+Run it with::
+
+    python examples/paper_exploration.py
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis import ascii_scatter, format_table, write_csv
+from repro.paper import PaperExperimentSuite, table1_rows
+
+
+def main() -> None:
+    suite = PaperExperimentSuite()
+    output_dir = Path("results")
+
+    print("=== Table I: power loss parameters ===")
+    print(format_table(table1_rows()))
+    print()
+
+    print("=== Table II: generated valid solutions and Pareto front sizes ===")
+    table2 = suite.table2()
+    print(format_table(table2))
+    write_csv(output_dir / "table2_solution_counts.csv", table2)
+    print()
+
+    print("=== Fig. 6a: bit energy vs execution time (Pareto fronts) ===")
+    fig6a = suite.fig6a()
+    points = []
+    markers = []
+    for wavelength_count, series in fig6a.items():
+        label = {4: "4", 8: "8", 12: "c"}.get(wavelength_count, "*")
+        points.extend(series)
+        markers.extend([label] * len(series))
+    print(
+        ascii_scatter(
+            points,
+            markers=markers,
+            x_label="execution time (k-clock cycles)",
+            y_label="bit energy (fJ/bit)",
+            title="markers: 4 = 4 wavelengths, 8 = 8 wavelengths, c = 12 wavelengths",
+        )
+    )
+    print()
+
+    print("=== Fig. 6b: log10(BER) vs execution time (Pareto fronts) ===")
+    fig6b = suite.fig6b()
+    points = []
+    markers = []
+    for wavelength_count, series in fig6b.items():
+        label = {4: "4", 8: "8", 12: "c"}.get(wavelength_count, "*")
+        points.extend(series)
+        markers.extend([label] * len(series))
+    print(
+        ascii_scatter(
+            points,
+            markers=markers,
+            x_label="execution time (k-clock cycles)",
+            y_label="log10(BER)",
+        )
+    )
+    print()
+
+    print("=== Fig. 7: all valid solutions for 8 wavelengths ===")
+    fig7 = suite.fig7(wavelength_count=8)
+    cloud = fig7["valid_solutions"]
+    front = fig7["pareto_front"]
+    print(
+        ascii_scatter(
+            cloud + front,
+            markers=["." for _ in cloud] + ["O" for _ in front],
+            x_label="execution time (k-clock cycles)",
+            y_label="log10(BER)",
+            title="'.' = valid solution, 'O' = Pareto front",
+        )
+    )
+    print()
+
+    pareto_rows = suite.pareto_rows()
+    path = write_csv(output_dir / "pareto_fronts.csv", pareto_rows)
+    print(f"Wrote {len(pareto_rows)} Pareto rows to {path}")
+
+
+if __name__ == "__main__":
+    main()

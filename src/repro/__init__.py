@@ -1,0 +1,127 @@
+"""repro — Performance and energy aware wavelength allocation on ring-based WDM 3D optical NoC.
+
+This package is an open-source reproduction of Luo et al., DATE 2017.  It
+provides:
+
+* device-level photonic models (micro-ring resonators, VCSELs, waveguides),
+* a ring-based WDM ONoC architecture model (the paper's 3D many-core target),
+* the power-loss / crosstalk / SNR / BER models of Eqs. (1)-(9),
+* the task-graph execution-time model of Eqs. (10)-(12),
+* the NSGA-II wavelength-allocation exploration of Section III-D,
+* classical heuristic baselines, an exhaustive reference search, a
+  discrete-event simulator, and the experiment drivers that regenerate the
+  paper's Table II and Figures 6a/6b/7.
+
+Quickstart
+----------
+>>> from repro import RingOnocArchitecture, WavelengthAllocator
+>>> from repro import paper_task_graph, paper_mapping
+>>> architecture = RingOnocArchitecture.grid(4, 4, wavelength_count=8)
+>>> allocator = WavelengthAllocator(
+...     architecture, paper_task_graph(), paper_mapping(architecture))
+>>> result = allocator.explore()
+>>> best_energy = result.best_by("energy")
+"""
+
+from .config import (
+    EnergyParameters,
+    GeneticParameters,
+    OnocConfiguration,
+    PhotonicParameters,
+    TimingParameters,
+)
+from .errors import (
+    AllocationError,
+    ConfigurationError,
+    InvalidChromosomeError,
+    MappingError,
+    ReproError,
+    SchedulingError,
+    SimulationError,
+    TaskGraphError,
+    TopologyError,
+)
+from .topology import RingOnocArchitecture, TileLayout
+from .application import (
+    ListScheduler,
+    Mapping,
+    TaskGraph,
+    build_communications,
+    default_mapping,
+    fork_join_task_graph,
+    paper_mapping,
+    paper_task_graph,
+    pipeline_task_graph,
+    random_task_graph,
+)
+from .allocation import (
+    AllocationEvaluator,
+    AllocationSolution,
+    Chromosome,
+    CrosstalkScope,
+    ExplorationResult,
+    Nsga2Optimizer,
+    ObjectiveVector,
+    ParetoFront,
+    WavelengthAllocator,
+)
+from .models import BerModel, BitEnergyModel, LinkBudget, PowerLossModel, SnrModel
+from .simulation import OnocSimulator, SimulationReport
+from .exploration import WavelengthExplorationExperiment
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # configuration
+    "OnocConfiguration",
+    "PhotonicParameters",
+    "TimingParameters",
+    "EnergyParameters",
+    "GeneticParameters",
+    # errors
+    "ReproError",
+    "ConfigurationError",
+    "TopologyError",
+    "TaskGraphError",
+    "MappingError",
+    "AllocationError",
+    "InvalidChromosomeError",
+    "SchedulingError",
+    "SimulationError",
+    # architecture
+    "RingOnocArchitecture",
+    "TileLayout",
+    # application
+    "TaskGraph",
+    "Mapping",
+    "ListScheduler",
+    "build_communications",
+    "paper_task_graph",
+    "paper_mapping",
+    "pipeline_task_graph",
+    "fork_join_task_graph",
+    "random_task_graph",
+    "default_mapping",
+    # allocation
+    "Chromosome",
+    "AllocationEvaluator",
+    "AllocationSolution",
+    "ObjectiveVector",
+    "CrosstalkScope",
+    "Nsga2Optimizer",
+    "WavelengthAllocator",
+    "ExplorationResult",
+    "ParetoFront",
+    # models
+    "PowerLossModel",
+    "SnrModel",
+    "BerModel",
+    "BitEnergyModel",
+    "LinkBudget",
+    # simulation
+    "OnocSimulator",
+    "SimulationReport",
+    # exploration
+    "WavelengthExplorationExperiment",
+]

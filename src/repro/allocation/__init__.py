@@ -1,0 +1,59 @@
+"""Wavelength allocation: the paper's primary contribution.
+
+* :mod:`~repro.allocation.chromosome`  — the binary chromosome of Fig. 4 and its
+  encoding/decoding helpers.
+* :mod:`~repro.allocation.objectives`  — validity rules and the three objective
+  functions (global execution time, average BER, bit energy).
+* :mod:`~repro.allocation.pareto`      — non-dominated sorting, crowding
+  distance and Pareto-front containers.
+* :mod:`~repro.allocation.nsga2`       — the NSGA-II engine (Section III-D).
+* :mod:`~repro.allocation.heuristics`  — classical baselines (random, first-fit,
+  most-used, least-used, uniform).
+* :mod:`~repro.allocation.exhaustive`  — brute-force enumeration for tiny
+  instances, used to validate the GA.
+* :mod:`~repro.allocation.allocator`   — the high-level
+  :class:`~repro.allocation.allocator.WavelengthAllocator` facade.
+"""
+
+from .chromosome import Chromosome
+from .objectives import (
+    AllocationEvaluator,
+    AllocationSolution,
+    CrosstalkScope,
+    ObjectiveVector,
+    ValidityReport,
+)
+from .pareto import ParetoFront, crowding_distance, dominates, non_dominated_sort
+from .nsga2 import Nsga2Optimizer, Nsga2Result
+from .heuristics import (
+    first_fit_allocation,
+    least_used_allocation,
+    most_used_allocation,
+    random_allocation,
+    uniform_allocation,
+)
+from .exhaustive import exhaustive_pareto_front
+from .allocator import WavelengthAllocator, ExplorationResult
+
+__all__ = [
+    "Chromosome",
+    "AllocationEvaluator",
+    "AllocationSolution",
+    "CrosstalkScope",
+    "ObjectiveVector",
+    "ValidityReport",
+    "ParetoFront",
+    "crowding_distance",
+    "dominates",
+    "non_dominated_sort",
+    "Nsga2Optimizer",
+    "Nsga2Result",
+    "first_fit_allocation",
+    "least_used_allocation",
+    "most_used_allocation",
+    "random_allocation",
+    "uniform_allocation",
+    "exhaustive_pareto_front",
+    "WavelengthAllocator",
+    "ExplorationResult",
+]

@@ -1,0 +1,199 @@
+"""High-level wavelength allocation facade.
+
+:class:`WavelengthAllocator` is the single entry point most users need: give it
+an architecture, a task graph and a mapping, call :meth:`explore`, and read the
+resulting Pareto front.  It wires together the evaluator, the NSGA-II engine
+and the heuristic baselines, and packages the outcome in an
+:class:`ExplorationResult` that the experiment/benchmark layer consumes
+directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..application.mapping import Mapping
+from ..application.task_graph import TaskGraph
+from ..config import GeneticParameters, OnocConfiguration
+from ..errors import AllocationError
+from ..topology.architecture import RingOnocArchitecture
+from .chromosome import Chromosome
+from .nsga2 import Nsga2Optimizer, Nsga2Result
+from .objectives import (
+    AllocationEvaluator,
+    AllocationSolution,
+    CrosstalkScope,
+    ObjectiveVector,
+)
+from .pareto import ParetoFront
+from . import heuristics
+
+__all__ = ["ExplorationResult", "WavelengthAllocator"]
+
+
+@dataclass
+class ExplorationResult:
+    """Outcome of one wavelength-allocation exploration."""
+
+    wavelength_count: int
+    objective_keys: Tuple[str, ...]
+    nsga2: Nsga2Result
+
+    @property
+    def pareto_front(self) -> ParetoFront[AllocationSolution]:
+        """The Pareto front over every valid solution encountered."""
+        return self.nsga2.pareto_front
+
+    @property
+    def pareto_solutions(self) -> List[AllocationSolution]:
+        """Non-dominated solutions sorted by the first objective."""
+        return self.nsga2.pareto_solutions
+
+    @property
+    def valid_solution_count(self) -> int:
+        """Number of distinct valid chromosomes generated (Table II column)."""
+        return self.nsga2.valid_solution_count
+
+    @property
+    def pareto_size(self) -> int:
+        """Number of Pareto-front solutions (Table II column)."""
+        return len(self.nsga2.pareto_front)
+
+    @property
+    def valid_solutions(self) -> List[AllocationSolution]:
+        """Every distinct valid solution generated during the run."""
+        return list(self.nsga2.unique_valid_solutions.values())
+
+    def front_for(self, objective_keys: Sequence[str]) -> ParetoFront[AllocationSolution]:
+        """Pareto front over every valid solution for a chosen objective subset.
+
+        The paper reads its results through two-objective projections — Table II
+        and Fig. 6a use (time, energy), Fig. 6b and Fig. 7 use (time, BER) —
+        even though the exploration itself can optimise all three objectives at
+        once.  This helper recomputes the non-dominated set of the requested
+        projection from the run-wide pool of valid solutions.
+        """
+        if tuple(objective_keys) == self.objective_keys:
+            return self.nsga2.pareto_front
+        front: ParetoFront[AllocationSolution] = ParetoFront()
+        for solution in self.valid_solutions:
+            front.add(solution, solution.objective_tuple(objective_keys))
+        return front
+
+    def best_by(self, key: str) -> AllocationSolution:
+        """Pareto solution minimising one objective."""
+        return self.nsga2.best_by(key)
+
+    def summary_rows(self) -> List[Dict[str, float]]:
+        """Pareto front as flat dictionaries, ready for CSV/reporting."""
+        rows = []
+        for solution in self.pareto_solutions:
+            rows.append(
+                {
+                    "wavelength_count": self.wavelength_count,
+                    "allocation": solution.allocation_summary,
+                    "execution_time_kcycles": solution.objectives.execution_time_kcycles,
+                    "bit_energy_fj": solution.objectives.bit_energy_fj,
+                    "mean_ber": solution.objectives.mean_bit_error_rate,
+                    "log10_ber": solution.objectives.log10_ber,
+                }
+            )
+        return rows
+
+
+class WavelengthAllocator:
+    """Multi-objective wavelength allocation on a ring-based WDM ONoC.
+
+    Parameters
+    ----------
+    architecture:
+        The ring ONoC carrying the WDM wavelengths.
+    task_graph:
+        The application whose communications need wavelengths.
+    mapping:
+        One-to-one task-to-core placement (known in advance, as in the paper).
+    configuration:
+        Optional configuration override.
+    crosstalk_scope:
+        Aggressor scope of the crosstalk model.
+    """
+
+    def __init__(
+        self,
+        architecture: RingOnocArchitecture,
+        task_graph: TaskGraph,
+        mapping: Mapping,
+        configuration: Optional[OnocConfiguration] = None,
+        crosstalk_scope: CrosstalkScope = CrosstalkScope.TEMPORAL,
+    ) -> None:
+        self._architecture = architecture
+        self._task_graph = task_graph
+        self._mapping = mapping
+        self._configuration = configuration or architecture.configuration
+        self._evaluator = AllocationEvaluator(
+            architecture=architecture,
+            task_graph=task_graph,
+            mapping=mapping,
+            configuration=self._configuration,
+            crosstalk_scope=crosstalk_scope,
+        )
+
+    # ----------------------------------------------------------------- access
+    @property
+    def evaluator(self) -> AllocationEvaluator:
+        """The underlying chromosome evaluator."""
+        return self._evaluator
+
+    @property
+    def architecture(self) -> RingOnocArchitecture:
+        """The architecture being explored."""
+        return self._architecture
+
+    # ------------------------------------------------------------ exploration
+    def explore(
+        self,
+        genetic_parameters: Optional[GeneticParameters] = None,
+        objective_keys: Sequence[str] = ObjectiveVector.KEYS,
+    ) -> ExplorationResult:
+        """Run the NSGA-II exploration and return the Pareto front."""
+        parameters = genetic_parameters or self._configuration.genetic
+        optimizer = Nsga2Optimizer(
+            evaluator=self._evaluator,
+            parameters=parameters,
+            objective_keys=objective_keys,
+        )
+        result = optimizer.run()
+        return ExplorationResult(
+            wavelength_count=self._architecture.wavelength_count,
+            objective_keys=tuple(objective_keys),
+            nsga2=result,
+        )
+
+    # -------------------------------------------------------------- shortcuts
+    def evaluate(self, chromosome: Chromosome) -> AllocationSolution:
+        """Evaluate a single chromosome."""
+        return self._evaluator.evaluate(chromosome)
+
+    def evaluate_allocation(
+        self, allocation: Sequence[Sequence[int]]
+    ) -> AllocationSolution:
+        """Evaluate an explicit per-communication channel assignment."""
+        return self._evaluator.evaluate_allocation(allocation)
+
+    def evaluate_uniform(self, wavelengths_per_communication: int = 1) -> AllocationSolution:
+        """Evaluate the uniform ``[n, n, ..., n]`` allocation (first-fit placed)."""
+        return heuristics.uniform_allocation(self._evaluator, wavelengths_per_communication)
+
+    def baseline_solutions(
+        self, target_counts: Sequence[int] | int = 1, seed: int = 2017
+    ) -> Dict[str, AllocationSolution]:
+        """Evaluate every classical heuristic baseline with the same counts."""
+        return {
+            "first_fit": heuristics.first_fit_allocation(self._evaluator, target_counts),
+            "most_used": heuristics.most_used_allocation(self._evaluator, target_counts),
+            "least_used": heuristics.least_used_allocation(self._evaluator, target_counts),
+            "random": heuristics.random_allocation(
+                self._evaluator, target_counts, seed=seed
+            ),
+        }

@@ -1,0 +1,68 @@
+"""Exhaustive enumeration of the wavelength-allocation space.
+
+For tiny instances (few communications, few wavelengths) the whole chromosome
+space — ``2^(Nl * NW)`` points — can be enumerated, which gives the *true*
+Pareto front.  The test-suite uses this to check that NSGA-II converges to (a
+superset of a sample of) the optimal front, and the complexity discussion of
+the paper (Section IV, ``O(Nl^2 NW^2)`` per evaluation, exponential space) can
+be illustrated with it.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from ..errors import AllocationError
+from .chromosome import Chromosome
+from .objectives import AllocationEvaluator, AllocationSolution, ObjectiveVector
+from .pareto import ParetoFront
+
+__all__ = ["enumerate_chromosomes", "exhaustive_pareto_front"]
+
+#: Refuse to enumerate more than this many chromosomes (2^24 is already ~16.7M).
+_MAX_SPACE = 2 ** 22
+
+
+def enumerate_chromosomes(
+    communication_count: int, wavelength_count: int
+) -> Iterator[Chromosome]:
+    """Yield every possible chromosome for the given problem shape.
+
+    Chromosomes whose communications all have at least one wavelength are the
+    only ones that can be valid, so empty-communication chromosomes are skipped
+    at generation time to keep the enumeration tractable.
+    """
+    gene_count = communication_count * wavelength_count
+    if 2 ** gene_count > _MAX_SPACE:
+        raise AllocationError(
+            f"the chromosome space 2^{gene_count} is too large to enumerate exhaustively"
+        )
+    per_communication = [
+        [
+            combo
+            for size in range(1, wavelength_count + 1)
+            for combo in itertools.combinations(range(wavelength_count), size)
+        ]
+        for _ in range(communication_count)
+    ]
+    for allocation in itertools.product(*per_communication):
+        yield Chromosome.from_allocation(list(allocation), wavelength_count)
+
+
+def exhaustive_pareto_front(
+    evaluator: AllocationEvaluator,
+    objective_keys: Sequence[str] = ObjectiveVector.KEYS,
+) -> Tuple[ParetoFront[AllocationSolution], int]:
+    """Enumerate every chromosome and return (true Pareto front, #valid solutions)."""
+    front: ParetoFront[AllocationSolution] = ParetoFront()
+    valid_count = 0
+    for chromosome in enumerate_chromosomes(
+        evaluator.communication_count, evaluator.wavelength_count
+    ):
+        solution = evaluator.evaluate(chromosome)
+        if not solution.is_valid:
+            continue
+        valid_count += 1
+        front.add(solution, solution.objective_tuple(objective_keys))
+    return front, valid_count

@@ -1,0 +1,186 @@
+"""Classical wavelength-assignment heuristics used as baselines.
+
+The related-work section of the paper cites the standard heuristics of the
+WDM-network literature (Zang et al.): Random, First-Fit, Most-Used and
+Least-Used wavelength assignment.  They were designed to minimise blocking in
+circuit-switched optical networks, not to trade execution time against energy
+and BER, which is exactly why the paper proposes a multi-objective genetic
+search instead.  The ablation benchmark compares the NSGA-II front against the
+single points these heuristics produce.
+
+Every heuristic takes the number of wavelengths each communication should
+receive (``target_counts``) and decides *which* channels to reserve, honouring
+the validity rules through the conflict pairs computed by the evaluator.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..errors import AllocationError
+from .objectives import AllocationEvaluator, AllocationSolution
+
+__all__ = [
+    "first_fit_allocation",
+    "least_used_allocation",
+    "most_used_allocation",
+    "random_allocation",
+    "uniform_allocation",
+]
+
+
+def _normalise_counts(
+    evaluator: AllocationEvaluator, target_counts: Sequence[int] | int
+) -> List[int]:
+    if isinstance(target_counts, int):
+        counts = [target_counts] * evaluator.communication_count
+    else:
+        counts = [int(count) for count in target_counts]
+    if len(counts) != evaluator.communication_count:
+        raise AllocationError(
+            f"expected {evaluator.communication_count} wavelength counts, got {len(counts)}"
+        )
+    for count in counts:
+        if not 1 <= count <= evaluator.wavelength_count:
+            raise AllocationError(
+                f"every communication must reserve between 1 and "
+                f"{evaluator.wavelength_count} wavelengths (got {count})"
+            )
+    return counts
+
+
+def _forbidden_channels(
+    communication_index: int,
+    assigned: Dict[int, Tuple[int, ...]],
+    conflicts: Sequence[Tuple[int, int]],
+) -> Set[int]:
+    """Channels already taken by communications that conflict with this one."""
+    forbidden: Set[int] = set()
+    for first, second in conflicts:
+        other = None
+        if first == communication_index:
+            other = second
+        elif second == communication_index:
+            other = first
+        if other is not None and other in assigned:
+            forbidden.update(assigned[other])
+    return forbidden
+
+
+def _greedy_assignment(
+    evaluator: AllocationEvaluator,
+    counts: Sequence[int],
+    channel_priority,
+) -> AllocationSolution:
+    """Assign channels communication by communication following a priority rule.
+
+    ``channel_priority(communication_index, usage)`` returns the channel indices
+    ordered from most to least preferred; ``usage`` maps channels to how many
+    communications already reserved them.
+    """
+    conflicts = evaluator.conflict_pairs(counts)
+    usage: Dict[int, int] = {channel: 0 for channel in range(evaluator.wavelength_count)}
+    assigned: Dict[int, Tuple[int, ...]] = {}
+    for index in range(evaluator.communication_count):
+        forbidden = _forbidden_channels(index, assigned, conflicts)
+        preferences = [
+            channel for channel in channel_priority(index, usage) if channel not in forbidden
+        ]
+        if len(preferences) < counts[index]:
+            raise AllocationError(
+                f"communication c{index} cannot reserve {counts[index]} wavelengths: only "
+                f"{len(preferences)} conflict-free channels remain"
+            )
+        chosen = tuple(sorted(preferences[: counts[index]]))
+        assigned[index] = chosen
+        for channel in chosen:
+            usage[channel] += 1
+    allocation = [assigned[index] for index in range(evaluator.communication_count)]
+    return evaluator.evaluate_allocation(allocation)
+
+
+def first_fit_allocation(
+    evaluator: AllocationEvaluator, target_counts: Sequence[int] | int = 1
+) -> AllocationSolution:
+    """First-Fit: always reserve the lowest-indexed conflict-free channels."""
+    counts = _normalise_counts(evaluator, target_counts)
+    return _greedy_assignment(
+        evaluator,
+        counts,
+        lambda index, usage: list(range(evaluator.wavelength_count)),
+    )
+
+
+def most_used_allocation(
+    evaluator: AllocationEvaluator, target_counts: Sequence[int] | int = 1
+) -> AllocationSolution:
+    """Most-Used: prefer channels already reserved by other communications.
+
+    Packing traffic onto few wavelengths leaves whole channels free for future
+    connections — the classical blocking-probability argument.
+    """
+    counts = _normalise_counts(evaluator, target_counts)
+
+    def priority(index: int, usage: Dict[int, int]) -> List[int]:
+        return sorted(usage, key=lambda channel: (-usage[channel], channel))
+
+    return _greedy_assignment(evaluator, counts, priority)
+
+
+def least_used_allocation(
+    evaluator: AllocationEvaluator, target_counts: Sequence[int] | int = 1
+) -> AllocationSolution:
+    """Least-Used: prefer the channels reserved by the fewest communications.
+
+    Spreading traffic balances the load across the comb, which also spreads the
+    crosstalk aggressors apart.
+    """
+    counts = _normalise_counts(evaluator, target_counts)
+
+    def priority(index: int, usage: Dict[int, int]) -> List[int]:
+        return sorted(usage, key=lambda channel: (usage[channel], channel))
+
+    return _greedy_assignment(evaluator, counts, priority)
+
+
+def random_allocation(
+    evaluator: AllocationEvaluator,
+    target_counts: Sequence[int] | int = 1,
+    seed: Optional[int] = None,
+    max_attempts: int = 200,
+) -> AllocationSolution:
+    """Random assignment: draw channel sets uniformly until a valid one appears."""
+    counts = _normalise_counts(evaluator, target_counts)
+    rng = np.random.default_rng(seed)
+    last_solution: Optional[AllocationSolution] = None
+    for _ in range(max_attempts):
+        allocation = [
+            tuple(
+                sorted(
+                    rng.choice(
+                        evaluator.wavelength_count, size=counts[index], replace=False
+                    ).tolist()
+                )
+            )
+            for index in range(evaluator.communication_count)
+        ]
+        solution = evaluator.evaluate_allocation(allocation)
+        last_solution = solution
+        if solution.is_valid:
+            return solution
+    if last_solution is None:
+        raise AllocationError("random allocation produced no candidate")
+    return last_solution
+
+
+def uniform_allocation(
+    evaluator: AllocationEvaluator, wavelengths_per_communication: int = 1
+) -> AllocationSolution:
+    """Give every communication the same number of wavelengths, first-fit placed.
+
+    ``uniform_allocation(evaluator, 1)`` is the paper's most energy-efficient
+    reference point ``[1, 1, 1, 1, 1, 1]``.
+    """
+    return first_fit_allocation(evaluator, wavelengths_per_communication)

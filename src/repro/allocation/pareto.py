@@ -1,0 +1,178 @@
+"""Pareto dominance utilities: non-dominated sorting and crowding distance.
+
+These are the two pillars of NSGA-II (Deb et al., the paper's reference [4]):
+
+* :func:`non_dominated_sort` partitions a population into fronts ``F1, F2, ...``
+  where ``F1`` is the set of non-dominated solutions, ``F2`` the set dominated
+  only by ``F1`` members, and so on.
+* :func:`crowding_distance` estimates how isolated each solution of a front is
+  in objective space, so that selection can prefer well-spread solutions.
+
+All objectives are minimised.  The functions operate on plain objective arrays
+so they are reusable outside the GA (the exhaustive search and the analysis
+module use them too).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generic, Iterable, List, Sequence, Tuple, TypeVar
+
+import numpy as np
+
+__all__ = ["dominates", "non_dominated_sort", "crowding_distance", "ParetoFront"]
+
+T = TypeVar("T")
+
+
+def dominates(first: Sequence[float], second: Sequence[float]) -> bool:
+    """True when objective vector ``first`` Pareto-dominates ``second`` (minimisation).
+
+    ``first`` dominates ``second`` when it is no worse in every objective and
+    strictly better in at least one.
+    """
+    if len(first) != len(second):
+        raise ValueError("objective vectors must have the same length")
+    not_worse = all(a <= b for a, b in zip(first, second))
+    strictly_better = any(a < b for a, b in zip(first, second))
+    return not_worse and strictly_better
+
+
+def non_dominated_sort(objectives: Sequence[Sequence[float]]) -> List[List[int]]:
+    """Fast non-dominated sort of Deb et al.
+
+    Parameters
+    ----------
+    objectives:
+        One objective vector per solution (all minimised).
+
+    Returns
+    -------
+    list of fronts, each a list of solution indices; the first front contains
+    the non-dominated solutions.
+    """
+    count = len(objectives)
+    if count == 0:
+        return []
+    dominated_by: List[List[int]] = [[] for _ in range(count)]
+    domination_counter = [0] * count
+    fronts: List[List[int]] = [[]]
+
+    for p in range(count):
+        for q in range(count):
+            if p == q:
+                continue
+            if dominates(objectives[p], objectives[q]):
+                dominated_by[p].append(q)
+            elif dominates(objectives[q], objectives[p]):
+                domination_counter[p] += 1
+        if domination_counter[p] == 0:
+            fronts[0].append(p)
+
+    current = 0
+    while fronts[current]:
+        next_front: List[int] = []
+        for p in fronts[current]:
+            for q in dominated_by[p]:
+                domination_counter[q] -= 1
+                if domination_counter[q] == 0:
+                    next_front.append(q)
+        current += 1
+        fronts.append(next_front)
+    fronts.pop()  # the last front is always empty
+    return fronts
+
+
+def crowding_distance(objectives: Sequence[Sequence[float]]) -> np.ndarray:
+    """Crowding distance of every solution of one front.
+
+    Boundary solutions of each objective receive an infinite distance so they
+    are always preferred; interior solutions receive the normalised size of the
+    cuboid formed by their nearest neighbours.
+    """
+    count = len(objectives)
+    if count == 0:
+        return np.zeros(0)
+    matrix = np.asarray(objectives, dtype=float)
+    # Invalid solutions carry infinite objectives; clamp them to a large finite
+    # value so the sort and the neighbour differences stay well defined.
+    matrix = np.where(np.isfinite(matrix), matrix, 1.0e300)
+    distances = np.zeros(count)
+    objective_count = matrix.shape[1]
+    for objective in range(objective_count):
+        order = np.argsort(matrix[:, objective], kind="stable")
+        values = matrix[order, objective]
+        distances[order[0]] = float("inf")
+        distances[order[-1]] = float("inf")
+        span = values[-1] - values[0]
+        if span <= 0.0 or count < 3:
+            continue
+        for position in range(1, count - 1):
+            distances[order[position]] += (
+                values[position + 1] - values[position - 1]
+            ) / span
+    return distances
+
+
+@dataclass
+class ParetoFront(Generic[T]):
+    """A container of non-dominated items with their objective vectors.
+
+    The container enforces non-domination on insertion: adding a dominated item
+    is a no-op, adding a dominating item evicts the items it dominates.
+    Duplicate objective vectors are kept only once.
+    """
+
+    items: List[T] = field(default_factory=list)
+    objectives: List[Tuple[float, ...]] = field(default_factory=list)
+
+    def add(self, item: T, objective: Sequence[float]) -> bool:
+        """Try to insert an item; returns True when it joins the front."""
+        candidate = tuple(float(value) for value in objective)
+        survivors_items: List[T] = []
+        survivors_objectives: List[Tuple[float, ...]] = []
+        for existing_item, existing_objective in zip(self.items, self.objectives):
+            if dominates(existing_objective, candidate):
+                return False
+            if existing_objective == candidate:
+                return False
+            if not dominates(candidate, existing_objective):
+                survivors_items.append(existing_item)
+                survivors_objectives.append(existing_objective)
+        survivors_items.append(item)
+        survivors_objectives.append(candidate)
+        self.items = survivors_items
+        self.objectives = survivors_objectives
+        return True
+
+    def extend(self, pairs: Iterable[Tuple[T, Sequence[float]]]) -> int:
+        """Insert several ``(item, objective)`` pairs; returns how many joined."""
+        return sum(1 for item, objective in pairs if self.add(item, objective))
+
+    def sorted_by(self, objective_index: int) -> List[Tuple[T, Tuple[float, ...]]]:
+        """Items and objectives sorted by one objective, ascending."""
+        order = sorted(
+            range(len(self.items)), key=lambda index: self.objectives[index][objective_index]
+        )
+        return [(self.items[index], self.objectives[index]) for index in order]
+
+    def best_by(self, objective_index: int) -> Tuple[T, Tuple[float, ...]]:
+        """The item minimising one objective."""
+        if not self.items:
+            raise ValueError("the Pareto front is empty")
+        index = min(
+            range(len(self.items)), key=lambda i: self.objectives[i][objective_index]
+        )
+        return self.items[index], self.objectives[index]
+
+    def objective_array(self) -> np.ndarray:
+        """Objectives as a ``(size, n_objectives)`` array."""
+        if not self.objectives:
+            return np.zeros((0, 0))
+        return np.asarray(self.objectives, dtype=float)
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def __iter__(self):
+        return iter(zip(self.items, self.objectives))

@@ -1,0 +1,16 @@
+"""Analysis helpers: Pareto quality metrics, text plotting, CSV output."""
+
+from .pareto_metrics import hypervolume_2d, front_spread, front_extent, coverage
+from .plotting import ascii_scatter, format_table
+from .csvout import write_csv, rows_to_csv_text
+
+__all__ = [
+    "hypervolume_2d",
+    "front_spread",
+    "front_extent",
+    "coverage",
+    "ascii_scatter",
+    "format_table",
+    "write_csv",
+    "rows_to_csv_text",
+]

@@ -1,0 +1,52 @@
+"""CSV serialisation of experiment results.
+
+Every experiment driver can dump its rows to CSV so the paper's figures can be
+re-plotted with any external tool.  The writer is intentionally dependency-free
+(``csv`` from the standard library) and deterministic in column order.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence
+
+__all__ = ["rows_to_csv_text", "write_csv"]
+
+
+def _columns_of(rows: Sequence[Dict[str, object]]) -> List[str]:
+    columns: List[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    return columns
+
+
+def rows_to_csv_text(
+    rows: Sequence[Dict[str, object]], columns: Optional[Sequence[str]] = None
+) -> str:
+    """Serialise dictionaries to CSV text (header included)."""
+    rows = list(rows)
+    if not rows:
+        return ""
+    fieldnames = list(columns) if columns is not None else _columns_of(rows)
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=fieldnames, extrasaction="ignore")
+    writer.writeheader()
+    for row in rows:
+        writer.writerow(row)
+    return buffer.getvalue()
+
+
+def write_csv(
+    path: str | Path,
+    rows: Sequence[Dict[str, object]],
+    columns: Optional[Sequence[str]] = None,
+) -> Path:
+    """Write dictionaries to a CSV file and return its path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(rows_to_csv_text(rows, columns))
+    return path

@@ -1,0 +1,105 @@
+"""Quality metrics of Pareto fronts.
+
+These metrics quantify how good an approximation front is, independently of the
+application domain:
+
+* :func:`hypervolume_2d` — area dominated by a 2-objective front up to a
+  reference point (larger is better);
+* :func:`front_spread` — how evenly the solutions cover the front;
+* :func:`front_extent` — the objective-space bounding box of the front;
+* :func:`coverage` — the fraction of one front dominated by another
+  (Zitzler's C-metric).
+
+They are used by the ablation benchmarks (GA settings, baselines vs NSGA-II)
+and by the tests that compare the GA front against the exhaustive one.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from .. import allocation as _allocation
+
+__all__ = ["hypervolume_2d", "front_spread", "front_extent", "coverage"]
+
+
+def _as_matrix(front: Sequence[Sequence[float]]) -> np.ndarray:
+    matrix = np.asarray(front, dtype=float)
+    if matrix.ndim != 2:
+        raise ValueError("a front must be a sequence of objective vectors")
+    return matrix
+
+
+def hypervolume_2d(
+    front: Sequence[Sequence[float]], reference: Tuple[float, float]
+) -> float:
+    """Dominated area of a two-objective minimisation front up to ``reference``.
+
+    Points outside the reference box contribute nothing.  The classic sweep:
+    sort by the first objective and accumulate rectangles.
+    """
+    matrix = _as_matrix(front)
+    if matrix.shape[1] != 2:
+        raise ValueError("hypervolume_2d only handles two objectives")
+    ref_x, ref_y = reference
+    inside = matrix[(matrix[:, 0] <= ref_x) & (matrix[:, 1] <= ref_y)]
+    if inside.size == 0:
+        return 0.0
+    ordered = inside[np.argsort(inside[:, 0], kind="stable")]
+    area = 0.0
+    best_y = ref_y
+    for x, y in ordered:
+        if y < best_y:
+            area += (ref_x - x) * (best_y - y)
+            best_y = y
+    return float(area)
+
+
+def front_spread(front: Sequence[Sequence[float]]) -> float:
+    """Normalised spacing metric: 0 means perfectly even spacing along the front.
+
+    Computes the mean absolute deviation of consecutive Euclidean distances
+    (after per-objective normalisation), divided by the mean distance.
+    """
+    matrix = _as_matrix(front)
+    if len(matrix) < 3:
+        return 0.0
+    span = matrix.max(axis=0) - matrix.min(axis=0)
+    span[span == 0.0] = 1.0
+    normalised = (matrix - matrix.min(axis=0)) / span
+    ordered = normalised[np.argsort(normalised[:, 0], kind="stable")]
+    distances = np.linalg.norm(np.diff(ordered, axis=0), axis=1)
+    mean = distances.mean()
+    if mean == 0.0:
+        return 0.0
+    return float(np.abs(distances - mean).mean() / mean)
+
+
+def front_extent(front: Sequence[Sequence[float]]) -> Tuple[Tuple[float, float], ...]:
+    """Per-objective (minimum, maximum) ranges covered by the front."""
+    matrix = _as_matrix(front)
+    return tuple(
+        (float(matrix[:, column].min()), float(matrix[:, column].max()))
+        for column in range(matrix.shape[1])
+    )
+
+
+def coverage(
+    first: Sequence[Sequence[float]], second: Sequence[Sequence[float]]
+) -> float:
+    """Zitzler C-metric: fraction of ``second`` dominated by at least one point of ``first``."""
+    if len(second) == 0:
+        return 0.0
+    if len(first) == 0:
+        return 0.0
+    first_matrix = _as_matrix(first)
+    second_matrix = _as_matrix(second)
+    dominated = 0
+    for candidate in second_matrix:
+        if any(
+            _allocation.dominates(tuple(point), tuple(candidate)) for point in first_matrix
+        ):
+            dominated += 1
+    return dominated / len(second_matrix)

@@ -1,0 +1,100 @@
+"""Text rendering of scatter plots and tables.
+
+The benchmark harness and the examples run in environments without a plotting
+stack, so the figures of the paper are rendered as ASCII scatter plots and the
+tables as aligned text.  Both renderers are deterministic (useful in tests).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["ascii_scatter", "format_table"]
+
+
+def ascii_scatter(
+    points: Sequence[Tuple[float, float]],
+    width: int = 72,
+    height: int = 20,
+    x_label: str = "x",
+    y_label: str = "y",
+    markers: Optional[Sequence[str]] = None,
+    title: str = "",
+) -> str:
+    """Render 2-D points as a text scatter plot.
+
+    Parameters
+    ----------
+    points:
+        The (x, y) points to draw.
+    width, height:
+        Character dimensions of the plotting area.
+    x_label, y_label:
+        Axis annotations printed around the frame.
+    markers:
+        Optional per-point marker characters (defaults to ``'*'``); useful to
+        distinguish series (e.g. the paper's 4/8/12-wavelength fronts).
+    title:
+        Optional heading line.
+    """
+    if width < 10 or height < 5:
+        raise ValueError("the plotting area must be at least 10x5 characters")
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    if not points:
+        lines.append("(no points)")
+        return "\n".join(lines)
+
+    xs = [float(x) for x, _ in points]
+    ys = [float(y) for _, y in points]
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = min(ys), max(ys)
+    x_span = x_max - x_min or 1.0
+    y_span = y_max - y_min or 1.0
+
+    canvas = [[" "] * width for _ in range(height)]
+    for index, (x, y) in enumerate(zip(xs, ys)):
+        column = int(round((x - x_min) / x_span * (width - 1)))
+        row = int(round((y - y_min) / y_span * (height - 1)))
+        marker = "*"
+        if markers is not None and index < len(markers):
+            marker = markers[index][:1] or "*"
+        canvas[height - 1 - row][column] = marker
+
+    lines.append(f"{y_label} (top={y_max:.4g}, bottom={y_min:.4g})")
+    for row in canvas:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    lines.append(f"{x_label}: left={x_min:.4g}, right={x_max:.4g}")
+    return "\n".join(lines)
+
+
+def format_table(
+    rows: Sequence[Dict[str, object]],
+    columns: Optional[Sequence[str]] = None,
+    float_format: str = "{:.4g}",
+) -> str:
+    """Render dictionaries as an aligned text table (header + separator + rows)."""
+    if not rows:
+        return "(empty table)"
+    if columns is None:
+        columns = list(rows[0].keys())
+
+    def render(value: object) -> str:
+        if isinstance(value, float):
+            return float_format.format(value)
+        return str(value)
+
+    rendered = [[render(row.get(column, "")) for column in columns] for row in rows]
+    widths = [
+        max(len(str(column)), *(len(line[index]) for line in rendered))
+        for index, column in enumerate(columns)
+    ]
+    header = " | ".join(str(column).ljust(width) for column, width in zip(columns, widths))
+    separator = "-+-".join("-" * width for width in widths)
+    body = [
+        " | ".join(cell.ljust(width) for cell, width in zip(line, widths))
+        for line in rendered
+    ]
+    return "\n".join([header, separator, *body])

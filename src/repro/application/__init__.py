@@ -1,0 +1,49 @@
+"""Application model: task graphs, mappings, communications and scheduling.
+
+This subpackage implements Section III-C of the paper:
+
+* :mod:`~repro.application.task_graph`    — the Task Graph ``TG`` (Definition 1).
+* :mod:`~repro.application.mapping`       — the one-to-one task-to-core mapping
+  (Definition 3).
+* :mod:`~repro.application.communication` — a task-graph edge placed on the
+  architecture (source/destination ONIs, waveguide path).
+* :mod:`~repro.application.scheduling`    — the completion-time recurrence of
+  Eqs. (10)-(12) and the resulting schedule.
+* :mod:`~repro.application.workloads`     — ready-made task graphs, including
+  the paper's virtual application of Fig. 5 and synthetic generators.
+"""
+
+from .task_graph import Task, CommunicationEdge, TaskGraph
+from .mapping import Mapping
+from .communication import MappedCommunication, build_communications
+from .scheduling import Schedule, ScheduleEntry, CommunicationInterval, ListScheduler
+from .workloads import (
+    paper_task_graph,
+    paper_mapping,
+    pipeline_task_graph,
+    fork_join_task_graph,
+    random_task_graph,
+    default_mapping,
+)
+from .kernels import fft_task_graph, gaussian_elimination_task_graph
+
+__all__ = [
+    "Task",
+    "CommunicationEdge",
+    "TaskGraph",
+    "Mapping",
+    "MappedCommunication",
+    "build_communications",
+    "Schedule",
+    "ScheduleEntry",
+    "CommunicationInterval",
+    "ListScheduler",
+    "paper_task_graph",
+    "paper_mapping",
+    "pipeline_task_graph",
+    "fork_join_task_graph",
+    "random_task_graph",
+    "default_mapping",
+    "fft_task_graph",
+    "gaussian_elimination_task_graph",
+]

@@ -1,0 +1,106 @@
+"""Communications placed on the architecture.
+
+A :class:`MappedCommunication` is a task-graph edge once the mapping has fixed
+its source and destination IP cores: it knows its waveguide path, the ONIs it
+crosses and the geometric quantities the power-loss and conflict models need.
+The list of mapped communications (in chromosome order) is the unit of work
+the wavelength allocator operates on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Set, Tuple
+
+from ..devices.waveguide import WaveguidePath
+from ..errors import MappingError
+from ..topology.architecture import RingOnocArchitecture
+from .mapping import Mapping
+from .task_graph import CommunicationEdge, TaskGraph
+
+__all__ = ["MappedCommunication", "build_communications"]
+
+
+@dataclass(frozen=True)
+class MappedCommunication:
+    """A task-graph communication bound to source/destination cores and a path."""
+
+    edge: CommunicationEdge
+    source_core: int
+    destination_core: int
+    path: WaveguidePath
+
+    @property
+    def index(self) -> int:
+        """Chromosome index of the communication (``c{index}``)."""
+        return self.edge.index
+
+    @property
+    def label(self) -> str:
+        """Paper-style label (``c0``, ``c1``...)."""
+        return self.edge.label
+
+    @property
+    def volume_bits(self) -> float:
+        """Volume of the communication in bits."""
+        return self.edge.volume_bits
+
+    @property
+    def hop_count(self) -> int:
+        """Number of ring segments traversed."""
+        return self.path.hop_count
+
+    @property
+    def crossed_onis(self) -> List[int]:
+        """ONIs strictly between the source and the destination."""
+        return self.path.intermediate_onis
+
+    def segment_keys(self) -> List[Tuple[int, int]]:
+        """Directed waveguide segments traversed, in order."""
+        return self.path.segment_keys()
+
+    def shares_waveguide_with(self, other: "MappedCommunication") -> bool:
+        """True when the two communications traverse a common directed segment."""
+        return self.path.shares_segment_with(other.path)
+
+    def crosses_oni(self, oni_id: int) -> bool:
+        """True when the path enters the ONI ``oni_id`` (destination included)."""
+        return oni_id in self.path.onis[1:]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"MappedCommunication({self.label}: core {self.source_core} -> "
+            f"core {self.destination_core}, {self.volume_bits:.0f} bits, "
+            f"{self.hop_count} hops)"
+        )
+
+
+def build_communications(
+    task_graph: TaskGraph,
+    mapping: Mapping,
+    architecture: RingOnocArchitecture,
+) -> List[MappedCommunication]:
+    """Bind every task-graph edge to the architecture through the mapping.
+
+    The result preserves the chromosome ordering of the edges (``c0`` first).
+    """
+    mapping.validate_against(task_graph, architecture)
+    communications: List[MappedCommunication] = []
+    for edge in task_graph.communications():
+        source_core = mapping.core_of(edge.source)
+        destination_core = mapping.core_of(edge.destination)
+        if source_core == destination_core:
+            raise MappingError(
+                f"communication {edge.label}: source and destination tasks are mapped "
+                "to the same core, which the one-to-one mapping constraint forbids"
+            )
+        path = architecture.path(source_core, destination_core)
+        communications.append(
+            MappedCommunication(
+                edge=edge,
+                source_core=source_core,
+                destination_core=destination_core,
+                path=path,
+            )
+        )
+    return communications

@@ -1,0 +1,110 @@
+"""Task graphs of classical parallel kernels.
+
+The paper evaluates a single virtual application; realistic MPSoC studies (and
+the multiprocessor-scheduling literature the paper cites for its time model,
+Hwang et al.) usually rely on the task graphs of well-known parallel kernels.
+This module provides two of the most common ones, parameterised so they can be
+scaled to the architecture under study:
+
+* :func:`fft_task_graph` — the butterfly DAG of a radix-2 fast Fourier
+  transform: ``points`` leaf tasks followed by ``log2(points)`` butterfly
+  stages with an all-to-neighbour exchange between stages.
+* :func:`gaussian_elimination_task_graph` — the triangular DAG of Gaussian
+  elimination on an ``n x n`` matrix: one pivot task per step feeding the
+  update tasks of the trailing columns.
+
+Both produce ordinary :class:`~repro.application.task_graph.TaskGraph` objects,
+so every other part of the library (mapping, scheduling, allocation,
+simulation) works on them unchanged.
+"""
+
+from __future__ import annotations
+
+from ..errors import TaskGraphError
+from .task_graph import TaskGraph
+
+__all__ = ["fft_task_graph", "gaussian_elimination_task_graph"]
+
+
+def _is_power_of_two(value: int) -> bool:
+    return value >= 1 and (value & (value - 1)) == 0
+
+
+def fft_task_graph(
+    points: int = 8,
+    execution_cycles: float = 2000.0,
+    volume_bits: float = 2000.0,
+) -> TaskGraph:
+    """The butterfly task graph of a radix-2 FFT over ``points`` samples.
+
+    The graph has one input task per point and ``log2(points)`` butterfly
+    stages; task ``B{s}_{i}`` of stage ``s`` consumes the outputs of the two
+    stage-``s-1`` tasks whose indices differ in bit ``s-1``.  Every task costs
+    ``execution_cycles`` and every edge carries ``volume_bits``.
+
+    Parameters
+    ----------
+    points:
+        Number of FFT points; must be a power of two and at least 2.
+    execution_cycles:
+        Execution time of every butterfly/input task.
+    volume_bits:
+        Volume of every inter-stage communication.
+    """
+    if not _is_power_of_two(points) or points < 2:
+        raise TaskGraphError("the FFT size must be a power of two, at least 2")
+    stages = points.bit_length() - 1
+    graph = TaskGraph(name=f"fft-{points}")
+    previous = [f"IN_{index}" for index in range(points)]
+    graph.add_tasks((name, execution_cycles) for name in previous)
+    for stage in range(1, stages + 1):
+        current = [f"B{stage}_{index}" for index in range(points)]
+        graph.add_tasks((name, execution_cycles) for name in current)
+        partner_bit = 1 << (stage - 1)
+        for index in range(points):
+            graph.add_communication(previous[index], current[index], volume_bits)
+            graph.add_communication(previous[index ^ partner_bit], current[index], volume_bits)
+        previous = current
+    return graph
+
+
+def gaussian_elimination_task_graph(
+    size: int = 5,
+    pivot_cycles: float = 4000.0,
+    update_cycles: float = 2000.0,
+    volume_bits: float = 3000.0,
+) -> TaskGraph:
+    """The triangular task graph of Gaussian elimination on a ``size x size`` system.
+
+    Step ``k`` consists of a pivot task ``P{k}`` (normalising row ``k``) and one
+    update task ``U{k}_{j}`` per trailing column ``j > k``.  The pivot of step
+    ``k`` depends on the update of column ``k`` performed during step ``k-1``;
+    every update of step ``k`` depends on its pivot and on the same-column
+    update of the previous step.
+
+    Parameters
+    ----------
+    size:
+        Dimension of the linear system; must be at least 2.
+    pivot_cycles, update_cycles:
+        Execution times of the pivot and update tasks.
+    volume_bits:
+        Volume of every dependence edge.
+    """
+    if size < 2:
+        raise TaskGraphError("Gaussian elimination needs a system of size at least 2")
+    graph = TaskGraph(name=f"gaussian-elimination-{size}")
+    steps = size - 1
+    for k in range(steps):
+        graph.add_task(f"P{k}", pivot_cycles)
+        for j in range(k + 1, size):
+            graph.add_task(f"U{k}_{j}", update_cycles)
+    for k in range(steps):
+        if k > 0:
+            # The pivot of step k consumes column k as updated by step k-1.
+            graph.add_communication(f"U{k - 1}_{k}", f"P{k}", volume_bits)
+        for j in range(k + 1, size):
+            graph.add_communication(f"P{k}", f"U{k}_{j}", volume_bits)
+            if k > 0 and j > k:
+                graph.add_communication(f"U{k - 1}_{j}", f"U{k}_{j}", volume_bits)
+    return graph

@@ -1,0 +1,152 @@
+"""Task-to-core mapping (Definition 3 of the paper).
+
+The mapping is a one-to-one function from tasks to IP cores: every task runs on
+its own core (``map(Ti) = pi``, ``pi != pj`` for ``Ti != Tj``).  The class below
+validates those constraints against a task graph and an architecture and offers
+a few convenience constructors (explicit dictionary, round-robin spread,
+random permutation) used by the workloads and the mapping-exploration
+extension benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping as TypingMapping, Optional, Sequence
+
+import numpy as np
+
+from ..errors import MappingError
+from ..topology.architecture import RingOnocArchitecture
+from .task_graph import TaskGraph
+
+__all__ = ["Mapping"]
+
+
+@dataclass(frozen=True)
+class Mapping:
+    """A one-to-one assignment of tasks to IP cores."""
+
+    assignment: TypingMapping[str, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        assignment = dict(self.assignment)
+        object.__setattr__(self, "assignment", assignment)
+        cores = list(assignment.values())
+        if len(set(cores)) != len(cores):
+            raise MappingError("two tasks are mapped to the same IP core")
+        for task, core in assignment.items():
+            if core < 0:
+                raise MappingError(f"task {task} mapped to a negative core id")
+
+    # -------------------------------------------------------------- factories
+    @classmethod
+    def from_dict(cls, assignment: TypingMapping[str, int]) -> "Mapping":
+        """Build a mapping from an explicit ``{task_name: core_id}`` dictionary."""
+        return cls(assignment=dict(assignment))
+
+    @classmethod
+    def round_robin(
+        cls,
+        task_graph: TaskGraph,
+        architecture: RingOnocArchitecture,
+        stride: int = 1,
+        start: int = 0,
+    ) -> "Mapping":
+        """Spread tasks over the ring with a constant stride.
+
+        A stride larger than one pushes communicating tasks apart on the ring,
+        creating longer waveguide paths and more sharing — useful to stress the
+        allocator.
+        """
+        if stride < 1:
+            raise MappingError("stride must be at least 1")
+        core_count = architecture.core_count
+        if task_graph.task_count > core_count:
+            raise MappingError(
+                f"{task_graph.task_count} tasks cannot be mapped one-to-one onto "
+                f"{core_count} cores"
+            )
+        assignment: Dict[str, int] = {}
+        used: set[int] = set()
+        core = start % core_count
+        for name in task_graph.task_names():
+            while core in used:
+                core = (core + 1) % core_count
+            assignment[name] = core
+            used.add(core)
+            core = (core + stride) % core_count
+        return cls(assignment=assignment)
+
+    @classmethod
+    def random(
+        cls,
+        task_graph: TaskGraph,
+        architecture: RingOnocArchitecture,
+        seed: Optional[int] = None,
+    ) -> "Mapping":
+        """A uniformly random one-to-one mapping."""
+        core_count = architecture.core_count
+        if task_graph.task_count > core_count:
+            raise MappingError(
+                f"{task_graph.task_count} tasks cannot be mapped one-to-one onto "
+                f"{core_count} cores"
+            )
+        rng = np.random.default_rng(seed)
+        cores = rng.permutation(core_count)[: task_graph.task_count]
+        return cls(
+            assignment={
+                name: int(core) for name, core in zip(task_graph.task_names(), cores)
+            }
+        )
+
+    # ------------------------------------------------------------------ query
+    def core_of(self, task_name: str) -> int:
+        """IP core the task runs on."""
+        if task_name not in self.assignment:
+            raise MappingError(f"task {task_name} is not mapped")
+        return self.assignment[task_name]
+
+    def task_on(self, core_id: int) -> Optional[str]:
+        """Task mapped on ``core_id`` or ``None`` when the core is free."""
+        for task, core in self.assignment.items():
+            if core == core_id:
+                return task
+        return None
+
+    def mapped_tasks(self) -> List[str]:
+        """Names of every mapped task."""
+        return list(self.assignment.keys())
+
+    def used_cores(self) -> List[int]:
+        """Identifiers of every occupied core."""
+        return list(self.assignment.values())
+
+    def validate_against(
+        self, task_graph: TaskGraph, architecture: RingOnocArchitecture
+    ) -> None:
+        """Check the mapping covers the task graph and fits the architecture."""
+        for name in task_graph.task_names():
+            if name not in self.assignment:
+                raise MappingError(f"task {name} of the task graph is not mapped")
+        for task, core in self.assignment.items():
+            if task not in task_graph:
+                raise MappingError(f"mapped task {task} does not exist in the task graph")
+            if not 0 <= core < architecture.core_count:
+                raise MappingError(
+                    f"task {task} mapped to core {core}, outside the "
+                    f"{architecture.core_count}-core architecture"
+                )
+
+    def with_swap(self, task_a: str, task_b: str) -> "Mapping":
+        """A new mapping with the cores of two tasks exchanged."""
+        if task_a not in self.assignment or task_b not in self.assignment:
+            raise MappingError("both tasks must be mapped before swapping")
+        assignment = dict(self.assignment)
+        assignment[task_a], assignment[task_b] = assignment[task_b], assignment[task_a]
+        return Mapping(assignment=assignment)
+
+    def __len__(self) -> int:
+        return len(self.assignment)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Mapping({dict(self.assignment)})"

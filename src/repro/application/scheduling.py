@@ -1,0 +1,229 @@
+"""Execution-time model and schedule construction (Eqs. 10-12 of the paper).
+
+Given a task graph, a mapping and the number of wavelengths reserved for every
+communication, the scheduler computes
+
+* the transfer duration of every communication,
+  ``T_{j,k} = V(d_{j,k}) / (NW_{j,k} * B)``   (Eq. 10),
+* the completion time of every task,
+  ``t_end^k = t_p^k + max_j (t_end^j + T_{j,k})`` over its predecessors
+  (Eq. 12),
+* the global execution time ``max_k t_end^k``  (Eq. 11),
+
+and, as a by-product, the time interval each communication occupies on the
+waveguide — the ingredient the crosstalk model uses to decide which
+communications overlap *in time* (inter-communication crosstalk).
+
+Because the mapping is one-to-one (each task has a core to itself) there is no
+core contention, so the schedule follows directly from the precedence
+constraints; that is exactly the model of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping as TypingMapping, Optional, Sequence, Tuple
+
+from ..config import TimingParameters
+from ..errors import SchedulingError
+from .mapping import Mapping
+from .task_graph import TaskGraph
+
+__all__ = ["ScheduleEntry", "CommunicationInterval", "Schedule", "ListScheduler"]
+
+
+@dataclass(frozen=True)
+class ScheduleEntry:
+    """Timing of one task in the computed schedule (clock cycles)."""
+
+    task_name: str
+    core_id: int
+    start_cycle: float
+    end_cycle: float
+
+    @property
+    def duration_cycles(self) -> float:
+        """Execution time of the task."""
+        return self.end_cycle - self.start_cycle
+
+
+@dataclass(frozen=True)
+class CommunicationInterval:
+    """Occupation interval of one communication on the waveguide (clock cycles)."""
+
+    edge_index: int
+    source_task: str
+    destination_task: str
+    start_cycle: float
+    end_cycle: float
+    wavelength_count: int
+
+    @property
+    def duration_cycles(self) -> float:
+        """Transfer duration ``T_{j,k}`` of Eq. (10)."""
+        return self.end_cycle - self.start_cycle
+
+    def overlaps(self, other: "CommunicationInterval") -> bool:
+        """True when the two transfers occupy the waveguide at the same time.
+
+        Zero-length or back-to-back intervals do not overlap.
+        """
+        return self.start_cycle < other.end_cycle and other.start_cycle < self.end_cycle
+
+
+@dataclass(frozen=True)
+class Schedule:
+    """A complete schedule of an application on the ONoC."""
+
+    entries: TypingMapping[str, ScheduleEntry]
+    communication_intervals: Tuple[CommunicationInterval, ...]
+
+    @property
+    def makespan_cycles(self) -> float:
+        """Global execution time of Eq. (11), in clock cycles."""
+        if not self.entries:
+            return 0.0
+        return max(entry.end_cycle for entry in self.entries.values())
+
+    @property
+    def makespan_kilocycles(self) -> float:
+        """Global execution time in kilo-clock-cycles (the paper's unit)."""
+        return self.makespan_cycles / 1000.0
+
+    def entry(self, task_name: str) -> ScheduleEntry:
+        """Schedule entry of one task."""
+        if task_name not in self.entries:
+            raise SchedulingError(f"task {task_name} is not part of the schedule")
+        return self.entries[task_name]
+
+    def interval(self, edge_index: int) -> CommunicationInterval:
+        """Occupation interval of the communication ``c{edge_index}``."""
+        for interval in self.communication_intervals:
+            if interval.edge_index == edge_index:
+                return interval
+        raise SchedulingError(f"no communication with index {edge_index} in the schedule")
+
+    def temporal_overlap_pairs(self) -> List[Tuple[int, int]]:
+        """Pairs of communication indices whose transfers overlap in time."""
+        pairs: List[Tuple[int, int]] = []
+        intervals = self.communication_intervals
+        for position, first in enumerate(intervals):
+            for second in intervals[position + 1 :]:
+                if first.overlaps(second):
+                    pairs.append((first.edge_index, second.edge_index))
+        return pairs
+
+    def overlap_matrix(self, communication_count: int) -> List[List[bool]]:
+        """Boolean matrix ``M[i][j]`` = transfers ``ci`` and ``cj`` overlap in time."""
+        matrix = [[False] * communication_count for _ in range(communication_count)]
+        for i, j in self.temporal_overlap_pairs():
+            matrix[i][j] = True
+            matrix[j][i] = True
+        return matrix
+
+
+class ListScheduler:
+    """Compute the schedule of Eqs. (10)-(12) for a given wavelength allocation.
+
+    Parameters
+    ----------
+    task_graph:
+        The application.
+    mapping:
+        One-to-one task-to-core mapping.
+    timing:
+        Data-rate parameters (the ``B`` of Eq. 10).
+    """
+
+    def __init__(
+        self,
+        task_graph: TaskGraph,
+        mapping: Mapping,
+        timing: Optional[TimingParameters] = None,
+    ) -> None:
+        self._task_graph = task_graph
+        self._mapping = mapping
+        self._timing = timing or TimingParameters()
+
+    @property
+    def task_graph(self) -> TaskGraph:
+        """The application being scheduled."""
+        return self._task_graph
+
+    @property
+    def timing(self) -> TimingParameters:
+        """The timing parameters in use."""
+        return self._timing
+
+    def communication_duration_cycles(
+        self, volume_bits: float, wavelength_count: int
+    ) -> float:
+        """Transfer duration of Eq. (10), in clock cycles."""
+        if wavelength_count < 1:
+            raise SchedulingError("a communication needs at least one wavelength")
+        return volume_bits / (wavelength_count * self._timing.data_rate_bits_per_cycle)
+
+    def schedule(self, wavelengths_per_communication: Sequence[int]) -> Schedule:
+        """Build the schedule for a per-communication wavelength count vector.
+
+        ``wavelengths_per_communication[k]`` is ``NW`` reserved for edge ``ck``;
+        the vector length must equal the number of communication edges.
+        """
+        graph = self._task_graph
+        if len(wavelengths_per_communication) != graph.communication_count:
+            raise SchedulingError(
+                f"expected {graph.communication_count} wavelength counts, "
+                f"got {len(wavelengths_per_communication)}"
+            )
+        for count in wavelengths_per_communication:
+            if count < 1:
+                raise SchedulingError("every communication needs at least one wavelength")
+
+        completion: Dict[str, float] = {}
+        start: Dict[str, float] = {}
+        intervals: List[CommunicationInterval] = []
+
+        for task_name in graph.topological_order():
+            task = graph.task(task_name)
+            ready_cycle = 0.0
+            for predecessor in graph.predecessors(task_name):
+                edge = graph.communication_between(predecessor, task_name)
+                wavelength_count = int(wavelengths_per_communication[edge.index])
+                duration = self.communication_duration_cycles(
+                    edge.volume_bits, wavelength_count
+                )
+                transfer_start = completion[predecessor]
+                transfer_end = transfer_start + duration
+                intervals.append(
+                    CommunicationInterval(
+                        edge_index=edge.index,
+                        source_task=predecessor,
+                        destination_task=task_name,
+                        start_cycle=transfer_start,
+                        end_cycle=transfer_end,
+                        wavelength_count=wavelength_count,
+                    )
+                )
+                ready_cycle = max(ready_cycle, transfer_end)
+            start[task_name] = ready_cycle
+            completion[task_name] = ready_cycle + task.execution_cycles
+
+        entries = {
+            name: ScheduleEntry(
+                task_name=name,
+                core_id=self._mapping.core_of(name),
+                start_cycle=start[name],
+                end_cycle=completion[name],
+            )
+            for name in graph.task_names()
+        }
+        intervals.sort(key=lambda interval: interval.edge_index)
+        return Schedule(entries=entries, communication_intervals=tuple(intervals))
+
+    def makespan_cycles(self, wavelengths_per_communication: Sequence[int]) -> float:
+        """Global execution time (Eq. 11) for a wavelength count vector."""
+        return self.schedule(wavelengths_per_communication).makespan_cycles
+
+    def minimum_makespan_cycles(self) -> float:
+        """Asymptotic lower bound: critical path with zero communication cost."""
+        return self._task_graph.critical_path_cycles()

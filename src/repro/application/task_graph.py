@@ -1,0 +1,234 @@
+"""Task graph model (Definition 1 of the paper).
+
+A task graph ``TG = G(T, D)`` is a directed acyclic graph whose vertices are
+computation tasks (annotated with an execution time in clock cycles) and whose
+edges are communications (annotated with a volume in bits).  The class below
+wraps a :class:`networkx.DiGraph` with validation, convenient accessors and the
+edge ordering used by the chromosome encoding (edges are numbered ``c0`` ...
+``c{Nl-1}`` in insertion order, as in Fig. 4/5 of the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+import networkx as nx
+
+from ..errors import TaskGraphError
+
+__all__ = ["Task", "CommunicationEdge", "TaskGraph"]
+
+
+@dataclass(frozen=True)
+class Task:
+    """A computation task.
+
+    Parameters
+    ----------
+    name:
+        Unique task identifier (e.g. ``"T0"``).
+    execution_cycles:
+        Processing time of the task on any IP core, in clock cycles (the paper
+        assumes homogeneous cores, Section III-C).
+    """
+
+    name: str
+    execution_cycles: float
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise TaskGraphError("a task needs a non-empty name")
+        if self.execution_cycles < 0.0:
+            raise TaskGraphError(f"task {self.name}: execution time must be non-negative")
+
+
+@dataclass(frozen=True)
+class CommunicationEdge:
+    """A directed communication between two tasks.
+
+    Parameters
+    ----------
+    index:
+        Position of the edge in the chromosome (``c{index}`` in the paper).
+    source, destination:
+        Names of the producing and consuming tasks.
+    volume_bits:
+        Communication volume ``V(d_{i,j})`` in bits.
+    """
+
+    index: int
+    source: str
+    destination: str
+    volume_bits: float
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise TaskGraphError("edge index must be non-negative")
+        if self.source == self.destination:
+            raise TaskGraphError(f"edge c{self.index}: a task cannot send data to itself")
+        if self.volume_bits <= 0.0:
+            raise TaskGraphError(f"edge c{self.index}: volume must be positive")
+
+    @property
+    def label(self) -> str:
+        """The paper-style label of the edge (``c0``, ``c1``...)."""
+        return f"c{self.index}"
+
+    @property
+    def endpoints(self) -> Tuple[str, str]:
+        """The (source, destination) task names."""
+        return (self.source, self.destination)
+
+
+class TaskGraph:
+    """A validated directed acyclic task graph."""
+
+    def __init__(self, name: str = "application") -> None:
+        self._name = name
+        self._graph = nx.DiGraph()
+        self._edges: List[CommunicationEdge] = []
+
+    # ---------------------------------------------------------------- building
+    @property
+    def name(self) -> str:
+        """Human-readable name of the application."""
+        return self._name
+
+    def add_task(self, name: str, execution_cycles: float) -> Task:
+        """Add a task; raises if the name already exists."""
+        if name in self._graph:
+            raise TaskGraphError(f"task {name} already exists")
+        task = Task(name=name, execution_cycles=execution_cycles)
+        self._graph.add_node(name, task=task)
+        return task
+
+    def add_tasks(self, tasks: Iterable[Tuple[str, float]]) -> List[Task]:
+        """Add several ``(name, execution_cycles)`` tasks at once."""
+        return [self.add_task(name, cycles) for name, cycles in tasks]
+
+    def add_communication(
+        self, source: str, destination: str, volume_bits: float
+    ) -> CommunicationEdge:
+        """Add a directed communication edge; raises on duplicates or cycles."""
+        for endpoint in (source, destination):
+            if endpoint not in self._graph:
+                raise TaskGraphError(f"unknown task {endpoint}")
+        if self._graph.has_edge(source, destination):
+            raise TaskGraphError(f"edge {source}->{destination} already exists")
+        edge = CommunicationEdge(
+            index=len(self._edges),
+            source=source,
+            destination=destination,
+            volume_bits=volume_bits,
+        )
+        self._graph.add_edge(source, destination, edge=edge)
+        if not nx.is_directed_acyclic_graph(self._graph):
+            self._graph.remove_edge(source, destination)
+            raise TaskGraphError(
+                f"edge {source}->{destination} would create a cycle in the task graph"
+            )
+        self._edges.append(edge)
+        return edge
+
+    # ----------------------------------------------------------------- access
+    @property
+    def task_count(self) -> int:
+        """Number of tasks ``Nt``."""
+        return self._graph.number_of_nodes()
+
+    @property
+    def communication_count(self) -> int:
+        """Number of communication edges ``Nl``."""
+        return len(self._edges)
+
+    def task(self, name: str) -> Task:
+        """The task object of ``name``."""
+        if name not in self._graph:
+            raise TaskGraphError(f"unknown task {name}")
+        return self._graph.nodes[name]["task"]
+
+    def tasks(self) -> List[Task]:
+        """Every task, in insertion order."""
+        return [self._graph.nodes[name]["task"] for name in self._graph.nodes]
+
+    def task_names(self) -> List[str]:
+        """Every task name, in insertion order."""
+        return list(self._graph.nodes)
+
+    def communications(self) -> List[CommunicationEdge]:
+        """Every communication edge, in chromosome order (``c0``, ``c1``...)."""
+        return list(self._edges)
+
+    def communication(self, index: int) -> CommunicationEdge:
+        """The communication edge ``c{index}``."""
+        if not 0 <= index < len(self._edges):
+            raise TaskGraphError(f"no communication edge with index {index}")
+        return self._edges[index]
+
+    def communication_between(self, source: str, destination: str) -> CommunicationEdge:
+        """The edge from ``source`` to ``destination``."""
+        if not self._graph.has_edge(source, destination):
+            raise TaskGraphError(f"no edge {source}->{destination}")
+        return self._graph.edges[source, destination]["edge"]
+
+    def predecessors(self, name: str) -> List[str]:
+        """``pre(T)`` — names of the tasks feeding ``name``."""
+        self.task(name)
+        return list(self._graph.predecessors(name))
+
+    def successors(self, name: str) -> List[str]:
+        """Names of the tasks consuming the output of ``name``."""
+        self.task(name)
+        return list(self._graph.successors(name))
+
+    def entry_tasks(self) -> List[str]:
+        """Tasks without predecessors."""
+        return [name for name in self._graph.nodes if self._graph.in_degree(name) == 0]
+
+    def exit_tasks(self) -> List[str]:
+        """Tasks without successors."""
+        return [name for name in self._graph.nodes if self._graph.out_degree(name) == 0]
+
+    def topological_order(self) -> List[str]:
+        """A topological ordering of the task names."""
+        return list(nx.topological_sort(self._graph))
+
+    def total_volume_bits(self) -> float:
+        """Sum of the volumes of every communication edge."""
+        return sum(edge.volume_bits for edge in self._edges)
+
+    def total_execution_cycles(self) -> float:
+        """Sum of the execution times of every task (serial lower bound)."""
+        return sum(task.execution_cycles for task in self.tasks())
+
+    def critical_path_cycles(self) -> float:
+        """Length of the computation-only critical path (zero communication cost).
+
+        This is the asymptotic lower bound the paper's Fig. 6 calls the minimal
+        execution time (20 k-cycles for the virtual application).
+        """
+        completion: Dict[str, float] = {}
+        for name in self.topological_order():
+            task = self.task(name)
+            earliest = max(
+                (completion[p] for p in self.predecessors(name)), default=0.0
+            )
+            completion[name] = earliest + task.execution_cycles
+        return max(completion.values(), default=0.0)
+
+    def to_networkx(self) -> nx.DiGraph:
+        """A copy of the underlying directed graph."""
+        return self._graph.copy()
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._graph
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._graph.nodes)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"TaskGraph(name={self._name!r}, tasks={self.task_count}, "
+            f"communications={self.communication_count})"
+        )

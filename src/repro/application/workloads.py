@@ -1,0 +1,178 @@
+"""Ready-made task graphs and mappings.
+
+The most important entry points are :func:`paper_task_graph` and
+:func:`paper_mapping`, which reconstruct the virtual application of Fig. 5 of
+the paper (six 5 k-cycle tasks, six communications between 4 kb and 8 kb) and
+its placement on the 16-core ring.  The figure in the available manuscript is
+partly unreadable, so two volumes and the exact DAG shape are reconstructed;
+the reconstruction keeps every property the evaluation relies on:
+
+* a computation-only critical path of 20 k-cycles (the asymptote of Fig. 6),
+* a single-wavelength execution time close to 38-40 k-cycles,
+* six communications whose paths overlap on the ring, so wavelength conflicts
+  and crosstalk are both exercised.
+
+The remaining generators (pipeline, fork-join, random DAG) provide additional
+workloads for the examples, the tests and the extension benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import TaskGraphError
+from ..topology.architecture import RingOnocArchitecture
+from .mapping import Mapping
+from .task_graph import TaskGraph
+
+__all__ = [
+    "paper_task_graph",
+    "paper_mapping",
+    "pipeline_task_graph",
+    "fork_join_task_graph",
+    "random_task_graph",
+    "default_mapping",
+]
+
+#: Cores used by the paper-style placement of the six tasks on the 16-core ring.
+_PAPER_TASK_CORES: Dict[str, int] = {
+    "T0": 0,
+    "T1": 2,
+    "T2": 4,
+    "T3": 7,
+    "T4": 9,
+    "T5": 12,
+}
+
+
+def paper_task_graph() -> TaskGraph:
+    """The virtual application of Fig. 5a (reconstructed).
+
+    Six tasks of 5 k-cycles each and six communications::
+
+        c0: T0 -> T1   6 kb          c3: T2 -> T4   6 kb
+        c1: T0 -> T2   8 kb          c4: T3 -> T5   8 kb
+        c2: T1 -> T3   4 kb          c5: T4 -> T5   4 kb
+
+    The DAG is a two-branch fork-join (T0 fans out to T1/T2; the branches merge
+    on T5), so the computation-only critical path is 4 tasks deep = 20 k-cycles.
+    """
+    graph = TaskGraph(name="paper-virtual-application")
+    graph.add_tasks((f"T{i}", 5000.0) for i in range(6))
+    graph.add_communication("T0", "T1", 6000.0)  # c0
+    graph.add_communication("T0", "T2", 8000.0)  # c1
+    graph.add_communication("T1", "T3", 4000.0)  # c2
+    graph.add_communication("T2", "T4", 6000.0)  # c3
+    graph.add_communication("T3", "T5", 8000.0)  # c4
+    graph.add_communication("T4", "T5", 4000.0)  # c5
+    return graph
+
+
+def paper_mapping(architecture: RingOnocArchitecture) -> Mapping:
+    """The placement of the six paper tasks on the 16-core ring (Fig. 5b).
+
+    Tasks are spread along the serpentine so that successive communications
+    share waveguide segments — the situation that makes wavelength allocation
+    non-trivial.  Any architecture with at least 13 cores can host it.
+    """
+    required = max(_PAPER_TASK_CORES.values()) + 1
+    if architecture.core_count < required:
+        raise TaskGraphError(
+            f"the paper mapping needs at least {required} cores, "
+            f"the architecture has {architecture.core_count}"
+        )
+    return Mapping.from_dict(_PAPER_TASK_CORES)
+
+
+def pipeline_task_graph(
+    stage_count: int = 6,
+    execution_cycles: float = 5000.0,
+    volume_bits: float = 4000.0,
+) -> TaskGraph:
+    """A linear pipeline ``S0 -> S1 -> ... -> S{n-1}``.
+
+    Pipelines are the worst case for communication latency: every transfer sits
+    on the critical path, so the benefit of reserving more wavelengths is
+    maximal.
+    """
+    if stage_count < 2:
+        raise TaskGraphError("a pipeline needs at least two stages")
+    graph = TaskGraph(name=f"pipeline-{stage_count}")
+    graph.add_tasks((f"S{i}", execution_cycles) for i in range(stage_count))
+    for index in range(stage_count - 1):
+        graph.add_communication(f"S{index}", f"S{index + 1}", volume_bits)
+    return graph
+
+
+def fork_join_task_graph(
+    branch_count: int = 4,
+    execution_cycles: float = 5000.0,
+    volume_bits: float = 6000.0,
+) -> TaskGraph:
+    """A fork-join graph: one source fans out to ``branch_count`` workers that join.
+
+    All fan-out transfers leave the same source ONI simultaneously, which makes
+    this workload crosstalk-heavy: every branch competes for wavelengths on the
+    same initial waveguide segments.
+    """
+    if branch_count < 1:
+        raise TaskGraphError("a fork-join graph needs at least one branch")
+    graph = TaskGraph(name=f"fork-join-{branch_count}")
+    graph.add_task("source", execution_cycles)
+    graph.add_task("sink", execution_cycles)
+    for index in range(branch_count):
+        worker = f"worker{index}"
+        graph.add_task(worker, execution_cycles)
+        graph.add_communication("source", worker, volume_bits)
+    for index in range(branch_count):
+        graph.add_communication(f"worker{index}", "sink", volume_bits)
+    return graph
+
+
+def random_task_graph(
+    task_count: int = 8,
+    edge_probability: float = 0.35,
+    seed: Optional[int] = None,
+    execution_cycles_range: Tuple[float, float] = (2000.0, 8000.0),
+    volume_bits_range: Tuple[float, float] = (2000.0, 10000.0),
+) -> TaskGraph:
+    """A random layered DAG, always weakly connected.
+
+    Edges only go from lower-numbered to higher-numbered tasks, which guarantees
+    acyclicity; a spanning chain guarantees every task communicates.
+    """
+    if task_count < 2:
+        raise TaskGraphError("a random task graph needs at least two tasks")
+    if not 0.0 <= edge_probability <= 1.0:
+        raise TaskGraphError("edge probability must be within [0, 1]")
+    rng = np.random.default_rng(seed)
+    graph = TaskGraph(name=f"random-{task_count}")
+    low_cycles, high_cycles = execution_cycles_range
+    low_volume, high_volume = volume_bits_range
+    for index in range(task_count):
+        graph.add_task(f"R{index}", float(rng.uniform(low_cycles, high_cycles)))
+    # Spanning chain keeps the graph connected.
+    for index in range(task_count - 1):
+        graph.add_communication(
+            f"R{index}", f"R{index + 1}", float(rng.uniform(low_volume, high_volume))
+        )
+    for source in range(task_count):
+        for destination in range(source + 2, task_count):
+            if rng.random() < edge_probability:
+                graph.add_communication(
+                    f"R{source}",
+                    f"R{destination}",
+                    float(rng.uniform(low_volume, high_volume)),
+                )
+    return graph
+
+
+def default_mapping(
+    task_graph: TaskGraph,
+    architecture: RingOnocArchitecture,
+    stride: int = 2,
+) -> Mapping:
+    """A deterministic spread mapping suitable for any workload of this module."""
+    return Mapping.round_robin(task_graph, architecture, stride=stride)

@@ -1,0 +1,279 @@
+"""Command-line interface.
+
+The CLI exposes the most common workflows without writing Python:
+
+``python -m repro info``
+    Describe the default architecture, application and parameters.
+``python -m repro explore``
+    Run a wavelength-allocation exploration and print/save the Pareto front.
+``python -m repro evaluate --allocation 1,1,1,1,1,1``
+    Evaluate one explicit allocation (wavelength counts, first-fit placed).
+``python -m repro simulate --allocation 2,1,1,2,1,1``
+    Replay an allocation in the discrete-event simulator.
+``python -m repro paper table2|fig6a|fig6b|fig7``
+    Regenerate one artefact of the paper's evaluation section.
+
+Every command accepts ``--wavelengths``, ``--rows``, ``--columns`` and the GA
+sizing flags; see ``python -m repro --help``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from . import __version__
+from .analysis import ascii_scatter, format_table, write_csv
+from .application import paper_mapping, paper_task_graph
+from .allocation import WavelengthAllocator
+from .allocation.heuristics import first_fit_allocation
+from .config import GeneticParameters, OnocConfiguration
+from .errors import ReproError
+from .paper import PaperExperimentSuite, table1_rows
+from .simulation import OnocSimulator
+from .topology import RingOnocArchitecture
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser for ``python -m repro``."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Performance and energy aware wavelength allocation on a ring-based "
+            "WDM 3D optical NoC (DATE 2017 reproduction)."
+        ),
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument("--rows", type=int, default=4, help="rows of the electrical layer")
+    common.add_argument("--columns", type=int, default=4, help="columns of the electrical layer")
+    common.add_argument(
+        "--wavelengths", type=int, default=8, help="number of WDM wavelengths (NW)"
+    )
+    common.add_argument("--population", type=int, default=None, help="GA population size")
+    common.add_argument("--generations", type=int, default=None, help="GA generation count")
+    common.add_argument("--seed", type=int, default=2017, help="GA random seed")
+    common.add_argument("--csv", type=str, default=None, help="write the result rows to a CSV file")
+
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("info", parents=[common], help="describe the default setup")
+
+    explore = subparsers.add_parser(
+        "explore", parents=[common], help="run the NSGA-II exploration"
+    )
+    explore.add_argument(
+        "--objectives",
+        default="time,ber,energy",
+        help="comma-separated objectives to minimise (time, ber, energy)",
+    )
+
+    evaluate = subparsers.add_parser(
+        "evaluate", parents=[common], help="evaluate one allocation (wavelength counts)"
+    )
+    evaluate.add_argument(
+        "--allocation",
+        required=True,
+        help="comma-separated wavelength counts per communication, e.g. 1,1,1,1,1,1",
+    )
+
+    simulate = subparsers.add_parser(
+        "simulate", parents=[common], help="replay one allocation in the event-driven simulator"
+    )
+    simulate.add_argument(
+        "--allocation",
+        required=True,
+        help="comma-separated wavelength counts per communication, e.g. 2,1,1,2,1,1",
+    )
+
+    paper = subparsers.add_parser(
+        "paper", parents=[common], help="regenerate a paper table or figure"
+    )
+    paper.add_argument(
+        "artefact",
+        choices=["table1", "table2", "fig6a", "fig6b", "fig7"],
+        help="which artefact of the paper's evaluation to regenerate",
+    )
+
+    return parser
+
+
+def _genetic_parameters(args: argparse.Namespace) -> GeneticParameters:
+    defaults = GeneticParameters()
+    return GeneticParameters(
+        population_size=args.population or defaults.population_size,
+        generations=args.generations or defaults.generations,
+        seed=args.seed,
+    )
+
+
+def _build_allocator(args: argparse.Namespace) -> WavelengthAllocator:
+    configuration = OnocConfiguration(genetic=_genetic_parameters(args))
+    architecture = RingOnocArchitecture.grid(
+        args.rows, args.columns, wavelength_count=args.wavelengths, configuration=configuration
+    )
+    task_graph = paper_task_graph()
+    mapping = paper_mapping(architecture)
+    return WavelengthAllocator(architecture, task_graph, mapping, configuration)
+
+
+def _parse_counts(text: str) -> List[int]:
+    try:
+        return [int(part) for part in text.split(",") if part.strip()]
+    except ValueError as error:
+        raise ReproError(f"cannot parse allocation {text!r}: {error}") from None
+
+
+def _maybe_write_csv(args: argparse.Namespace, rows: Sequence[dict]) -> None:
+    if args.csv and rows:
+        path = write_csv(args.csv, list(rows))
+        print(f"wrote {len(rows)} rows to {path}")
+
+
+# --------------------------------------------------------------------- commands
+def _command_info(args: argparse.Namespace) -> int:
+    allocator = _build_allocator(args)
+    architecture = allocator.architecture
+    task_graph = paper_task_graph()
+    print(architecture.describe())
+    print(
+        f"Application: {task_graph.task_count} tasks, "
+        f"{task_graph.communication_count} communications, "
+        f"critical path {task_graph.critical_path_cycles() / 1000:.1f} kcc"
+    )
+    print()
+    print("Table I power-loss parameters:")
+    print(format_table(table1_rows()))
+    return 0
+
+
+def _command_explore(args: argparse.Namespace) -> int:
+    allocator = _build_allocator(args)
+    objective_keys = tuple(key.strip() for key in args.objectives.split(",") if key.strip())
+    result = allocator.explore(_genetic_parameters(args), objective_keys=objective_keys)
+    rows = result.summary_rows()
+    print(
+        f"{result.valid_solution_count} distinct valid allocations explored, "
+        f"{result.pareto_size} on the Pareto front ({', '.join(objective_keys)}):"
+    )
+    print(format_table(rows))
+    _maybe_write_csv(args, rows)
+    return 0
+
+
+def _command_evaluate(args: argparse.Namespace) -> int:
+    allocator = _build_allocator(args)
+    counts = _parse_counts(args.allocation)
+    solution = first_fit_allocation(allocator.evaluator, counts)
+    print(f"allocation {solution.allocation_summary} "
+          f"(chromosome {solution.chromosome.to_paper_string()})")
+    print(f"  valid            : {solution.is_valid}")
+    print(f"  execution time   : {solution.objectives.execution_time_kcycles:.2f} kcc")
+    print(f"  bit energy       : {solution.objectives.bit_energy_fj:.3f} fJ/bit")
+    print(f"  mean BER         : {solution.objectives.mean_bit_error_rate:.3e} "
+          f"(log10 {solution.objectives.log10_ber:.2f})")
+    rows = [
+        {
+            "allocation": solution.allocation_summary,
+            "execution_time_kcycles": solution.objectives.execution_time_kcycles,
+            "bit_energy_fj": solution.objectives.bit_energy_fj,
+            "mean_ber": solution.objectives.mean_bit_error_rate,
+        }
+    ]
+    _maybe_write_csv(args, rows)
+    return 0
+
+
+def _command_simulate(args: argparse.Namespace) -> int:
+    allocator = _build_allocator(args)
+    counts = _parse_counts(args.allocation)
+    solution = first_fit_allocation(allocator.evaluator, counts)
+    simulator = OnocSimulator(
+        allocator.architecture, paper_task_graph(), paper_mapping(allocator.architecture)
+    )
+    report = simulator.run(solution.chromosome.allocation())
+    print(f"simulated allocation {solution.allocation_summary}")
+    print(f"  makespan             : {report.makespan_kilocycles:.2f} kcc")
+    print(f"  wavelength conflicts : {len(report.conflicts)}")
+    print(f"  avg core utilisation : {report.statistics.average_core_utilisation:.1%}")
+    print(f"  avg wl utilisation   : {report.statistics.average_wavelength_utilisation:.1%}")
+    rows = [
+        {
+            "allocation": solution.allocation_summary,
+            "makespan_kcycles": report.makespan_kilocycles,
+            "conflicts": len(report.conflicts),
+        }
+    ]
+    _maybe_write_csv(args, rows)
+    return 0
+
+
+def _command_paper(args: argparse.Namespace) -> int:
+    if args.artefact == "table1":
+        print(format_table(table1_rows()))
+        _maybe_write_csv(args, table1_rows())
+        return 0
+
+    configuration = OnocConfiguration(genetic=_genetic_parameters(args))
+    suite = PaperExperimentSuite(configuration=configuration)
+    if args.artefact == "table2":
+        rows = suite.table2()
+        print(format_table(rows))
+        _maybe_write_csv(args, rows)
+        return 0
+
+    if args.artefact in {"fig6a", "fig6b"}:
+        series_by_nw = suite.fig6a() if args.artefact == "fig6a" else suite.fig6b()
+        y_label = "bit energy (fJ/bit)" if args.artefact == "fig6a" else "log10(BER)"
+        points, markers, rows = [], [], []
+        for wavelength_count, series in sorted(series_by_nw.items()):
+            marker = {4: "4", 8: "8", 12: "c"}.get(wavelength_count, "*")
+            points.extend(series)
+            markers.extend(marker * len(series))
+            rows.extend(
+                {"wavelength_count": wavelength_count, "x": x, "y": y} for x, y in series
+            )
+        print(ascii_scatter(points, markers=markers,
+                            x_label="execution time (kcc)", y_label=y_label))
+        _maybe_write_csv(args, rows)
+        return 0
+
+    data = suite.fig7(wavelength_count=args.wavelengths)
+    cloud, front = data["valid_solutions"], data["pareto_front"]
+    print(ascii_scatter(
+        cloud + front,
+        markers=["."] * len(cloud) + ["O"] * len(front),
+        x_label="execution time (kcc)",
+        y_label="log10(BER)",
+        title=f"{len(cloud)} valid solutions, {len(front)} on the Pareto front",
+    ))
+    _maybe_write_csv(args, [{"x": x, "y": y} for x, y in cloud])
+    return 0
+
+
+_COMMANDS = {
+    "info": _command_info,
+    "explore": _command_explore,
+    "evaluate": _command_evaluate,
+    "simulate": _command_simulate,
+    "paper": _command_paper,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point of ``python -m repro``; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised through __main__
+    sys.exit(main())

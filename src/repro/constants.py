@@ -1,0 +1,119 @@
+"""Physical constants and default photonic parameter values.
+
+The default numeric values come from Table I of the paper and from the text of
+Section IV ("Results"):
+
+* propagation loss           -0.274 dB/cm        [Dong et al.]
+* bending loss               -0.005 dB / 90 deg  [Xia et al.]
+* OFF-state MR pass loss     -0.005 dB           [Xia et al.]
+* ON-state MR loss           -0.5 dB             [Xia et al.]
+* OFF-state MR crosstalk     -20 dB              [Chan et al.]
+* ON-state MR crosstalk      -25 dB              [Chan et al.]
+* VCSEL power (logic '1')    -10 dBm
+* VCSEL power (logic '0')    -30 dBm
+* free spectral range (FSR)  12.8 nm
+* quality factor Q           9600
+
+All loss constants are expressed in dB (negative = attenuation) so that a path
+budget is a plain sum, exactly as in Eqs. (2)-(7) of the paper.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "SPEED_OF_LIGHT_M_S",
+    "PLANCK_CONSTANT_J_S",
+    "DEFAULT_CENTER_WAVELENGTH_NM",
+    "DEFAULT_FSR_NM",
+    "DEFAULT_QUALITY_FACTOR",
+    "DEFAULT_PROPAGATION_LOSS_DB_PER_CM",
+    "DEFAULT_BENDING_LOSS_DB_PER_90_DEG",
+    "DEFAULT_MR_OFF_PASS_LOSS_DB",
+    "DEFAULT_MR_ON_LOSS_DB",
+    "DEFAULT_MR_OFF_CROSSTALK_DB",
+    "DEFAULT_MR_ON_CROSSTALK_DB",
+    "DEFAULT_LASER_POWER_ONE_DBM",
+    "DEFAULT_LASER_POWER_ZERO_DBM",
+    "DEFAULT_DATA_RATE_BITS_PER_CYCLE",
+    "DEFAULT_CLOCK_FREQUENCY_HZ",
+    "DEFAULT_LASER_EFFICIENCY",
+    "DEFAULT_MR_TUNING_POWER_MW",
+    "DEFAULT_CHANNEL_SETUP_ENERGY_FJ",
+    "DEFAULT_PHOTODETECTOR_SENSITIVITY_DBM",
+    "DEFAULT_TILE_PITCH_CM",
+    "DEFAULT_BENDS_PER_TILE",
+]
+
+#: Speed of light in vacuum, metres per second.
+SPEED_OF_LIGHT_M_S: float = 299_792_458.0
+
+#: Planck constant, joule-seconds.
+PLANCK_CONSTANT_J_S: float = 6.626_070_15e-34
+
+#: Centre of the WDM grid.  The paper does not state it; 1550 nm (C-band) is the
+#: standard choice for silicon photonic interconnects and is consistent with the
+#: quality factor / FSR figures quoted.
+DEFAULT_CENTER_WAVELENGTH_NM: float = 1550.0
+
+#: Free spectral range of the micro-ring resonators (Section IV).
+DEFAULT_FSR_NM: float = 12.8
+
+#: Quality factor of the micro-ring resonators (Section IV).
+DEFAULT_QUALITY_FACTOR: float = 9600.0
+
+#: Waveguide propagation loss (Table I).
+DEFAULT_PROPAGATION_LOSS_DB_PER_CM: float = -0.274
+
+#: Waveguide bending loss per 90 degree bend (Table I).
+DEFAULT_BENDING_LOSS_DB_PER_90_DEG: float = -0.005
+
+#: Power loss of an OFF-state micro-ring resonator crossed in pass-through (Table I, Lp0).
+DEFAULT_MR_OFF_PASS_LOSS_DB: float = -0.005
+
+#: Power loss of an ON-state micro-ring resonator (drop or through of resonant signal)
+#: (Table I, Lp1).
+DEFAULT_MR_ON_LOSS_DB: float = -0.5
+
+#: Crosstalk coefficient of an OFF-state micro-ring resonator (Table I, Kp0).
+DEFAULT_MR_OFF_CROSSTALK_DB: float = -20.0
+
+#: Crosstalk coefficient of an ON-state micro-ring resonator (Table I, Kp1).
+DEFAULT_MR_ON_CROSSTALK_DB: float = -25.0
+
+#: On-chip VCSEL optical output power when transmitting a logical '1' (Section IV).
+DEFAULT_LASER_POWER_ONE_DBM: float = -10.0
+
+#: Residual VCSEL optical output power when transmitting a logical '0' (Section IV).
+DEFAULT_LASER_POWER_ZERO_DBM: float = -30.0
+
+#: Data rate per wavelength expressed in bits per processor clock cycle.  The
+#: paper reports execution times in kilo-clock-cycles and communication volumes
+#: in kilo-bits; one bit per cycle per wavelength reproduces its time scale.
+DEFAULT_DATA_RATE_BITS_PER_CYCLE: float = 1.0
+
+#: Processor clock frequency used to convert clock cycles to seconds for the
+#: energy model (1 GHz is the usual MPSoC assumption).
+DEFAULT_CLOCK_FREQUENCY_HZ: float = 1.0e9
+
+#: Laser wall-plug efficiency (electrical-to-optical conversion).
+DEFAULT_LASER_EFFICIENCY: float = 0.1
+
+#: Static tuning/thermal power per ON-state micro-ring resonator, milliwatts.
+DEFAULT_MR_TUNING_POWER_MW: float = 0.0005
+
+#: Fixed per-channel, per-transfer setup energy (laser bias settling plus
+#: micro-ring thermal locking), femtojoules.  This term is what makes the
+#: energy-per-bit grow with the number of reserved wavelengths, as observed in
+#: Fig. 6a of the paper.
+DEFAULT_CHANNEL_SETUP_ENERGY_FJ: float = 3000.0
+
+#: Photodetector sensitivity used by the adaptive laser budget, dBm.
+DEFAULT_PHOTODETECTOR_SENSITIVITY_DBM: float = -36.0
+
+#: Physical pitch between two adjacent tiles (IP cores) of the electrical layer,
+#: centimetres.  Determines the waveguide length between two consecutive ONIs.
+DEFAULT_TILE_PITCH_CM: float = 0.2
+
+#: Number of 90-degree waveguide bends encountered when crossing one tile of the
+#: serpentine ring layout.
+DEFAULT_BENDS_PER_TILE: int = 2

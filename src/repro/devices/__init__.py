@@ -1,0 +1,31 @@
+"""Photonic device models.
+
+This subpackage implements the device-level building blocks of the optical
+layer:
+
+* :mod:`~repro.devices.wavelength_grid` — the WDM comb (equal channel spacing
+  over one free spectral range).
+* :mod:`~repro.devices.microring`       — micro-ring resonator (MR) filter model
+  with the Lorentzian roll-off of Eq. (1) and the ON/OFF port behaviour of
+  Eqs. (2)-(5).
+* :mod:`~repro.devices.laser`           — on-chip VCSEL with OOK modulation.
+* :mod:`~repro.devices.photodetector`   — direct-detection receiver.
+* :mod:`~repro.devices.waveguide`       — straight/bent waveguide loss segments.
+"""
+
+from .wavelength_grid import WavelengthGrid
+from .microring import MicroRingResonator, MicroRingState
+from .laser import VcselLaser, OokSymbol
+from .photodetector import Photodetector
+from .waveguide import WaveguideSegment, WaveguidePath
+
+__all__ = [
+    "WavelengthGrid",
+    "MicroRingResonator",
+    "MicroRingState",
+    "VcselLaser",
+    "OokSymbol",
+    "Photodetector",
+    "WaveguideSegment",
+    "WaveguidePath",
+]

@@ -1,0 +1,111 @@
+"""On-chip VCSEL laser with on-off-keying (OOK) modulation.
+
+The paper's transmitters are on-chip Vertical Cavity Surface Emitting Lasers
+(VCSELs) directly modulated by the data stream (Section III-A/III-B): the laser
+is switched between a high optical power for a logical '1' (``-10 dBm`` in the
+experiments) and a residual power for a logical '0' (``-30 dBm``) — ideally zero
+but never exactly so in practice, which is why the '0' power contributes to the
+noise of Eq. (8).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..config import EnergyParameters, PhotonicParameters
+from ..errors import ConfigurationError
+from ..units import dbm_to_mw
+
+__all__ = ["OokSymbol", "VcselLaser"]
+
+
+class OokSymbol(enum.Enum):
+    """The two symbols of on-off keying."""
+
+    ZERO = 0
+    ONE = 1
+
+
+@dataclass(frozen=True)
+class VcselLaser:
+    """A wavelength-specific on-chip laser source.
+
+    Parameters
+    ----------
+    wavelength_nm:
+        Emission wavelength of the laser.
+    power_one_dbm:
+        Optical output power when modulating a '1'.
+    power_zero_dbm:
+        Residual optical output power when modulating a '0'.
+    wall_plug_efficiency:
+        Electrical-to-optical conversion efficiency used by the energy model.
+    """
+
+    wavelength_nm: float
+    power_one_dbm: float
+    power_zero_dbm: float
+    wall_plug_efficiency: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.wavelength_nm <= 0.0:
+            raise ConfigurationError("laser wavelength must be positive")
+        if not 0.0 < self.wall_plug_efficiency <= 1.0:
+            raise ConfigurationError("wall plug efficiency must be in (0, 1]")
+        if self.power_zero_dbm >= self.power_one_dbm:
+            raise ConfigurationError("'0' power must be strictly below '1' power")
+
+    @classmethod
+    def from_parameters(
+        cls,
+        wavelength_nm: float,
+        photonic: PhotonicParameters,
+        energy: EnergyParameters | None = None,
+    ) -> "VcselLaser":
+        """Build a laser from the shared parameter dataclasses."""
+        efficiency = energy.laser_efficiency if energy is not None else 0.1
+        return cls(
+            wavelength_nm=wavelength_nm,
+            power_one_dbm=photonic.laser_power_one_dbm,
+            power_zero_dbm=photonic.laser_power_zero_dbm,
+            wall_plug_efficiency=efficiency,
+        )
+
+    # ---------------------------------------------------------------- emission
+    def emitted_power_dbm(self, symbol: OokSymbol) -> float:
+        """Optical output power (dBm) for the given OOK symbol."""
+        if symbol is OokSymbol.ONE:
+            return self.power_one_dbm
+        return self.power_zero_dbm
+
+    def emitted_power_mw(self, symbol: OokSymbol) -> float:
+        """Optical output power (mW) for the given OOK symbol."""
+        return dbm_to_mw(self.emitted_power_dbm(symbol))
+
+    @property
+    def extinction_ratio_db(self) -> float:
+        """Ratio between the '1' and '0' optical powers (dB)."""
+        return self.power_one_dbm - self.power_zero_dbm
+
+    @property
+    def average_power_mw(self) -> float:
+        """Average optical power assuming equiprobable symbols."""
+        return 0.5 * (
+            self.emitted_power_mw(OokSymbol.ONE) + self.emitted_power_mw(OokSymbol.ZERO)
+        )
+
+    # ------------------------------------------------------------------ energy
+    def electrical_power_mw(self, symbol: OokSymbol = OokSymbol.ONE) -> float:
+        """Electrical power drawn from the supply for the given symbol."""
+        return self.emitted_power_mw(symbol) / self.wall_plug_efficiency
+
+    def energy_per_bit_j(self, bit_rate_bps: float) -> float:
+        """Average electrical energy per transmitted bit (joules).
+
+        Assumes equiprobable '0'/'1' symbols at ``bit_rate_bps`` bits per second.
+        """
+        if bit_rate_bps <= 0.0:
+            raise ConfigurationError("bit rate must be positive")
+        average_electrical_mw = self.average_power_mw / self.wall_plug_efficiency
+        return average_electrical_mw * 1.0e-3 / bit_rate_bps

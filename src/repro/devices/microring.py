@@ -1,0 +1,161 @@
+"""Micro-ring resonator (MR) model.
+
+The MR is the key switching element of the ONoC receiver.  Its behaviour is
+captured by Eqs. (1)-(5) of the paper:
+
+* Eq. (1): the fraction of power that an MR tuned to ``lambda_m`` drops from a
+  signal at ``lambda_i`` follows a Lorentzian of the spectral distance,
+  ``Phi(lambda_i, lambda_m) = delta^2 / ((lambda_i - lambda_m)^2 + delta^2)``
+  where ``2*delta`` is the -3 dB bandwidth, i.e. ``delta = lambda_m / (2*Q)``.
+* Eqs. (2)-(3): OFF-state MR — everything continues to the through port with a
+  small pass loss ``Lp0``; the drop port only receives the OFF-crosstalk ``Kp0``
+  of the resonant channel and the Lorentzian tail of the others.
+* Eqs. (4)-(5): ON-state MR — the resonant channel is dropped with loss ``Lp1``
+  (only ``Kp1`` leaks to the through port); non-resonant channels continue with
+  loss ``Lp1`` and leak ``Phi`` into the drop port (first-order inter-channel
+  crosstalk).
+
+All the port methods work in dB and return the *gain* to add to the input power
+(negative values).
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import PhotonicParameters
+from ..errors import ConfigurationError
+from ..units import linear_to_db
+
+__all__ = ["MicroRingState", "MicroRingResonator"]
+
+
+class MicroRingState(enum.Enum):
+    """Switching state of a micro-ring resonator."""
+
+    OFF = "off"
+    ON = "on"
+
+
+@dataclass(frozen=True)
+class MicroRingResonator:
+    """A micro-ring resonator tuned to a resonance wavelength.
+
+    Parameters
+    ----------
+    resonance_wavelength_nm:
+        The wavelength ``lambda_m`` the ring is designed to drop.
+    quality_factor:
+        Quality factor ``Q = lambda_m / (2*delta)``.
+    off_pass_loss_db:
+        ``Lp0`` — insertion loss of the OFF-state ring on the through path.
+    on_loss_db:
+        ``Lp1`` — loss applied by the ON-state ring (drop of the resonant
+        channel, through of the others).
+    off_crosstalk_db:
+        ``Kp0`` — fraction of the resonant channel leaking to the drop port when
+        the ring is OFF.
+    on_crosstalk_db:
+        ``Kp1`` — fraction of the resonant channel leaking to the through port
+        when the ring is ON.
+    """
+
+    resonance_wavelength_nm: float
+    quality_factor: float
+    off_pass_loss_db: float
+    on_loss_db: float
+    off_crosstalk_db: float
+    on_crosstalk_db: float
+
+    def __post_init__(self) -> None:
+        if self.resonance_wavelength_nm <= 0.0:
+            raise ConfigurationError("resonance wavelength must be positive")
+        if self.quality_factor <= 0.0:
+            raise ConfigurationError("quality factor must be positive")
+
+    @classmethod
+    def from_photonic_parameters(
+        cls, resonance_wavelength_nm: float, parameters: PhotonicParameters
+    ) -> "MicroRingResonator":
+        """Build an MR using the shared photonic parameter set."""
+        return cls(
+            resonance_wavelength_nm=resonance_wavelength_nm,
+            quality_factor=parameters.quality_factor,
+            off_pass_loss_db=parameters.mr_off_pass_loss_db,
+            on_loss_db=parameters.mr_on_loss_db,
+            off_crosstalk_db=parameters.mr_off_crosstalk_db,
+            on_crosstalk_db=parameters.mr_on_crosstalk_db,
+        )
+
+    # ------------------------------------------------------------------ filter
+    @property
+    def half_bandwidth_nm(self) -> float:
+        """``delta`` of Eq. (1): half of the -3 dB bandwidth."""
+        return self.resonance_wavelength_nm / (2.0 * self.quality_factor)
+
+    def filter_transmission(self, wavelength_nm: float) -> float:
+        """Linear drop fraction ``Phi`` of Eq. (1) for a signal at ``wavelength_nm``."""
+        delta = self.half_bandwidth_nm
+        detuning = wavelength_nm - self.resonance_wavelength_nm
+        return delta * delta / (detuning * detuning + delta * delta)
+
+    def filter_transmission_db(self, wavelength_nm: float) -> float:
+        """``Phi`` of Eq. (1) in dB (0 dB at resonance, negative elsewhere)."""
+        return linear_to_db(self.filter_transmission(wavelength_nm))
+
+    def filter_transmission_array_db(self, wavelengths_nm: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`filter_transmission_db` over an array of wavelengths."""
+        delta = self.half_bandwidth_nm
+        detuning = np.asarray(wavelengths_nm, dtype=float) - self.resonance_wavelength_nm
+        linear = delta * delta / (detuning * detuning + delta * delta)
+        return 10.0 * np.log10(linear)
+
+    def is_resonant(self, wavelength_nm: float, tolerance_nm: float = 1.0e-9) -> bool:
+        """True when ``wavelength_nm`` matches the resonance within ``tolerance_nm``."""
+        return math.isclose(
+            wavelength_nm, self.resonance_wavelength_nm, abs_tol=tolerance_nm
+        )
+
+    # ------------------------------------------------------------------- ports
+    def through_gain_db(self, wavelength_nm: float, state: MicroRingState) -> float:
+        """Gain (dB, negative) applied on the *through* port.
+
+        Implements Eq. (2) for the OFF state and Eq. (4) for the ON state.
+        """
+        if state is MicroRingState.OFF:
+            return self.off_pass_loss_db
+        if self.is_resonant(wavelength_nm):
+            return self.on_crosstalk_db
+        return self.on_loss_db
+
+    def drop_gain_db(self, wavelength_nm: float, state: MicroRingState) -> float:
+        """Gain (dB, negative) applied on the *drop* port.
+
+        Implements Eq. (3) for the OFF state and Eq. (5) for the ON state.  For
+        non-resonant channels the drop gain is the Lorentzian crosstalk tail
+        ``Phi(lambda_m, lambda_i)`` of Eq. (1).
+        """
+        if self.is_resonant(wavelength_nm):
+            if state is MicroRingState.OFF:
+                return self.off_crosstalk_db
+            return self.on_loss_db
+        return self.filter_transmission_db(wavelength_nm)
+
+    def crosstalk_leak_db(self, wavelength_nm: float) -> float:
+        """First-order inter-channel crosstalk leaked onto the photodetector.
+
+        This is the ``Phi_dB(lambda_m, lambda_i)`` term of Eq. (7) for a
+        non-resonant aggressor at ``wavelength_nm``; for the resonant wavelength
+        itself the leak is total (0 dB) because the signal is simply dropped.
+        """
+        return self.filter_transmission_db(wavelength_nm)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"MicroRingResonator(lambda={self.resonance_wavelength_nm:.3f} nm, "
+            f"Q={self.quality_factor:.0f})"
+        )

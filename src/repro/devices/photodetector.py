@@ -1,0 +1,67 @@
+"""Direct-detection photodetector model.
+
+The receiver of every Optical Network Interface converts the optical power
+dropped by the ON-state micro-ring into a photocurrent.  For the purposes of
+the paper the photodetector is characterised by
+
+* its *sensitivity* — the minimum optical power for which the link is
+  considered closed (used by the adaptive laser budget of the energy model),
+* its *responsivity* — ampere of photocurrent per watt of optical power, used
+  by the helper current/electrical-SNR conversions.
+
+The BER itself is computed from the optical SNR of Eq. (8) by
+:mod:`repro.models.ber`; the detector model stays deliberately simple (the
+paper considers first-order inter-channel crosstalk as the dominant impairment
+and neglects shot/thermal noise).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import EnergyParameters
+from ..errors import ConfigurationError
+from ..units import dbm_to_watt
+
+__all__ = ["Photodetector"]
+
+
+@dataclass(frozen=True)
+class Photodetector:
+    """A simple square-law direct-detection receiver.
+
+    Parameters
+    ----------
+    sensitivity_dbm:
+        Minimum average optical power the receiver can detect at the target BER.
+    responsivity_a_per_w:
+        Photocurrent produced per watt of incident optical power.
+    """
+
+    sensitivity_dbm: float = -20.0
+    responsivity_a_per_w: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.responsivity_a_per_w <= 0.0:
+            raise ConfigurationError("responsivity must be positive")
+
+    @classmethod
+    def from_energy_parameters(cls, energy: EnergyParameters) -> "Photodetector":
+        """Build a detector whose sensitivity matches the energy model budget."""
+        return cls(sensitivity_dbm=energy.photodetector_sensitivity_dbm)
+
+    def photocurrent_a(self, optical_power_dbm: float) -> float:
+        """Photocurrent (ampere) produced by ``optical_power_dbm``."""
+        return self.responsivity_a_per_w * dbm_to_watt(optical_power_dbm)
+
+    def detects(self, optical_power_dbm: float) -> bool:
+        """True when the received power is at or above the sensitivity."""
+        return optical_power_dbm >= self.sensitivity_dbm
+
+    def power_margin_db(self, optical_power_dbm: float) -> float:
+        """Margin (dB) between the received power and the sensitivity.
+
+        Positive margins mean the link closes with headroom; negative margins
+        mean the laser power must be raised (or losses reduced) by that amount.
+        """
+        return optical_power_dbm - self.sensitivity_dbm

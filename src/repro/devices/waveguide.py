@@ -1,0 +1,164 @@
+"""Waveguide loss segments.
+
+The optical layer of the architecture is a single ring waveguide.  A signal
+travelling from a source ONI to a destination ONI accumulates
+
+* propagation loss, proportional to the travelled length (``LP`` in Eq. 6/7),
+* bending loss, proportional to the number of 90-degree bends (``LB``),
+* the per-MR losses of every micro-ring crossed along the way (handled by
+  :mod:`repro.models.power_loss`, not here).
+
+:class:`WaveguideSegment` models one straight-or-bent stretch between two
+adjacent Optical Network Interfaces; :class:`WaveguidePath` is an ordered
+sequence of segments with convenience accessors for the total length, bends and
+loss.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, List, Sequence, Tuple
+
+from ..config import PhotonicParameters
+from ..errors import ConfigurationError, TopologyError
+
+__all__ = ["WaveguideSegment", "WaveguidePath"]
+
+
+@dataclass(frozen=True)
+class WaveguideSegment:
+    """A stretch of waveguide between two adjacent ONIs on the ring.
+
+    Parameters
+    ----------
+    source_oni:
+        Index of the ONI at the upstream end of the segment.
+    destination_oni:
+        Index of the ONI at the downstream end of the segment.
+    length_cm:
+        Physical length of the segment in centimetres.
+    bend_count:
+        Number of 90-degree bends along the segment.
+    """
+
+    source_oni: int
+    destination_oni: int
+    length_cm: float
+    bend_count: int = 0
+
+    def __post_init__(self) -> None:
+        if self.length_cm < 0.0:
+            raise ConfigurationError("segment length must be non-negative")
+        if self.bend_count < 0:
+            raise ConfigurationError("bend count must be non-negative")
+        if self.source_oni == self.destination_oni:
+            raise ConfigurationError("a segment must join two distinct ONIs")
+
+    def propagation_loss_db(self, parameters: PhotonicParameters) -> float:
+        """Propagation loss of the segment (dB, negative)."""
+        return parameters.propagation_loss_db_per_cm * self.length_cm
+
+    def bending_loss_db(self, parameters: PhotonicParameters) -> float:
+        """Bending loss of the segment (dB, negative)."""
+        return parameters.bending_loss_db_per_90deg * self.bend_count
+
+    def total_loss_db(self, parameters: PhotonicParameters) -> float:
+        """Propagation plus bending loss of the segment (dB, negative)."""
+        return self.propagation_loss_db(parameters) + self.bending_loss_db(parameters)
+
+    @property
+    def key(self) -> Tuple[int, int]:
+        """Directed (source, destination) pair identifying the segment."""
+        return (self.source_oni, self.destination_oni)
+
+
+@dataclass(frozen=True)
+class WaveguidePath:
+    """An ordered chain of waveguide segments from a source ONI to a destination ONI."""
+
+    segments: Tuple[WaveguideSegment, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        segments = tuple(self.segments)
+        object.__setattr__(self, "segments", segments)
+        for upstream, downstream in zip(segments, segments[1:]):
+            if upstream.destination_oni != downstream.source_oni:
+                raise TopologyError(
+                    "waveguide path is not contiguous: segment ending at ONI "
+                    f"{upstream.destination_oni} followed by segment starting at ONI "
+                    f"{downstream.source_oni}"
+                )
+
+    @classmethod
+    def from_segments(cls, segments: Iterable[WaveguideSegment]) -> "WaveguidePath":
+        """Build a path from any iterable of segments."""
+        return cls(segments=tuple(segments))
+
+    # ------------------------------------------------------------------ access
+    @property
+    def source_oni(self) -> int:
+        """Index of the first ONI of the path."""
+        if not self.segments:
+            raise TopologyError("an empty path has no source ONI")
+        return self.segments[0].source_oni
+
+    @property
+    def destination_oni(self) -> int:
+        """Index of the last ONI of the path."""
+        if not self.segments:
+            raise TopologyError("an empty path has no destination ONI")
+        return self.segments[-1].destination_oni
+
+    @property
+    def intermediate_onis(self) -> List[int]:
+        """ONIs crossed between the source and the destination (both excluded)."""
+        return [segment.destination_oni for segment in self.segments[:-1]]
+
+    @property
+    def onis(self) -> List[int]:
+        """Every ONI touched by the path, source and destination included."""
+        if not self.segments:
+            return []
+        return [self.source_oni] + [segment.destination_oni for segment in self.segments]
+
+    @property
+    def hop_count(self) -> int:
+        """Number of segments of the path."""
+        return len(self.segments)
+
+    @property
+    def length_cm(self) -> float:
+        """Total physical length of the path (cm)."""
+        return sum(segment.length_cm for segment in self.segments)
+
+    @property
+    def bend_count(self) -> int:
+        """Total number of 90-degree bends along the path."""
+        return sum(segment.bend_count for segment in self.segments)
+
+    def segment_keys(self) -> List[Tuple[int, int]]:
+        """Directed (source, destination) keys of every segment, in order."""
+        return [segment.key for segment in self.segments]
+
+    # ------------------------------------------------------------------ losses
+    def propagation_loss_db(self, parameters: PhotonicParameters) -> float:
+        """Total propagation loss along the path (dB, negative)."""
+        return sum(segment.propagation_loss_db(parameters) for segment in self.segments)
+
+    def bending_loss_db(self, parameters: PhotonicParameters) -> float:
+        """Total bending loss along the path (dB, negative)."""
+        return sum(segment.bending_loss_db(parameters) for segment in self.segments)
+
+    def total_waveguide_loss_db(self, parameters: PhotonicParameters) -> float:
+        """Propagation plus bending loss along the path (dB, negative)."""
+        return self.propagation_loss_db(parameters) + self.bending_loss_db(parameters)
+
+    def shares_segment_with(self, other: "WaveguidePath") -> bool:
+        """True when the two paths traverse at least one common directed segment."""
+        return bool(set(self.segment_keys()) & set(other.segment_keys()))
+
+    def __len__(self) -> int:
+        return len(self.segments)
+
+    def __iter__(self) -> Iterator[WaveguideSegment]:
+        return iter(self.segments)

@@ -1,0 +1,118 @@
+"""WDM wavelength grid.
+
+The paper assumes *equal channel spacing between two consecutive wavelengths
+covering a whole free spectral range* (Section III-B).  For ``NW`` wavelengths
+and a free spectral range ``FSR`` the channel spacing is therefore
+``CS = FSR / NW`` and the comb is centred on the photonic
+``center_wavelength_nm``.
+
+The grid is the single source of truth for "which physical wavelength does
+channel index *i* correspond to"; every crosstalk computation goes through it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+from ..config import PhotonicParameters
+from ..errors import ConfigurationError
+
+__all__ = ["WavelengthGrid"]
+
+
+@dataclass(frozen=True)
+class WavelengthGrid:
+    """An equally spaced WDM comb of ``count`` wavelengths.
+
+    Parameters
+    ----------
+    count:
+        Number of wavelengths ``NW`` carried by the waveguide.
+    center_wavelength_nm:
+        Centre of the comb (nm).
+    free_spectral_range_nm:
+        FSR of the micro-ring resonators (nm); the comb spans exactly one FSR.
+    """
+
+    count: int
+    center_wavelength_nm: float
+    free_spectral_range_nm: float
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise ConfigurationError("a wavelength grid needs at least one channel")
+        if self.center_wavelength_nm <= 0.0:
+            raise ConfigurationError("center wavelength must be positive")
+        if self.free_spectral_range_nm <= 0.0:
+            raise ConfigurationError("free spectral range must be positive")
+
+    @classmethod
+    def from_photonic_parameters(
+        cls, count: int, parameters: PhotonicParameters
+    ) -> "WavelengthGrid":
+        """Build the grid carried by a waveguide configured by ``parameters``."""
+        return cls(
+            count=count,
+            center_wavelength_nm=parameters.center_wavelength_nm,
+            free_spectral_range_nm=parameters.free_spectral_range_nm,
+        )
+
+    @property
+    def channel_spacing_nm(self) -> float:
+        """Spacing between two consecutive channels (``FSR / NW``)."""
+        return self.free_spectral_range_nm / self.count
+
+    @property
+    def wavelengths_nm(self) -> Tuple[float, ...]:
+        """Physical wavelength of every channel, ascending, centred on the comb."""
+        spacing = self.channel_spacing_nm
+        first = self.center_wavelength_nm - spacing * (self.count - 1) / 2.0
+        return tuple(first + spacing * index for index in range(self.count))
+
+    def wavelength_nm(self, index: int) -> float:
+        """Physical wavelength (nm) of channel ``index`` (0-based)."""
+        self._check_index(index)
+        return self.wavelengths_nm[index]
+
+    def separation_nm(self, index_a: int, index_b: int) -> float:
+        """Absolute spectral separation between two channels (nm)."""
+        self._check_index(index_a)
+        self._check_index(index_b)
+        return abs(index_a - index_b) * self.channel_spacing_nm
+
+    def separation_matrix_nm(self) -> np.ndarray:
+        """``(count, count)`` matrix of pairwise spectral separations (nm)."""
+        indices = np.arange(self.count, dtype=float)
+        return np.abs(indices[:, None] - indices[None, :]) * self.channel_spacing_nm
+
+    def neighbours(self, index: int, order: int = 1) -> List[int]:
+        """Channel indices within ``order`` positions of ``index`` (excluding it)."""
+        self._check_index(index)
+        if order < 1:
+            raise ConfigurationError("neighbour order must be at least 1")
+        low = max(0, index - order)
+        high = min(self.count - 1, index + order)
+        return [i for i in range(low, high + 1) if i != index]
+
+    def indices(self) -> range:
+        """Iterable of the channel indices."""
+        return range(self.count)
+
+    def __len__(self) -> int:
+        return self.count
+
+    def __iter__(self) -> Iterator[float]:
+        return iter(self.wavelengths_nm)
+
+    def _check_index(self, index: int) -> None:
+        if not 0 <= index < self.count:
+            raise ConfigurationError(
+                f"channel index {index} outside grid of {self.count} wavelengths"
+            )
+
+    def subset(self, indices: Sequence[int]) -> Tuple[float, ...]:
+        """Physical wavelengths (nm) of a subset of channels."""
+        return tuple(self.wavelength_nm(index) for index in indices)

@@ -1,0 +1,61 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised intentionally by this library derives from
+:class:`ReproError`, so downstream users can catch a single base class when
+they want to handle "library problems" distinctly from programming bugs.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "TopologyError",
+    "TaskGraphError",
+    "MappingError",
+    "AllocationError",
+    "InvalidChromosomeError",
+    "SchedulingError",
+    "SimulationError",
+    "ExperimentError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the library."""
+
+
+class ConfigurationError(ReproError):
+    """A configuration object is inconsistent or out of range."""
+
+
+class TopologyError(ReproError):
+    """The requested architecture or path cannot be constructed."""
+
+
+class TaskGraphError(ReproError):
+    """The task graph violates a structural constraint (cycle, duplicate edge...)."""
+
+
+class MappingError(ReproError):
+    """The task-to-core mapping is invalid (not one-to-one, unknown core...)."""
+
+
+class AllocationError(ReproError):
+    """A wavelength allocation request cannot be satisfied."""
+
+
+class InvalidChromosomeError(AllocationError):
+    """A chromosome decodes to an invalid wavelength allocation."""
+
+
+class SchedulingError(ReproError):
+    """The scheduler could not compute completion times."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator reached an inconsistent state."""
+
+
+class ExperimentError(ReproError):
+    """An experiment driver received inconsistent inputs."""

@@ -1,0 +1,44 @@
+"""Design-space exploration harness.
+
+* :mod:`~repro.exploration.experiment` — run a wavelength-allocation exploration
+  for one (architecture, application, mapping, NW) point and record the outcome.
+* :mod:`~repro.exploration.sweep`      — sweeps over wavelength counts, photonic
+  parameters (Q, FSR), GA settings and mappings.
+* :mod:`~repro.exploration.report`     — turn experiment records into the
+  paper's tables and figure data.
+"""
+
+from .experiment import ExperimentRecord, WavelengthExplorationExperiment
+from .sweep import (
+    sweep_wavelength_counts,
+    sweep_quality_factor,
+    sweep_channel_setup_energy,
+    sweep_genetic_parameters,
+    sweep_mappings,
+)
+from .report import pareto_table, solution_count_table, front_series
+from .serialization import (
+    ExplorationSummary,
+    SolutionSummary,
+    load_summary,
+    record_to_dict,
+    save_record,
+)
+
+__all__ = [
+    "ExperimentRecord",
+    "WavelengthExplorationExperiment",
+    "sweep_wavelength_counts",
+    "sweep_quality_factor",
+    "sweep_channel_setup_energy",
+    "sweep_genetic_parameters",
+    "sweep_mappings",
+    "pareto_table",
+    "solution_count_table",
+    "front_series",
+    "ExplorationSummary",
+    "SolutionSummary",
+    "save_record",
+    "load_summary",
+    "record_to_dict",
+]

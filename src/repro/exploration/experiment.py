@@ -1,0 +1,167 @@
+"""Single-point exploration experiments.
+
+A :class:`WavelengthExplorationExperiment` bundles everything needed to run the
+paper's design-space exploration for one number of wavelengths: it builds the
+architecture, wires the allocator, runs NSGA-II and summarises the outcome as
+an :class:`ExperimentRecord` that the report/benchmark layer consumes.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..allocation.allocator import ExplorationResult, WavelengthAllocator
+from ..allocation.objectives import AllocationSolution, CrosstalkScope, ObjectiveVector
+from ..application.mapping import Mapping
+from ..application.task_graph import TaskGraph
+from ..config import GeneticParameters, OnocConfiguration
+from ..errors import ExperimentError
+from ..topology.architecture import RingOnocArchitecture
+
+__all__ = ["ExperimentRecord", "WavelengthExplorationExperiment"]
+
+
+@dataclass
+class ExperimentRecord:
+    """Summary of one exploration run (one NW value)."""
+
+    wavelength_count: int
+    objective_keys: Tuple[str, ...]
+    valid_solution_count: int
+    pareto_size: int
+    best_time_kcycles: float
+    best_energy_fj: float
+    best_log10_ber: float
+    runtime_seconds: float
+    result: ExplorationResult = field(repr=False)
+
+    def pareto_rows(self) -> List[Dict[str, float]]:
+        """Pareto-front rows for reporting (one dictionary per solution)."""
+        return self.result.summary_rows()
+
+    def valid_solution_rows(self) -> List[Dict[str, float]]:
+        """One row per distinct valid solution encountered (Fig. 7 scatter)."""
+        rows = []
+        for solution in self.result.valid_solutions:
+            rows.append(
+                {
+                    "wavelength_count": self.wavelength_count,
+                    "allocation": solution.allocation_summary,
+                    "execution_time_kcycles": solution.objectives.execution_time_kcycles,
+                    "bit_energy_fj": solution.objectives.bit_energy_fj,
+                    "mean_ber": solution.objectives.mean_bit_error_rate,
+                    "log10_ber": solution.objectives.log10_ber,
+                }
+            )
+        return rows
+
+
+class WavelengthExplorationExperiment:
+    """Run the paper's exploration for a list of wavelength counts.
+
+    Parameters
+    ----------
+    task_graph:
+        The application.
+    mapping_factory:
+        Callable that maps an architecture to a task placement (lets the same
+        experiment work across architectures of different sizes); a plain
+        :class:`~repro.application.mapping.Mapping` is also accepted when it is
+        valid for every architecture generated.
+    rows, columns:
+        Dimensions of the electrical layer (the paper uses 4x4).
+    configuration:
+        Shared photonic/timing/energy/GA configuration.
+    crosstalk_scope:
+        Aggressor scope of the crosstalk model.
+    """
+
+    def __init__(
+        self,
+        task_graph: TaskGraph,
+        mapping_factory,
+        rows: int = 4,
+        columns: int = 4,
+        configuration: Optional[OnocConfiguration] = None,
+        crosstalk_scope: CrosstalkScope = CrosstalkScope.TEMPORAL,
+    ) -> None:
+        self._task_graph = task_graph
+        self._mapping_factory = mapping_factory
+        self._rows = rows
+        self._columns = columns
+        self._configuration = configuration or OnocConfiguration()
+        self._crosstalk_scope = crosstalk_scope
+
+    def _mapping_for(self, architecture: RingOnocArchitecture) -> Mapping:
+        if isinstance(self._mapping_factory, Mapping):
+            return self._mapping_factory
+        return self._mapping_factory(architecture)
+
+    def build_allocator(self, wavelength_count: int) -> WavelengthAllocator:
+        """The allocator for one wavelength count (exposed for custom studies)."""
+        if wavelength_count < 1:
+            raise ExperimentError("the waveguide needs at least one wavelength")
+        architecture = RingOnocArchitecture.grid(
+            self._rows,
+            self._columns,
+            wavelength_count=wavelength_count,
+            configuration=self._configuration,
+        )
+        mapping = self._mapping_for(architecture)
+        return WavelengthAllocator(
+            architecture=architecture,
+            task_graph=self._task_graph,
+            mapping=mapping,
+            configuration=self._configuration,
+            crosstalk_scope=self._crosstalk_scope,
+        )
+
+    def run_single(
+        self,
+        wavelength_count: int,
+        genetic_parameters: Optional[GeneticParameters] = None,
+        objective_keys: Sequence[str] = ObjectiveVector.KEYS,
+    ) -> ExperimentRecord:
+        """Run the exploration for one wavelength count."""
+        allocator = self.build_allocator(wavelength_count)
+        started = time.perf_counter()
+        result = allocator.explore(
+            genetic_parameters=genetic_parameters, objective_keys=objective_keys
+        )
+        elapsed = time.perf_counter() - started
+        return self._record(result, elapsed)
+
+    def run_many(
+        self,
+        wavelength_counts: Sequence[int],
+        genetic_parameters: Optional[GeneticParameters] = None,
+        objective_keys: Sequence[str] = ObjectiveVector.KEYS,
+    ) -> List[ExperimentRecord]:
+        """Run the exploration for several wavelength counts (e.g. 4, 8, 12)."""
+        return [
+            self.run_single(count, genetic_parameters, objective_keys)
+            for count in wavelength_counts
+        ]
+
+    @staticmethod
+    def _record(result: ExplorationResult, elapsed: float) -> ExperimentRecord:
+        solutions = result.pareto_solutions
+        if solutions:
+            best_time = min(s.objectives.execution_time_kcycles for s in solutions)
+            best_energy = min(s.objectives.bit_energy_fj for s in solutions)
+            best_ber = min(s.objectives.log10_ber for s in solutions)
+        else:
+            best_time = best_energy = best_ber = float("inf")
+        return ExperimentRecord(
+            wavelength_count=result.wavelength_count,
+            objective_keys=result.objective_keys,
+            valid_solution_count=result.valid_solution_count,
+            pareto_size=result.pareto_size,
+            best_time_kcycles=best_time,
+            best_energy_fj=best_energy,
+            best_log10_ber=best_ber,
+            runtime_seconds=elapsed,
+            result=result,
+        )

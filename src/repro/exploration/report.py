@@ -1,0 +1,93 @@
+"""Turn experiment records into the paper's tables and figure series.
+
+* :func:`solution_count_table` — Table II (valid solutions and Pareto sizes,
+  computed over the paper's (time, energy) projection by default).
+* :func:`front_series`         — the (x, y) series of Fig. 6a / Fig. 6b per
+  wavelength count, recomputed as two-objective fronts over every valid
+  solution of the run.
+* :func:`pareto_table`         — a flat listing of every Pareto solution of the
+  optimisation runs themselves.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Tuple
+
+from ..allocation.objectives import AllocationSolution
+from ..errors import ExperimentError
+from .experiment import ExperimentRecord
+
+__all__ = ["solution_count_table", "front_series", "pareto_table", "solution_axis_value"]
+
+#: Axis name -> (objective key used for dominance, value extractor).
+_AXES: Dict[str, str] = {
+    "time": "time",
+    "energy": "energy",
+    "ber": "ber",
+    "log_ber": "ber",
+}
+
+
+def solution_axis_value(solution: AllocationSolution, axis: str) -> float:
+    """Value of one solution along a named axis (``time``/``energy``/``ber``/``log_ber``)."""
+    if axis == "time":
+        return solution.objectives.execution_time_kcycles
+    if axis == "energy":
+        return solution.objectives.bit_energy_fj
+    if axis == "ber":
+        return solution.objectives.mean_bit_error_rate
+    if axis == "log_ber":
+        return solution.objectives.log10_ber
+    raise ExperimentError(f"unknown axis {axis!r}; choose from {sorted(_AXES)}")
+
+
+def solution_count_table(
+    records: Sequence[ExperimentRecord],
+    objective_keys: Tuple[str, str] = ("time", "energy"),
+) -> List[Dict[str, object]]:
+    """Rows of Table II: wavelengths, Pareto-front size, valid-solution count.
+
+    The Pareto-front size is computed over the two-objective projection the
+    paper uses for its Table II discussion (execution time vs bit energy).
+    """
+    rows = []
+    for record in records:
+        front = record.result.front_for(objective_keys)
+        rows.append(
+            {
+                "wavelength_count": record.wavelength_count,
+                "pareto_front_size": len(front),
+                "valid_solution_count": record.valid_solution_count,
+            }
+        )
+    return rows
+
+
+def front_series(
+    record: ExperimentRecord, x_axis: str = "time", y_axis: str = "energy"
+) -> List[Tuple[float, float]]:
+    """The two-objective Pareto front of one record as (x, y) pairs, sorted by x.
+
+    ``x_axis`` / ``y_axis`` accept ``"time"``, ``"energy"``, ``"ber"`` and
+    ``"log_ber"`` — Fig. 6a is (time, energy), Fig. 6b is (time, log_ber).  The
+    front is recomputed over every valid solution of the run so that the series
+    is a clean non-dominated staircase in the requested projection.
+    """
+    for axis in (x_axis, y_axis):
+        if axis not in _AXES:
+            raise ExperimentError(f"unknown axis {axis!r}; choose from {sorted(_AXES)}")
+    front = record.result.front_for((_AXES[x_axis], _AXES[y_axis]))
+    pairs = [
+        (solution_axis_value(solution, x_axis), solution_axis_value(solution, y_axis))
+        for solution, _ in front
+    ]
+    return sorted(pairs, key=lambda pair: pair[0])
+
+
+def pareto_table(records: Sequence[ExperimentRecord]) -> List[Dict[str, object]]:
+    """Every Pareto solution of every record as flat rows (CSV-ready)."""
+    rows: List[Dict[str, object]] = []
+    for record in records:
+        rows.extend(record.pareto_rows())
+    return rows

@@ -1,0 +1,174 @@
+"""Persist exploration results to JSON and load them back.
+
+Long explorations (the paper-scale 400 x 300 runs take minutes per wavelength
+count) should not have to be repeated to re-plot a figure.  This module
+serialises the interesting part of an :class:`~repro.exploration.experiment.ExperimentRecord`
+— the Pareto solutions, the run statistics and enough metadata to know how the
+data was produced — into a plain JSON document, and restores it into
+lightweight summary objects that the report helpers understand.
+
+The JSON layout is stable and human-readable::
+
+    {
+      "schema": "repro.exploration/1",
+      "wavelength_count": 8,
+      "objective_keys": ["time", "ber", "energy"],
+      "valid_solution_count": 1710,
+      "pareto_solutions": [
+        {"chromosome": "[10000000/.../01000000]",
+         "wavelength_counts": [1, 1, 1, 1, 1, 1],
+         "execution_time_kcycles": 38.0,
+         "bit_energy_fj": 4.53,
+         "mean_ber": 3.2e-4}
+      ],
+      ...
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple
+
+from ..allocation.chromosome import Chromosome
+from ..errors import ExperimentError
+from .experiment import ExperimentRecord
+
+__all__ = [
+    "SCHEMA",
+    "SolutionSummary",
+    "ExplorationSummary",
+    "record_to_dict",
+    "save_record",
+    "load_summary",
+]
+
+#: Identifier embedded in every document so future layout changes are detectable.
+SCHEMA = "repro.exploration/1"
+
+
+@dataclass(frozen=True)
+class SolutionSummary:
+    """A deserialised Pareto solution (objectives plus its chromosome)."""
+
+    chromosome: Chromosome
+    wavelength_counts: Tuple[int, ...]
+    execution_time_kcycles: float
+    bit_energy_fj: float
+    mean_ber: float
+
+    @property
+    def allocation_summary(self) -> str:
+        """The paper-style ``[1, 4, 2, ...]`` wavelength-count notation."""
+        return "[" + ", ".join(str(count) for count in self.wavelength_counts) + "]"
+
+
+@dataclass(frozen=True)
+class ExplorationSummary:
+    """A deserialised exploration record."""
+
+    wavelength_count: int
+    objective_keys: Tuple[str, ...]
+    valid_solution_count: int
+    pareto_solutions: Tuple[SolutionSummary, ...]
+    best_time_kcycles: float
+    best_energy_fj: float
+    best_log10_ber: float
+    runtime_seconds: float
+
+    @property
+    def pareto_size(self) -> int:
+        """Number of stored Pareto solutions."""
+        return len(self.pareto_solutions)
+
+    def front_points(self, x_axis: str = "time", y_axis: str = "energy") -> List[Tuple[float, float]]:
+        """The stored front as (x, y) pairs, sorted by x (axes as in the reports)."""
+
+        def value(solution: SolutionSummary, axis: str) -> float:
+            if axis == "time":
+                return solution.execution_time_kcycles
+            if axis == "energy":
+                return solution.bit_energy_fj
+            if axis == "ber":
+                return solution.mean_ber
+            raise ExperimentError(f"unknown axis {axis!r}")
+
+        pairs = [
+            (value(solution, x_axis), value(solution, y_axis))
+            for solution in self.pareto_solutions
+        ]
+        return sorted(pairs)
+
+
+def record_to_dict(record: ExperimentRecord) -> Dict[str, object]:
+    """Serialise an exploration record into a JSON-compatible dictionary."""
+    solutions = []
+    for solution in record.result.pareto_solutions:
+        solutions.append(
+            {
+                "chromosome": solution.chromosome.to_paper_string(),
+                "wavelength_counts": list(solution.wavelength_counts),
+                "execution_time_kcycles": solution.objectives.execution_time_kcycles,
+                "bit_energy_fj": float(solution.objectives.bit_energy_fj),
+                "mean_ber": solution.objectives.mean_bit_error_rate,
+            }
+        )
+    return {
+        "schema": SCHEMA,
+        "wavelength_count": record.wavelength_count,
+        "objective_keys": list(record.objective_keys),
+        "valid_solution_count": record.valid_solution_count,
+        "pareto_size": record.pareto_size,
+        "best_time_kcycles": record.best_time_kcycles,
+        "best_energy_fj": float(record.best_energy_fj),
+        "best_log10_ber": record.best_log10_ber,
+        "runtime_seconds": record.runtime_seconds,
+        "pareto_solutions": solutions,
+    }
+
+
+def save_record(record: ExperimentRecord, path: str | Path) -> Path:
+    """Write an exploration record to a JSON file and return its path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(record_to_dict(record), indent=2))
+    return path
+
+
+def load_summary(path: str | Path) -> ExplorationSummary:
+    """Load a previously saved exploration record."""
+    path = Path(path)
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as error:
+        raise ExperimentError(f"cannot read exploration record {path}: {error}") from None
+    if payload.get("schema") != SCHEMA:
+        raise ExperimentError(
+            f"{path} does not contain a {SCHEMA!r} document "
+            f"(found schema {payload.get('schema')!r})"
+        )
+    wavelength_count = int(payload["wavelength_count"])
+    solutions = []
+    for entry in payload.get("pareto_solutions", []):
+        chromosome = Chromosome.from_paper_string(entry["chromosome"])
+        solutions.append(
+            SolutionSummary(
+                chromosome=chromosome,
+                wavelength_counts=tuple(int(count) for count in entry["wavelength_counts"]),
+                execution_time_kcycles=float(entry["execution_time_kcycles"]),
+                bit_energy_fj=float(entry["bit_energy_fj"]),
+                mean_ber=float(entry["mean_ber"]),
+            )
+        )
+    return ExplorationSummary(
+        wavelength_count=wavelength_count,
+        objective_keys=tuple(payload.get("objective_keys", [])),
+        valid_solution_count=int(payload["valid_solution_count"]),
+        pareto_solutions=tuple(solutions),
+        best_time_kcycles=float(payload["best_time_kcycles"]),
+        best_energy_fj=float(payload["best_energy_fj"]),
+        best_log10_ber=float(payload["best_log10_ber"]),
+        runtime_seconds=float(payload.get("runtime_seconds", 0.0)),
+    )

@@ -1,0 +1,150 @@
+"""Parameter sweeps built on top of the exploration experiment.
+
+The paper varies the number of wavelengths (4, 8, 12).  The sweeps below also
+cover the design knobs the paper discusses qualitatively — micro-ring quality
+factor (channel selectivity), channel-setup energy, GA sizing and task mapping
+— which back the ablation benchmarks and the "future work" mapping study.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..allocation.objectives import ObjectiveVector
+from ..application.mapping import Mapping
+from ..application.task_graph import TaskGraph
+from ..config import GeneticParameters, OnocConfiguration
+from .experiment import ExperimentRecord, WavelengthExplorationExperiment
+
+__all__ = [
+    "sweep_wavelength_counts",
+    "sweep_quality_factor",
+    "sweep_channel_setup_energy",
+    "sweep_genetic_parameters",
+    "sweep_mappings",
+]
+
+
+def sweep_wavelength_counts(
+    task_graph: TaskGraph,
+    mapping_factory,
+    wavelength_counts: Sequence[int] = (4, 8, 12),
+    configuration: Optional[OnocConfiguration] = None,
+    genetic_parameters: Optional[GeneticParameters] = None,
+    objective_keys: Sequence[str] = ObjectiveVector.KEYS,
+    rows: int = 4,
+    columns: int = 4,
+) -> List[ExperimentRecord]:
+    """The paper's primary sweep: one exploration per wavelength count."""
+    experiment = WavelengthExplorationExperiment(
+        task_graph=task_graph,
+        mapping_factory=mapping_factory,
+        rows=rows,
+        columns=columns,
+        configuration=configuration,
+    )
+    return experiment.run_many(wavelength_counts, genetic_parameters, objective_keys)
+
+
+def sweep_quality_factor(
+    task_graph: TaskGraph,
+    mapping_factory,
+    quality_factors: Sequence[float],
+    wavelength_count: int = 8,
+    configuration: Optional[OnocConfiguration] = None,
+    genetic_parameters: Optional[GeneticParameters] = None,
+    objective_keys: Sequence[str] = ObjectiveVector.KEYS,
+) -> Dict[float, ExperimentRecord]:
+    """Sensitivity of the exploration to the micro-ring quality factor.
+
+    A lower Q widens the Lorentzian filter, which increases inter-channel
+    crosstalk (the mechanism discussed around Eq. 1); the BER axis of the
+    resulting fronts degrades accordingly.
+    """
+    configuration = configuration or OnocConfiguration()
+    records: Dict[float, ExperimentRecord] = {}
+    for quality_factor in quality_factors:
+        tuned = replace(
+            configuration,
+            photonic=configuration.photonic.with_quality_factor(quality_factor),
+        )
+        experiment = WavelengthExplorationExperiment(
+            task_graph=task_graph,
+            mapping_factory=mapping_factory,
+            configuration=tuned,
+        )
+        records[quality_factor] = experiment.run_single(
+            wavelength_count, genetic_parameters, objective_keys
+        )
+    return records
+
+
+def sweep_channel_setup_energy(
+    task_graph: TaskGraph,
+    mapping_factory,
+    setup_energies_fj: Sequence[float],
+    wavelength_count: int = 8,
+    configuration: Optional[OnocConfiguration] = None,
+    genetic_parameters: Optional[GeneticParameters] = None,
+    objective_keys: Sequence[str] = ObjectiveVector.KEYS,
+) -> Dict[float, ExperimentRecord]:
+    """Sensitivity of the energy objective to the per-channel setup energy."""
+    configuration = configuration or OnocConfiguration()
+    records: Dict[float, ExperimentRecord] = {}
+    for setup_energy in setup_energies_fj:
+        tuned = replace(
+            configuration,
+            energy=replace(configuration.energy, channel_setup_energy_fj=setup_energy),
+        )
+        experiment = WavelengthExplorationExperiment(
+            task_graph=task_graph,
+            mapping_factory=mapping_factory,
+            configuration=tuned,
+        )
+        records[setup_energy] = experiment.run_single(
+            wavelength_count, genetic_parameters, objective_keys
+        )
+    return records
+
+
+def sweep_genetic_parameters(
+    task_graph: TaskGraph,
+    mapping_factory,
+    parameter_sets: Sequence[GeneticParameters],
+    wavelength_count: int = 8,
+    configuration: Optional[OnocConfiguration] = None,
+    objective_keys: Sequence[str] = ObjectiveVector.KEYS,
+) -> List[ExperimentRecord]:
+    """Run the same exploration under different GA sizings (pop size, generations)."""
+    experiment = WavelengthExplorationExperiment(
+        task_graph=task_graph,
+        mapping_factory=mapping_factory,
+        configuration=configuration,
+    )
+    return [
+        experiment.run_single(wavelength_count, parameters, objective_keys)
+        for parameters in parameter_sets
+    ]
+
+
+def sweep_mappings(
+    task_graph: TaskGraph,
+    mappings: Sequence[Mapping],
+    wavelength_count: int = 8,
+    configuration: Optional[OnocConfiguration] = None,
+    genetic_parameters: Optional[GeneticParameters] = None,
+    objective_keys: Sequence[str] = ObjectiveVector.KEYS,
+) -> List[ExperimentRecord]:
+    """The paper's future-work study: explore the same application under several mappings."""
+    records: List[ExperimentRecord] = []
+    for mapping in mappings:
+        experiment = WavelengthExplorationExperiment(
+            task_graph=task_graph,
+            mapping_factory=mapping,
+            configuration=configuration,
+        )
+        records.append(
+            experiment.run_single(wavelength_count, genetic_parameters, objective_keys)
+        )
+    return records

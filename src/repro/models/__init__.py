@@ -1,0 +1,28 @@
+"""Optical link-level models: power loss, crosstalk, SNR, BER and bit energy.
+
+This subpackage is the faithful, readable implementation of Eqs. (1)-(9) of the
+paper.  It favours clarity over speed; the wavelength-allocation engine uses a
+vectorised evaluator (:mod:`repro.allocation.objectives`) that is cross-checked
+against these reference models by the test-suite.
+"""
+
+from .power_loss import PathLossBreakdown, PowerLossModel, ReceivedSignal
+from .snr import SnrModel, SnrResult
+from .ber import ber_from_snr, BerModel, SnrConvention
+from .energy import BitEnergyModel, BitEnergyBreakdown
+from .link_budget import LinkBudget, LinkBudgetReport
+
+__all__ = [
+    "PathLossBreakdown",
+    "PowerLossModel",
+    "ReceivedSignal",
+    "SnrModel",
+    "SnrResult",
+    "ber_from_snr",
+    "BerModel",
+    "SnrConvention",
+    "BitEnergyModel",
+    "BitEnergyBreakdown",
+    "LinkBudget",
+    "LinkBudgetReport",
+]

@@ -1,0 +1,201 @@
+"""Bit-energy model.
+
+The paper reports the energy efficiency of a wavelength allocation in fJ/bit
+(Fig. 6a) but does not spell out the construction of the metric.  We adopt an
+*adaptive laser budget* model, which reproduces the paper's qualitative
+behaviour (energy per bit grows with the number of reserved wavelengths, the
+``[1,1,1,1,1,1]`` allocation is the most energy-efficient point):
+
+1. For every wavelength channel reserved by a communication, the laser must
+   deliver the photodetector sensitivity at the receiver after the total path
+   loss *and* after a crosstalk power penalty that grows with the number of
+   co-propagating wavelengths.
+2. The electrical power of each laser is its required optical power divided by
+   the wall-plug efficiency.
+3. Every ON-state micro-ring (one per reserved channel at the destination)
+   draws a static tuning power for the duration of the transfer.
+4. Every reserved channel pays a fixed per-transfer setup energy covering the
+   laser bias settling and the thermal locking of its drop ring.
+5. The bit energy of a communication is the total electrical energy spent
+   during the transfer divided by the number of transported bits; the bit
+   energy of a full allocation is the volume-weighted average over all
+   communications.
+
+More reserved wavelengths mean more ON rings on the waveguide (raising the path
+loss other signals see), a larger crosstalk penalty, more tuning power and more
+per-channel setup energy — hence a larger fJ/bit, exactly the trend of Fig. 6a.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..config import EnergyParameters, TimingParameters
+from ..errors import ConfigurationError
+from ..units import dbm_to_mw, femtojoules_to_joules, joules_to_femtojoules
+
+__all__ = ["BitEnergyBreakdown", "BitEnergyModel"]
+
+
+@dataclass(frozen=True)
+class BitEnergyBreakdown:
+    """Energy accounting of one communication transfer."""
+
+    volume_bits: float
+    channel_count: int
+    duration_s: float
+    laser_energy_j: float
+    tuning_energy_j: float
+    setup_energy_j: float = 0.0
+
+    @property
+    def total_energy_j(self) -> float:
+        """Laser, micro-ring tuning and per-channel setup energy (joules)."""
+        return self.laser_energy_j + self.tuning_energy_j + self.setup_energy_j
+
+    @property
+    def energy_per_bit_j(self) -> float:
+        """Energy per transported bit (joules/bit)."""
+        if self.volume_bits <= 0.0:
+            return 0.0
+        return self.total_energy_j / self.volume_bits
+
+    @property
+    def energy_per_bit_fj(self) -> float:
+        """Energy per transported bit (femtojoules/bit)."""
+        return joules_to_femtojoules(self.energy_per_bit_j)
+
+
+class BitEnergyModel:
+    """Adaptive-laser-budget bit-energy model.
+
+    Parameters
+    ----------
+    energy:
+        Laser efficiency, micro-ring tuning power and photodetector sensitivity.
+    timing:
+        Data rate per wavelength and clock frequency (to convert transfer
+        durations from cycles to seconds).
+    """
+
+    #: Cap applied to the crosstalk power penalty when the noise approaches the
+    #: signal level; prevents infinities from dominating the Pareto fronts.
+    MAX_PENALTY_DB = 30.0
+
+    def __init__(self, energy: EnergyParameters, timing: TimingParameters) -> None:
+        self._energy = energy
+        self._timing = timing
+
+    @property
+    def energy_parameters(self) -> EnergyParameters:
+        """The energy parameter set in use."""
+        return self._energy
+
+    @property
+    def timing_parameters(self) -> TimingParameters:
+        """The timing parameter set in use."""
+        return self._timing
+
+    # --------------------------------------------------------------- building
+    def crosstalk_penalty_db(self, noise_to_signal_ratio: float) -> float:
+        """Laser power penalty compensating a given noise-to-signal ratio.
+
+        Uses the classical crosstalk power-penalty expression
+        ``-10 log10(1 - r)`` capped at :attr:`MAX_PENALTY_DB`.
+        """
+        if noise_to_signal_ratio < 0.0:
+            raise ConfigurationError("noise-to-signal ratio must be non-negative")
+        if noise_to_signal_ratio >= 1.0:
+            return self.MAX_PENALTY_DB
+        penalty = -10.0 * math.log10(1.0 - noise_to_signal_ratio)
+        return min(penalty, self.MAX_PENALTY_DB)
+
+    def required_laser_power_dbm(
+        self, path_loss_db: float, noise_to_signal_ratio: float = 0.0
+    ) -> float:
+        """Laser output power needed to close the link (dBm).
+
+        ``path_loss_db`` is the total (negative) path gain from Eq. (6);
+        ``noise_to_signal_ratio`` is the linear crosstalk-to-signal ratio at the
+        receiver, converted into a power penalty.
+        """
+        if path_loss_db > 0.0:
+            raise ConfigurationError("path loss must be expressed as a negative gain")
+        penalty = self.crosstalk_penalty_db(noise_to_signal_ratio)
+        return self._energy.photodetector_sensitivity_dbm - path_loss_db + penalty
+
+    def laser_electrical_power_mw(
+        self, path_loss_db: float, noise_to_signal_ratio: float = 0.0
+    ) -> float:
+        """Electrical power drawn by one laser closing the link (mW)."""
+        optical_mw = dbm_to_mw(
+            self.required_laser_power_dbm(path_loss_db, noise_to_signal_ratio)
+        )
+        return optical_mw / self._energy.laser_efficiency
+
+    # ----------------------------------------------------------- communication
+    def communication_energy(
+        self,
+        volume_bits: float,
+        channel_path_losses_db: Sequence[float],
+        channel_noise_ratios: Sequence[float] | None = None,
+    ) -> BitEnergyBreakdown:
+        """Energy of one transfer using ``len(channel_path_losses_db)`` wavelengths.
+
+        Parameters
+        ----------
+        volume_bits:
+            Communication volume ``V`` in bits.
+        channel_path_losses_db:
+            Total path loss (negative dB) of each reserved channel.
+        channel_noise_ratios:
+            Linear crosstalk-to-signal ratio of each reserved channel (defaults
+            to zero, i.e. no penalty).
+        """
+        channel_count = len(channel_path_losses_db)
+        if channel_count == 0:
+            raise ConfigurationError("a communication needs at least one wavelength")
+        if volume_bits < 0.0:
+            raise ConfigurationError("volume must be non-negative")
+        ratios = (
+            list(channel_noise_ratios)
+            if channel_noise_ratios is not None
+            else [0.0] * channel_count
+        )
+        if len(ratios) != channel_count:
+            raise ConfigurationError("one noise ratio per reserved channel is required")
+
+        data_rate_bps = self._timing.data_rate_bits_per_second
+        duration_s = volume_bits / (channel_count * data_rate_bps)
+
+        laser_power_mw = sum(
+            self.laser_electrical_power_mw(loss, ratio)
+            for loss, ratio in zip(channel_path_losses_db, ratios)
+        )
+        tuning_power_mw = channel_count * self._energy.mr_tuning_power_mw
+
+        laser_energy_j = laser_power_mw * 1.0e-3 * duration_s
+        tuning_energy_j = tuning_power_mw * 1.0e-3 * duration_s
+        setup_energy_j = channel_count * femtojoules_to_joules(
+            self._energy.channel_setup_energy_fj
+        )
+        return BitEnergyBreakdown(
+            volume_bits=volume_bits,
+            channel_count=channel_count,
+            duration_s=duration_s,
+            laser_energy_j=laser_energy_j,
+            tuning_energy_j=tuning_energy_j,
+            setup_energy_j=setup_energy_j,
+        )
+
+    def allocation_energy_per_bit_fj(
+        self, breakdowns: Sequence[BitEnergyBreakdown]
+    ) -> float:
+        """Volume-weighted average bit energy over several communications (fJ/bit)."""
+        total_bits = sum(breakdown.volume_bits for breakdown in breakdowns)
+        if total_bits <= 0.0:
+            return 0.0
+        total_energy_j = sum(breakdown.total_energy_j for breakdown in breakdowns)
+        return joules_to_femtojoules(total_energy_j / total_bits)

@@ -1,0 +1,128 @@
+"""End-to-end link budget reports.
+
+:class:`LinkBudget` combines the power-loss model, the SNR model and the BER
+model into a single per-link report, convenient for quick "does this link
+close?" questions and for the examples.  It is a thin composition layer: all
+the physics lives in the other modules of this package.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+from ..config import OnocConfiguration
+from ..devices.photodetector import Photodetector
+from ..topology.architecture import RingOnocArchitecture
+from .ber import BerModel
+from .power_loss import PowerLossModel, ReceivedSignal
+from .snr import SnrModel, SnrResult
+
+__all__ = ["LinkBudgetReport", "LinkBudget"]
+
+
+@dataclass(frozen=True)
+class LinkBudgetReport:
+    """Everything there is to know about one wavelength of one link."""
+
+    signal: ReceivedSignal
+    snr: SnrResult
+    bit_error_rate: float
+    detector_margin_db: float
+
+    @property
+    def closes(self) -> bool:
+        """True when the received power is above the detector sensitivity."""
+        return self.detector_margin_db >= 0.0
+
+
+class LinkBudget:
+    """Per-link budget calculator on a configured architecture."""
+
+    def __init__(
+        self,
+        architecture: RingOnocArchitecture,
+        configuration: OnocConfiguration | None = None,
+        ber_model: BerModel | None = None,
+    ) -> None:
+        self._architecture = architecture
+        self._configuration = configuration or architecture.configuration
+        self._power_model = PowerLossModel(architecture, self._configuration.photonic)
+        self._snr_model = SnrModel(self._configuration.photonic)
+        self._ber_model = ber_model or BerModel()
+        self._detector = Photodetector.from_energy_parameters(self._configuration.energy)
+
+    @property
+    def architecture(self) -> RingOnocArchitecture:
+        """The architecture being analysed."""
+        return self._architecture
+
+    @property
+    def power_model(self) -> PowerLossModel:
+        """The underlying power-loss model."""
+        return self._power_model
+
+    def evaluate_link(
+        self,
+        source_core: int,
+        destination_core: int,
+        channel: int,
+        aggressors: Iterable[Tuple[int, int]] = (),
+    ) -> LinkBudgetReport:
+        """Budget of one wavelength of one source-to-destination link.
+
+        ``aggressors`` lists ``(source_core, channel)`` pairs of co-propagating
+        signals that cross the destination ONI and therefore leak crosstalk into
+        the victim photodetector.
+        """
+        signal = self._power_model.signal_power_dbm(source_core, destination_core, channel)
+        noise_terms = self._power_model.crosstalk_noise_terms_dbm(
+            source_core, destination_core, channel, aggressors
+        )
+        snr = self._snr_model.evaluate(
+            signal.power_dbm, noise_terms, path_gain_db=signal.breakdown.total_db
+        )
+        ber = self._ber_model.from_snr_result(snr)
+        margin = self._detector.power_margin_db(signal.power_dbm)
+        return LinkBudgetReport(
+            signal=signal,
+            snr=snr,
+            bit_error_rate=ber,
+            detector_margin_db=margin,
+        )
+
+    def evaluate_channels(
+        self,
+        source_core: int,
+        destination_core: int,
+        channels: Sequence[int],
+        include_intra_crosstalk: bool = True,
+    ) -> List[LinkBudgetReport]:
+        """Budget of every channel reserved by one communication.
+
+        When ``include_intra_crosstalk`` is True (the default) the other
+        channels of the same communication act as aggressors on each victim
+        channel — this is the intra-communication crosstalk the paper insists
+        can never be avoided by mapping.
+        """
+        reports = []
+        for victim in channels:
+            aggressors: List[Tuple[int, int]] = []
+            if include_intra_crosstalk:
+                aggressors = [
+                    (source_core, other) for other in channels if other != victim
+                ]
+            reports.append(
+                self.evaluate_link(source_core, destination_core, victim, aggressors)
+            )
+        return reports
+
+    def worst_case_report(
+        self,
+        source_core: int,
+        destination_core: int,
+        channels: Sequence[int],
+    ) -> LinkBudgetReport:
+        """The channel report with the highest BER among ``channels``."""
+        reports = self.evaluate_channels(source_core, destination_core, channels)
+        return max(reports, key=lambda report: report.bit_error_rate)

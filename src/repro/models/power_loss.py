@@ -1,0 +1,276 @@
+"""Power-loss and crosstalk accumulation along a ring path (Eqs. 2-7).
+
+The model walks the waveguide path from a source ONI to a destination ONI and
+accumulates, per wavelength channel,
+
+* the waveguide propagation loss ``LP`` and bending loss ``LB``,
+* the pass-through loss of every OFF-state micro-ring crossed (``Lp0`` terms),
+* the loss of every ON-state micro-ring crossed non-resonantly (``Lp1`` terms),
+* the final drop loss ``Lp1`` of the destination ring (Eq. 6),
+
+and, for crosstalk (Eq. 7), the power of every *aggressor* signal present on
+the waveguide at the destination ONI attenuated by the Lorentzian leak
+``Phi_dB(lambda_m, lambda_i)`` of the victim's drop ring.
+
+The ON/OFF state of the rings is read from the architecture's ONIs, so callers
+that want an allocation-dependent loss picture first configure the ONIs (see
+:meth:`repro.allocation.objectives.NetworkState.apply`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+from ..config import PhotonicParameters
+from ..devices.microring import MicroRingState
+from ..errors import TopologyError
+from ..topology.architecture import RingOnocArchitecture
+
+__all__ = ["PathLossBreakdown", "ReceivedSignal", "PowerLossModel"]
+
+
+@dataclass(frozen=True)
+class PathLossBreakdown:
+    """Per-mechanism loss contributions (dB, negative) of one signal path."""
+
+    propagation_db: float
+    bending_db: float
+    off_ring_db: float
+    on_ring_through_db: float
+    drop_db: float
+
+    @property
+    def total_db(self) -> float:
+        """Sum of every contribution (dB, negative)."""
+        return (
+            self.propagation_db
+            + self.bending_db
+            + self.off_ring_db
+            + self.on_ring_through_db
+            + self.drop_db
+        )
+
+
+@dataclass(frozen=True)
+class ReceivedSignal:
+    """Optical power of one signal once it reaches a photodetector."""
+
+    source_core: int
+    destination_core: int
+    channel: int
+    power_dbm: float
+    breakdown: PathLossBreakdown
+
+
+class PowerLossModel:
+    """Reference implementation of the paper's power-loss equations.
+
+    Parameters
+    ----------
+    architecture:
+        The ring ONoC; the ON/OFF state of its receiver rings is honoured.
+    parameters:
+        Photonic parameters; defaults to the architecture's configuration.
+    """
+
+    def __init__(
+        self,
+        architecture: RingOnocArchitecture,
+        parameters: PhotonicParameters | None = None,
+    ) -> None:
+        self._architecture = architecture
+        self._parameters = parameters or architecture.configuration.photonic
+
+    @property
+    def architecture(self) -> RingOnocArchitecture:
+        """The architecture this model reads ring states from."""
+        return self._architecture
+
+    @property
+    def parameters(self) -> PhotonicParameters:
+        """The photonic parameter set in use."""
+        return self._parameters
+
+    # ----------------------------------------------------------------- signal
+    def path_loss_breakdown(
+        self, source_core: int, destination_core: int, channel: int
+    ) -> PathLossBreakdown:
+        """Loss breakdown of a signal on ``channel`` from source to destination.
+
+        Implements the ``Lp0[m] + Lp1[m] + LP[m] + LB[m]`` terms of Eq. (6):
+        the signal crosses every receiver ring of every intermediate ONI and the
+        non-resonant rings of the destination ONI on its way to the drop ring.
+        """
+        architecture = self._architecture
+        parameters = self._parameters
+        path = architecture.path(source_core, destination_core)
+        propagation_db = path.propagation_loss_db(parameters)
+        bending_db = path.bending_loss_db(parameters)
+
+        off_ring_db = 0.0
+        on_ring_through_db = 0.0
+        signal_wavelength = architecture.grid_wavelengths.wavelength_nm(channel)
+
+        for oni_id in path.intermediate_onis:
+            oni = architecture.oni(oni_id)
+            for ring_channel in architecture.grid_wavelengths.indices():
+                state = oni.receiver_state(ring_channel)
+                if ring_channel == channel and state is MicroRingState.ON:
+                    raise TopologyError(
+                        f"intermediate ONI {oni_id} drops channel {channel}: the signal "
+                        "would never reach its destination (wavelength conflict)"
+                    )
+                gain = oni.receivers[ring_channel].through_gain_db(signal_wavelength, state)
+                if state is MicroRingState.OFF:
+                    off_ring_db += gain
+                else:
+                    on_ring_through_db += gain
+
+        destination = architecture.oni(destination_core)
+        for ring_channel in architecture.grid_wavelengths.indices():
+            if ring_channel == channel:
+                continue
+            state = destination.receiver_state(ring_channel)
+            gain = destination.receivers[ring_channel].through_gain_db(
+                signal_wavelength, state
+            )
+            if state is MicroRingState.OFF:
+                off_ring_db += gain
+            else:
+                on_ring_through_db += gain
+
+        drop_db = parameters.mr_on_loss_db
+        return PathLossBreakdown(
+            propagation_db=propagation_db,
+            bending_db=bending_db,
+            off_ring_db=off_ring_db,
+            on_ring_through_db=on_ring_through_db,
+            drop_db=drop_db,
+        )
+
+    def signal_power_dbm(
+        self,
+        source_core: int,
+        destination_core: int,
+        channel: int,
+        laser_power_dbm: float | None = None,
+    ) -> ReceivedSignal:
+        """Received signal power at the destination photodetector (Eq. 6)."""
+        laser_power = (
+            laser_power_dbm
+            if laser_power_dbm is not None
+            else self._parameters.laser_power_one_dbm
+        )
+        breakdown = self.path_loss_breakdown(source_core, destination_core, channel)
+        return ReceivedSignal(
+            source_core=source_core,
+            destination_core=destination_core,
+            channel=channel,
+            power_dbm=laser_power + breakdown.total_db,
+            breakdown=breakdown,
+        )
+
+    # -------------------------------------------------------------- crosstalk
+    def aggressor_power_dbm(
+        self,
+        aggressor_source: int,
+        aggressor_channel: int,
+        victim_destination: int,
+        victim_channel: int,
+        laser_power_dbm: float | None = None,
+    ) -> float:
+        """Power an aggressor signal leaks into a victim photodetector (one term of Eq. 7).
+
+        The aggressor propagates from its own source to the victim's destination
+        ONI (where the victim's drop ring resides), accumulating the same kind
+        of path losses as a signal, and then couples into the victim's ON drop
+        ring through the Lorentzian tail ``Phi_dB(lambda_m, lambda_i)``.
+        """
+        if aggressor_channel == victim_channel:
+            raise TopologyError(
+                "an aggressor on the victim's own channel is a wavelength conflict, "
+                "not first-order crosstalk"
+            )
+        architecture = self._architecture
+        laser_power = (
+            laser_power_dbm
+            if laser_power_dbm is not None
+            else self._parameters.laser_power_one_dbm
+        )
+        if aggressor_source == victim_destination:
+            # The aggressor is injected at the victim's own ONI: it has not
+            # travelled any waveguide yet, only the drop-ring leak applies.
+            path_gain_db = 0.0
+        else:
+            breakdown = self._aggressor_path_breakdown(
+                aggressor_source, victim_destination, aggressor_channel
+            )
+            path_gain_db = breakdown.total_db
+        victim_ring = architecture.oni(victim_destination).receivers[victim_channel]
+        aggressor_wavelength = architecture.grid_wavelengths.wavelength_nm(aggressor_channel)
+        leak_db = victim_ring.crosstalk_leak_db(aggressor_wavelength)
+        return laser_power + path_gain_db + leak_db
+
+    def _aggressor_path_breakdown(
+        self, source_core: int, crossing_core: int, channel: int
+    ) -> PathLossBreakdown:
+        """Loss accumulated by an aggressor up to (but excluding) the victim ONI drop."""
+        architecture = self._architecture
+        parameters = self._parameters
+        path = architecture.path(source_core, crossing_core)
+        propagation_db = path.propagation_loss_db(parameters)
+        bending_db = path.bending_loss_db(parameters)
+        off_ring_db = 0.0
+        on_ring_through_db = 0.0
+        wavelength = architecture.grid_wavelengths.wavelength_nm(channel)
+        for oni_id in path.intermediate_onis:
+            oni = architecture.oni(oni_id)
+            for ring_channel in architecture.grid_wavelengths.indices():
+                state = oni.receiver_state(ring_channel)
+                if ring_channel == channel and state is MicroRingState.ON:
+                    # The aggressor is dropped before reaching the victim: it
+                    # contributes only through its ON-crosstalk residue.
+                    on_ring_through_db += parameters.mr_on_crosstalk_db
+                    continue
+                gain = oni.receivers[ring_channel].through_gain_db(wavelength, state)
+                if state is MicroRingState.OFF:
+                    off_ring_db += gain
+                else:
+                    on_ring_through_db += gain
+        return PathLossBreakdown(
+            propagation_db=propagation_db,
+            bending_db=bending_db,
+            off_ring_db=off_ring_db,
+            on_ring_through_db=on_ring_through_db,
+            drop_db=0.0,
+        )
+
+    def crosstalk_noise_terms_dbm(
+        self,
+        victim_source: int,
+        victim_destination: int,
+        victim_channel: int,
+        aggressors: Iterable[Tuple[int, int]],
+        laser_power_dbm: float | None = None,
+    ) -> List[float]:
+        """Per-aggressor noise powers at the victim photodetector (terms of Eq. 7).
+
+        ``aggressors`` is an iterable of ``(source_core, channel)`` pairs of the
+        co-propagating signals crossing the victim's destination ONI.
+        """
+        del victim_source  # the victim path does not influence aggressor power
+        terms: List[float] = []
+        for aggressor_source, aggressor_channel in aggressors:
+            if aggressor_channel == victim_channel:
+                continue
+            terms.append(
+                self.aggressor_power_dbm(
+                    aggressor_source,
+                    aggressor_channel,
+                    victim_destination,
+                    victim_channel,
+                    laser_power_dbm=laser_power_dbm,
+                )
+            )
+        return terms

@@ -1,0 +1,131 @@
+"""Signal-to-noise ratio model (Eq. 8 of the paper).
+
+The SNR at the input of the photodetector of wavelength ``lambda_m`` is
+
+    SNR = P_signal / (P_noise + P0)
+
+where ``P_signal`` is the received power of the victim signal (Eq. 6),
+``P_noise`` is the sum of the first-order inter-channel crosstalk contributions
+of every co-propagating wavelength (Eq. 7), and ``P0`` accounts for the
+residual optical power emitted by OOK lasers when they transmit a '0' — ideally
+zero, never exactly so in practice.
+
+The quotient is evaluated in linear (milliwatt) units; the result is reported
+both linear and in dB because the BER model of the paper (see
+:mod:`repro.models.ber`) appears to consume the dB figure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from ..config import PhotonicParameters
+from ..units import dbm_to_mw, linear_to_db, mw_to_dbm
+
+__all__ = ["SnrResult", "SnrModel"]
+
+
+@dataclass(frozen=True)
+class SnrResult:
+    """Outcome of an SNR evaluation at one photodetector."""
+
+    signal_power_dbm: float
+    noise_power_dbm: float
+    zero_level_power_dbm: float
+    snr_linear: float
+
+    @property
+    def snr_db(self) -> float:
+        """The SNR expressed in decibel."""
+        return linear_to_db(self.snr_linear)
+
+    @property
+    def total_noise_dbm(self) -> float:
+        """Crosstalk plus zero-level noise, in dBm."""
+        return mw_to_dbm(
+            dbm_to_mw(self.noise_power_dbm) + dbm_to_mw(self.zero_level_power_dbm)
+        )
+
+
+class SnrModel:
+    """Evaluate Eq. (8) from signal and noise contributions.
+
+    Parameters
+    ----------
+    parameters:
+        Photonic parameters supplying the residual '0'-level laser power.
+    attenuate_zero_level:
+        When True the '0'-level power is attenuated by the same path loss as
+        the signal; when False (default, matching the paper's numbers) it is
+        taken as a receiver-referred noise floor at the nominal laser value.
+    """
+
+    def __init__(
+        self,
+        parameters: PhotonicParameters,
+        attenuate_zero_level: bool = False,
+    ) -> None:
+        self._parameters = parameters
+        self._attenuate_zero_level = attenuate_zero_level
+
+    @property
+    def parameters(self) -> PhotonicParameters:
+        """The photonic parameter set in use."""
+        return self._parameters
+
+    def zero_level_power_dbm(self, path_gain_db: float = 0.0) -> float:
+        """Residual '0'-symbol power contributing to the noise (dBm)."""
+        power = self._parameters.laser_power_zero_dbm
+        if self._attenuate_zero_level:
+            power += path_gain_db
+        return power
+
+    def evaluate(
+        self,
+        signal_power_dbm: float,
+        crosstalk_terms_dbm: Iterable[float],
+        path_gain_db: float = 0.0,
+    ) -> SnrResult:
+        """Compute the SNR of Eq. (8).
+
+        Parameters
+        ----------
+        signal_power_dbm:
+            Received power of the victim signal (Eq. 6).
+        crosstalk_terms_dbm:
+            Per-aggressor crosstalk powers (the terms of Eq. 7).
+        path_gain_db:
+            Total path gain (negative dB) of the victim signal; only used when
+            the '0'-level power is configured to be attenuated.
+        """
+        signal_mw = dbm_to_mw(signal_power_dbm)
+        noise_mw = sum(dbm_to_mw(term) for term in crosstalk_terms_dbm)
+        zero_dbm = self.zero_level_power_dbm(path_gain_db)
+        zero_mw = dbm_to_mw(zero_dbm)
+        denominator = noise_mw + zero_mw
+        if denominator <= 0.0:
+            snr_linear = float("inf")
+        else:
+            snr_linear = signal_mw / denominator
+        return SnrResult(
+            signal_power_dbm=signal_power_dbm,
+            noise_power_dbm=mw_to_dbm(noise_mw),
+            zero_level_power_dbm=zero_dbm,
+            snr_linear=snr_linear,
+        )
+
+    def evaluate_many(
+        self,
+        signal_powers_dbm: Sequence[float],
+        crosstalk_terms_dbm: Sequence[Sequence[float]],
+        path_gains_db: Sequence[float] | None = None,
+    ) -> list[SnrResult]:
+        """Vector form of :meth:`evaluate` over several victim channels."""
+        if len(signal_powers_dbm) != len(crosstalk_terms_dbm):
+            raise ValueError("signal and crosstalk sequences must have equal length")
+        gains = path_gains_db if path_gains_db is not None else [0.0] * len(signal_powers_dbm)
+        return [
+            self.evaluate(signal, terms, gain)
+            for signal, terms, gain in zip(signal_powers_dbm, crosstalk_terms_dbm, gains)
+        ]

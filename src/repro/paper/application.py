@@ -1,0 +1,37 @@
+"""The paper's virtual application packaged as an experiment factory."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..application.workloads import paper_mapping, paper_task_graph
+from ..config import OnocConfiguration
+from ..exploration.experiment import WavelengthExplorationExperiment
+from .parameters import paper_configuration
+
+__all__ = ["paper_experiment"]
+
+
+def paper_experiment(
+    configuration: Optional[OnocConfiguration] = None,
+    full_scale: bool = False,
+) -> WavelengthExplorationExperiment:
+    """The exploration experiment of Section IV: Fig. 5 application on the 4x4 ring.
+
+    Parameters
+    ----------
+    configuration:
+        Optional configuration override; defaults to the paper's parameters
+        (Table I) with either the fast or the full-scale GA sizing.
+    full_scale:
+        When True (and no explicit configuration is given) the GA uses the
+        paper's 400-individual / 300-generation sizing.
+    """
+    configuration = configuration or paper_configuration(full_scale=full_scale)
+    return WavelengthExplorationExperiment(
+        task_graph=paper_task_graph(),
+        mapping_factory=paper_mapping,
+        rows=4,
+        columns=4,
+        configuration=configuration,
+    )

@@ -1,0 +1,166 @@
+"""Drivers regenerating the paper's tables and figures.
+
+Every public entry point returns plain data (rows of dictionaries or (x, y)
+series) so the benchmark harness can both print it and assert its shape:
+
+* :func:`run_table2`  — Table II: number of valid solutions and of Pareto-front
+  solutions for 4, 8 and 12 wavelengths.
+* :func:`run_fig6a`   — Fig. 6a: Pareto fronts of bit energy vs execution time.
+* :func:`run_fig6b`   — Fig. 6b: Pareto fronts of log10(BER) vs execution time.
+* :func:`run_fig7`    — Fig. 7: every valid 8-wavelength solution in the
+  (execution time, log10 BER) plane plus the Pareto front.
+
+The heavy part (one NSGA-II run per wavelength count) is shared: a
+:class:`PaperExperimentSuite` caches the three exploration records, so
+regenerating all figures costs three GA runs, exactly as in the paper.  The GA
+sizing defaults to the library's fast settings; pass ``full_scale=True`` (or
+set the environment variable ``REPRO_PAPER_FULL=1``) for the paper's
+400-individual, 300-generation runs.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..config import GeneticParameters, OnocConfiguration
+from ..exploration.experiment import ExperimentRecord
+from ..exploration.report import front_series, pareto_table, solution_count_table
+from .application import paper_experiment
+from .parameters import PAPER_WAVELENGTH_COUNTS, paper_configuration
+
+__all__ = [
+    "PaperExperimentSuite",
+    "run_table2",
+    "run_fig6a",
+    "run_fig6b",
+    "run_fig7",
+]
+
+
+def _full_scale_requested() -> bool:
+    return os.environ.get("REPRO_PAPER_FULL", "").strip() in {"1", "true", "yes"}
+
+
+class PaperExperimentSuite:
+    """Shared runner for every table/figure of the paper's evaluation.
+
+    Parameters
+    ----------
+    wavelength_counts:
+        The waveguide configurations to explore (defaults to the paper's 4/8/12).
+    configuration:
+        Optional configuration override.
+    full_scale:
+        Use the paper's GA sizing (400 x 300).  Defaults to the value of the
+        ``REPRO_PAPER_FULL`` environment variable.
+    seed:
+        Seed of the genetic algorithm.
+    """
+
+    def __init__(
+        self,
+        wavelength_counts: Sequence[int] = PAPER_WAVELENGTH_COUNTS,
+        configuration: Optional[OnocConfiguration] = None,
+        full_scale: Optional[bool] = None,
+        seed: int = 2017,
+    ) -> None:
+        if full_scale is None:
+            full_scale = _full_scale_requested()
+        self._wavelength_counts = tuple(wavelength_counts)
+        self._configuration = configuration or paper_configuration(
+            full_scale=full_scale, seed=seed
+        )
+        self._experiment = paper_experiment(configuration=self._configuration)
+        self._records: Dict[int, ExperimentRecord] = {}
+
+    @property
+    def wavelength_counts(self) -> Tuple[int, ...]:
+        """The explored wavelength counts."""
+        return self._wavelength_counts
+
+    @property
+    def configuration(self) -> OnocConfiguration:
+        """The configuration shared by every run."""
+        return self._configuration
+
+    def record(self, wavelength_count: int) -> ExperimentRecord:
+        """The (cached) exploration record for one wavelength count."""
+        if wavelength_count not in self._records:
+            self._records[wavelength_count] = self._experiment.run_single(
+                wavelength_count,
+                genetic_parameters=self._configuration.genetic,
+            )
+        return self._records[wavelength_count]
+
+    def records(self) -> List[ExperimentRecord]:
+        """Exploration records for every configured wavelength count."""
+        return [self.record(count) for count in self._wavelength_counts]
+
+    # ------------------------------------------------------------------ table 2
+    def table2(self) -> List[Dict[str, object]]:
+        """Rows of Table II."""
+        return solution_count_table(self.records())
+
+    # ------------------------------------------------------------------ figures
+    def fig6a(self) -> Dict[int, List[Tuple[float, float]]]:
+        """Fig. 6a series: execution time (kcc) vs bit energy (fJ/bit) per NW."""
+        return {
+            record.wavelength_count: front_series(record, "time", "energy")
+            for record in self.records()
+        }
+
+    def fig6b(self) -> Dict[int, List[Tuple[float, float]]]:
+        """Fig. 6b series: execution time (kcc) vs log10(BER) per NW."""
+        return {
+            record.wavelength_count: front_series(record, "time", "log_ber")
+            for record in self.records()
+        }
+
+    def fig7(self, wavelength_count: int = 8) -> Dict[str, List[Tuple[float, float]]]:
+        """Fig. 7: all valid solutions and the Pareto front for one NW (default 8)."""
+        record = self.record(wavelength_count)
+        all_points = [
+            (row["execution_time_kcycles"], row["log10_ber"])
+            for row in record.valid_solution_rows()
+        ]
+        front_points = front_series(record, "time", "log_ber")
+        return {"valid_solutions": all_points, "pareto_front": front_points}
+
+    def pareto_rows(self) -> List[Dict[str, object]]:
+        """Every Pareto solution of every wavelength count (CSV-ready)."""
+        return pareto_table(self.records())
+
+
+def run_table2(
+    suite: Optional[PaperExperimentSuite] = None, **suite_kwargs
+) -> List[Dict[str, object]]:
+    """Regenerate Table II (see :class:`PaperExperimentSuite`)."""
+    suite = suite or PaperExperimentSuite(**suite_kwargs)
+    return suite.table2()
+
+
+def run_fig6a(
+    suite: Optional[PaperExperimentSuite] = None, **suite_kwargs
+) -> Dict[int, List[Tuple[float, float]]]:
+    """Regenerate the Fig. 6a series."""
+    suite = suite or PaperExperimentSuite(**suite_kwargs)
+    return suite.fig6a()
+
+
+def run_fig6b(
+    suite: Optional[PaperExperimentSuite] = None, **suite_kwargs
+) -> Dict[int, List[Tuple[float, float]]]:
+    """Regenerate the Fig. 6b series."""
+    suite = suite or PaperExperimentSuite(**suite_kwargs)
+    return suite.fig6b()
+
+
+def run_fig7(
+    suite: Optional[PaperExperimentSuite] = None,
+    wavelength_count: int = 8,
+    **suite_kwargs,
+) -> Dict[str, List[Tuple[float, float]]]:
+    """Regenerate the Fig. 7 scatter."""
+    suite = suite or PaperExperimentSuite(**suite_kwargs)
+    return suite.fig7(wavelength_count)

@@ -1,0 +1,101 @@
+"""The paper's experimental parameters (Table I and Section IV).
+
+The values below are quoted directly from the paper:
+
+=============================  ==========  =================
+Parameter                      Symbol      Value
+=============================  ==========  =================
+Propagation loss               Lp          -0.274 dB/cm
+Bending loss                   Lb          -0.005 dB/90 deg
+Power loss, OFF-state MR       Lp0         -0.005 dB
+Power loss, ON-state MR        Lp1         -0.5 dB
+Crosstalk loss, OFF-state MR   Kp0         -20 dB
+Crosstalk loss, ON-state MR    Kp1         -25 dB
+VCSEL power ('1' / '0')        Pv          -10 dBm / -30 dBm
+Free spectral range            FSR         12.8 nm
+Quality factor                 Q           9600
+=============================  ==========  =================
+
+and the GA is run with a population of 400 individuals for 300 generations over
+4, 8 and 12 wavelengths.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..config import GeneticParameters, OnocConfiguration, PhotonicParameters
+
+__all__ = [
+    "PAPER_WAVELENGTH_COUNTS",
+    "PAPER_POPULATION_SIZE",
+    "PAPER_GENERATIONS",
+    "paper_photonic_parameters",
+    "paper_genetic_parameters",
+    "paper_configuration",
+    "table1_rows",
+]
+
+#: The three waveguide configurations explored in Section IV.
+PAPER_WAVELENGTH_COUNTS: Tuple[int, int, int] = (4, 8, 12)
+
+#: GA population size used in the paper.
+PAPER_POPULATION_SIZE: int = 400
+
+#: GA generation count used in the paper.
+PAPER_GENERATIONS: int = 300
+
+
+def paper_photonic_parameters() -> PhotonicParameters:
+    """The photonic parameter set of Table I / Section IV.
+
+    These are the library defaults; the function exists so reproduction code
+    reads as "use the paper's values" and so the tests can assert the defaults
+    never drift away from the published numbers.
+    """
+    return PhotonicParameters(
+        free_spectral_range_nm=12.8,
+        quality_factor=9600.0,
+        propagation_loss_db_per_cm=-0.274,
+        bending_loss_db_per_90deg=-0.005,
+        mr_off_pass_loss_db=-0.005,
+        mr_on_loss_db=-0.5,
+        mr_off_crosstalk_db=-20.0,
+        mr_on_crosstalk_db=-25.0,
+        laser_power_one_dbm=-10.0,
+        laser_power_zero_dbm=-30.0,
+    )
+
+
+def paper_genetic_parameters(seed: int = 2017) -> GeneticParameters:
+    """The GA sizing of Section IV (400 individuals, 300 generations)."""
+    return GeneticParameters(
+        population_size=PAPER_POPULATION_SIZE,
+        generations=PAPER_GENERATIONS,
+        seed=seed,
+    )
+
+
+def paper_configuration(full_scale: bool = False, seed: int = 2017) -> OnocConfiguration:
+    """The complete configuration used by the reproduction experiments.
+
+    ``full_scale=True`` uses the paper's 400x300 GA sizing; the default keeps
+    the library's faster sizing so the benchmark suite completes quickly.  The
+    photonic/timing/energy parameters are identical in both cases.
+    """
+    genetic = (
+        paper_genetic_parameters(seed=seed) if full_scale else GeneticParameters(seed=seed)
+    )
+    return OnocConfiguration(photonic=paper_photonic_parameters(), genetic=genetic)
+
+
+def table1_rows() -> List[Dict[str, object]]:
+    """The rows of Table I, exactly as printed in the paper."""
+    return [
+        {"parameter": "Propagation loss", "symbol": "Lp", "value": "-0.274 dB/cm"},
+        {"parameter": "Bending loss", "symbol": "Lb", "value": "-0.005 dB/90deg"},
+        {"parameter": "Power loss: OFF-state MR", "symbol": "Lp0", "value": "-0.005 dB"},
+        {"parameter": "Power loss: ON-state MR", "symbol": "Lp1", "value": "-0.5 dB"},
+        {"parameter": "Crosstalk loss: OFF-state MR", "symbol": "Kp0", "value": "-20 dB"},
+        {"parameter": "Crosstalk loss: ON-state MR", "symbol": "Kp1", "value": "-25 dB"},
+    ]

@@ -1,0 +1,29 @@
+"""Discrete-event simulation substrate.
+
+The paper evaluates its models analytically; this subpackage adds an
+event-driven simulator of the mapped application on the ring ONoC so that the
+analytical schedule of Eqs. (10)-(12) can be cross-checked and so that richer
+workloads (resource contention, injection jitter) can be studied.
+
+* :mod:`~repro.simulation.events`     — the time-ordered event queue.
+* :mod:`~repro.simulation.engine`     — a minimal generic discrete-event engine.
+* :mod:`~repro.simulation.onoc_sim`   — the ONoC-specific simulator: task
+  execution, wavelength-parallel transfers, ring occupancy tracking.
+* :mod:`~repro.simulation.statistics` — collected counters and utilisation.
+"""
+
+from .events import Event, EventQueue
+from .engine import DiscreteEventEngine
+from .onoc_sim import OnocSimulator, SimulationReport, TransferRecord
+from .statistics import SimulationStatistics, UtilisationTracker
+
+__all__ = [
+    "Event",
+    "EventQueue",
+    "DiscreteEventEngine",
+    "OnocSimulator",
+    "SimulationReport",
+    "TransferRecord",
+    "SimulationStatistics",
+    "UtilisationTracker",
+]

@@ -1,0 +1,99 @@
+"""Minimal generic discrete-event engine.
+
+The engine owns the clock and the event queue; domain simulators (such as
+:class:`repro.simulation.onoc_sim.OnocSimulator`) schedule callbacks on it.
+The design intentionally mirrors the small core of SimPy-style frameworks
+without the generator plumbing: callbacks are plain callables, which keeps the
+control flow easy to follow and to test.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..errors import SimulationError
+from .events import Event, EventQueue
+
+__all__ = ["DiscreteEventEngine"]
+
+
+class DiscreteEventEngine:
+    """Run scheduled callbacks in time order."""
+
+    def __init__(self) -> None:
+        self._queue = EventQueue()
+        self._now = 0.0
+        self._running = False
+        self._processed = 0
+
+    # ----------------------------------------------------------------- clock
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    @property
+    def processed_events(self) -> int:
+        """Number of events executed so far."""
+        return self._processed
+
+    # -------------------------------------------------------------- schedule
+    def schedule_at(
+        self, time: float, action: Callable[[], None], priority: int = 0, label: str = ""
+    ) -> Event:
+        """Schedule an action at an absolute time (must not be in the past)."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule an event at {time}, the clock is already at {self._now}"
+            )
+        return self._queue.push(time, action, priority=priority, label=label)
+
+    def schedule_after(
+        self, delay: float, action: Callable[[], None], priority: int = 0, label: str = ""
+    ) -> Event:
+        """Schedule an action ``delay`` time units from now."""
+        if delay < 0.0:
+            raise SimulationError("delay must be non-negative")
+        return self.schedule_at(self._now + delay, action, priority=priority, label=label)
+
+    # -------------------------------------------------------------------- run
+    def run(self, until: Optional[float] = None, max_events: int = 1_000_000) -> float:
+        """Process events until the queue drains, ``until`` is reached, or the cap hits.
+
+        Returns the simulation time at which the run stopped.
+        """
+        if self._running:
+            raise SimulationError("the engine is already running")
+        self._running = True
+        try:
+            executed = 0
+            while self._queue:
+                next_time = self._queue.peek_time()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    self._now = until
+                    break
+                event = self._queue.pop()
+                if event is None:
+                    break
+                self._now = event.time
+                event.action()
+                self._processed += 1
+                executed += 1
+                if executed >= max_events:
+                    raise SimulationError(
+                        f"simulation exceeded {max_events} events; "
+                        "likely a scheduling loop"
+                    )
+            if until is not None and not self._queue and self._now < until:
+                self._now = until
+        finally:
+            self._running = False
+        return self._now
+
+    def reset(self) -> None:
+        """Discard pending events and rewind the clock to zero."""
+        self._queue = EventQueue()
+        self._now = 0.0
+        self._processed = 0

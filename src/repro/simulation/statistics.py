@@ -1,0 +1,81 @@
+"""Counters and utilisation tracking for the ONoC simulator."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Tuple
+
+__all__ = ["UtilisationTracker", "SimulationStatistics"]
+
+
+class UtilisationTracker:
+    """Accumulate busy time per resource and report utilisation ratios."""
+
+    def __init__(self) -> None:
+        self._busy_time: Dict[Hashable, float] = defaultdict(float)
+        self._activations: Dict[Hashable, int] = defaultdict(int)
+
+    def add_busy_interval(self, resource: Hashable, start: float, end: float) -> None:
+        """Record that ``resource`` was busy over ``[start, end]``."""
+        if end < start:
+            raise ValueError("interval end must not precede its start")
+        self._busy_time[resource] += end - start
+        self._activations[resource] += 1
+
+    def busy_time(self, resource: Hashable) -> float:
+        """Total busy time accumulated by one resource."""
+        return self._busy_time.get(resource, 0.0)
+
+    def activations(self, resource: Hashable) -> int:
+        """Number of busy intervals recorded for one resource."""
+        return self._activations.get(resource, 0)
+
+    def utilisation(self, resource: Hashable, horizon: float) -> float:
+        """Busy fraction of one resource over ``horizon`` time units."""
+        if horizon <= 0.0:
+            return 0.0
+        return min(self.busy_time(resource) / horizon, 1.0)
+
+    def resources(self) -> List[Hashable]:
+        """Every resource that recorded at least one interval."""
+        return list(self._busy_time.keys())
+
+    def totals(self) -> Dict[Hashable, float]:
+        """Mapping of every resource to its total busy time."""
+        return dict(self._busy_time)
+
+
+@dataclass
+class SimulationStatistics:
+    """Aggregated counters produced by one simulation run."""
+
+    makespan_cycles: float = 0.0
+    transfers_completed: int = 0
+    tasks_completed: int = 0
+    total_bits_transferred: float = 0.0
+    wavelength_cycles_reserved: float = 0.0
+    conflicts_detected: int = 0
+    core_utilisation: Dict[int, float] = field(default_factory=dict)
+    wavelength_utilisation: Dict[int, float] = field(default_factory=dict)
+
+    @property
+    def average_core_utilisation(self) -> float:
+        """Mean utilisation over the cores that executed at least one task."""
+        if not self.core_utilisation:
+            return 0.0
+        return sum(self.core_utilisation.values()) / len(self.core_utilisation)
+
+    @property
+    def average_wavelength_utilisation(self) -> float:
+        """Mean utilisation over the wavelengths that carried at least one transfer."""
+        if not self.wavelength_utilisation:
+            return 0.0
+        return sum(self.wavelength_utilisation.values()) / len(self.wavelength_utilisation)
+
+    @property
+    def effective_bandwidth_bits_per_cycle(self) -> float:
+        """Bits delivered per clock cycle over the whole execution."""
+        if self.makespan_cycles <= 0.0:
+            return 0.0
+        return self.total_bits_transferred / self.makespan_cycles

@@ -1,0 +1,30 @@
+"""Ring-based 3D ONoC architecture model.
+
+The architecture of the paper (Fig. 1a) stacks an electrical layer of ``n x n``
+IP cores under an optical layer carrying a single serpentine ring waveguide.
+Every core is attached to the waveguide through an Optical Network Interface
+(ONI, Fig. 1b) that contains one laser per wavelength on the transmit side and
+one micro-ring resonator per wavelength on the receive side.
+
+* :mod:`~repro.topology.layout`       — physical placement of the tiles and the
+  serpentine visiting order of the ring.
+* :mod:`~repro.topology.oni`          — the Optical Network Interface.
+* :mod:`~repro.topology.ring`         — the unidirectional ring waveguide and
+  source-to-destination path computation.
+* :mod:`~repro.topology.architecture` — the aggregate
+  :class:`~repro.topology.architecture.RingOnocArchitecture` and its
+  Architecture Characterization Graph (ACG).
+"""
+
+from .layout import TileLayout, TileCoordinate
+from .oni import OpticalNetworkInterface
+from .ring import RingWaveguide
+from .architecture import RingOnocArchitecture
+
+__all__ = [
+    "TileLayout",
+    "TileCoordinate",
+    "OpticalNetworkInterface",
+    "RingWaveguide",
+    "RingOnocArchitecture",
+]

@@ -1,0 +1,163 @@
+"""Physical layout of the electrical layer and the serpentine ring order.
+
+The paper's 16-core example (Fig. 1a / Fig. 5b) numbers the tiles along the
+serpentine traversal of the 4x4 grid::
+
+     0  1  2  3
+     7  6  5  4
+     8  9 10 11
+    15 14 13 12
+
+i.e. the ring waveguide visits core 0, then 1, ... then 15, and finally wraps
+back to core 0.  :class:`TileLayout` reproduces that numbering for an arbitrary
+``rows x cols`` grid and exposes the geometric quantities (tile coordinates,
+inter-tile distances, bend counts) needed by the loss models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from .. import constants
+from ..errors import TopologyError
+
+__all__ = ["TileCoordinate", "TileLayout"]
+
+
+@dataclass(frozen=True)
+class TileCoordinate:
+    """Grid coordinate of a tile (row 0 is the top row, column 0 the left column)."""
+
+    row: int
+    column: int
+
+    def manhattan_distance(self, other: "TileCoordinate") -> int:
+        """Number of tile hops between two coordinates in the electrical layer."""
+        return abs(self.row - other.row) + abs(self.column - other.column)
+
+
+@dataclass(frozen=True)
+class TileLayout:
+    """A ``rows x cols`` arrangement of IP cores visited by a serpentine ring.
+
+    Core identifiers follow the paper's convention: the identifier *is* the
+    position along the serpentine, so core ``k`` is the ``k``-th tile visited by
+    the ring waveguide.
+
+    Parameters
+    ----------
+    rows, columns:
+        Grid dimensions of the electrical layer.
+    tile_pitch_cm:
+        Physical distance between the centres of two adjacent tiles.
+    bends_per_tile_crossing:
+        Number of 90-degree waveguide bends introduced by crossing one tile of
+        the serpentine (turns at row ends are counted through this knob).
+    """
+
+    rows: int
+    columns: int
+    tile_pitch_cm: float = constants.DEFAULT_TILE_PITCH_CM
+    bends_per_tile_crossing: int = constants.DEFAULT_BENDS_PER_TILE
+
+    def __post_init__(self) -> None:
+        if self.rows < 1 or self.columns < 1:
+            raise TopologyError("layout needs at least one row and one column")
+        if self.rows * self.columns < 2:
+            raise TopologyError("layout needs at least two tiles to form a ring")
+        if self.tile_pitch_cm <= 0.0:
+            raise TopologyError("tile pitch must be positive")
+        if self.bends_per_tile_crossing < 0:
+            raise TopologyError("bends per tile crossing must be non-negative")
+
+    # ----------------------------------------------------------------- numbers
+    @property
+    def core_count(self) -> int:
+        """Total number of IP cores."""
+        return self.rows * self.columns
+
+    def core_ids(self) -> range:
+        """Identifiers of every core, which are also the ring positions."""
+        return range(self.core_count)
+
+    # ------------------------------------------------------------- coordinates
+    def coordinate_of(self, core_id: int) -> TileCoordinate:
+        """Grid coordinate of a core, following the serpentine numbering."""
+        self._check_core(core_id)
+        row = core_id // self.columns
+        offset = core_id % self.columns
+        if row % 2 == 0:
+            column = offset
+        else:
+            column = self.columns - 1 - offset
+        return TileCoordinate(row=row, column=column)
+
+    def core_at(self, coordinate: TileCoordinate) -> int:
+        """Core identifier located at a grid coordinate."""
+        if not (0 <= coordinate.row < self.rows and 0 <= coordinate.column < self.columns):
+            raise TopologyError(f"coordinate {coordinate} outside the {self.rows}x{self.columns} grid")
+        if coordinate.row % 2 == 0:
+            offset = coordinate.column
+        else:
+            offset = self.columns - 1 - coordinate.column
+        return coordinate.row * self.columns + offset
+
+    def coordinates(self) -> Dict[int, TileCoordinate]:
+        """Mapping of every core identifier to its grid coordinate."""
+        return {core: self.coordinate_of(core) for core in self.core_ids()}
+
+    # ------------------------------------------------------------------- ring
+    def ring_order(self) -> List[int]:
+        """Core identifiers in the order the ring waveguide visits them."""
+        return list(self.core_ids())
+
+    def ring_successor(self, core_id: int) -> int:
+        """Core visited immediately after ``core_id`` by the ring."""
+        self._check_core(core_id)
+        return (core_id + 1) % self.core_count
+
+    def ring_distance(self, source: int, destination: int) -> int:
+        """Number of ring hops from ``source`` to ``destination`` (unidirectional)."""
+        self._check_core(source)
+        self._check_core(destination)
+        return (destination - source) % self.core_count
+
+    def segment_length_cm(self, source: int) -> float:
+        """Physical waveguide length between ``source`` and its ring successor.
+
+        Adjacent tiles on the serpentine are one tile pitch apart, except for
+        the wrap-around segment that closes the ring, which runs back along the
+        grid perimeter.
+        """
+        successor = self.ring_successor(source)
+        source_coord = self.coordinate_of(source)
+        successor_coord = self.coordinate_of(successor)
+        hops = source_coord.manhattan_distance(successor_coord)
+        if successor == 0:
+            # Closing segment of the ring: route along the perimeter back to tile 0.
+            hops = max(hops, source_coord.manhattan_distance(self.coordinate_of(0)))
+        return hops * self.tile_pitch_cm
+
+    def segment_bend_count(self, source: int) -> int:
+        """Number of 90-degree bends between ``source`` and its ring successor."""
+        successor = self.ring_successor(source)
+        source_coord = self.coordinate_of(source)
+        successor_coord = self.coordinate_of(successor)
+        bends = self.bends_per_tile_crossing
+        if source_coord.row != successor_coord.row:
+            # Turning at the end of a serpentine row adds two extra bends.
+            bends += 2
+        if successor == 0:
+            # The wrap-around segment turns around the whole perimeter.
+            bends += 2
+        return bends
+
+    def _check_core(self, core_id: int) -> None:
+        if not 0 <= core_id < self.core_count:
+            raise TopologyError(
+                f"core {core_id} outside layout with {self.core_count} cores"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"TileLayout({self.rows}x{self.columns}, pitch={self.tile_pitch_cm} cm)"

@@ -1,0 +1,188 @@
+"""Optical Network Interface (ONI).
+
+Each IP core is attached to the ring waveguide through an ONI (Fig. 1b of the
+paper).  The ONI contains
+
+* a **transmitter**: one on-chip VCSEL per wavelength, injecting an OOK
+  modulated signal into the waveguide, and
+* a **receiver**: one micro-ring resonator per wavelength that can be switched
+  ON (drop the resonant wavelength towards the photodetector) or OFF
+  (pass-through).
+
+The ONI keeps track of which receiver rings are currently ON; the power-loss
+model interrogates that state to decide which loss/crosstalk coefficients a
+signal crossing the ONI experiences.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Set, Tuple
+
+from ..config import EnergyParameters, PhotonicParameters
+from ..devices.laser import VcselLaser
+from ..devices.microring import MicroRingResonator, MicroRingState
+from ..devices.photodetector import Photodetector
+from ..devices.wavelength_grid import WavelengthGrid
+from ..errors import TopologyError
+
+__all__ = ["OpticalNetworkInterface"]
+
+
+@dataclass
+class OpticalNetworkInterface:
+    """Transmit/receive interface between one IP core and the ring waveguide.
+
+    Parameters
+    ----------
+    oni_id:
+        Identifier of the interface; equals the identifier of the attached core.
+    grid:
+        The WDM wavelength grid carried by the waveguide.
+    transmitters:
+        One laser per wavelength channel, indexed by channel.
+    receivers:
+        One micro-ring resonator per wavelength channel, indexed by channel.
+    photodetector:
+        The shared receive photodetector behind the drop ports.
+    """
+
+    oni_id: int
+    grid: WavelengthGrid
+    transmitters: Tuple[VcselLaser, ...]
+    receivers: Tuple[MicroRingResonator, ...]
+    photodetector: Photodetector
+    _active_receive_channels: Set[int] = field(default_factory=set, repr=False)
+
+    def __post_init__(self) -> None:
+        if len(self.transmitters) != self.grid.count:
+            raise TopologyError("one transmitter per wavelength channel is required")
+        if len(self.receivers) != self.grid.count:
+            raise TopologyError("one receiver micro-ring per wavelength channel is required")
+
+    # --------------------------------------------------------------- factory
+    @classmethod
+    def build(
+        cls,
+        oni_id: int,
+        grid: WavelengthGrid,
+        photonic: PhotonicParameters,
+        energy: EnergyParameters | None = None,
+    ) -> "OpticalNetworkInterface":
+        """Construct an ONI with one laser and one MR per channel of ``grid``."""
+        transmitters = tuple(
+            VcselLaser.from_parameters(grid.wavelength_nm(channel), photonic, energy)
+            for channel in grid.indices()
+        )
+        receivers = tuple(
+            MicroRingResonator.from_photonic_parameters(grid.wavelength_nm(channel), photonic)
+            for channel in grid.indices()
+        )
+        detector = (
+            Photodetector.from_energy_parameters(energy)
+            if energy is not None
+            else Photodetector()
+        )
+        return cls(
+            oni_id=oni_id,
+            grid=grid,
+            transmitters=transmitters,
+            receivers=receivers,
+            photodetector=detector,
+        )
+
+    # ---------------------------------------------------------------- receive
+    def activate_receiver(self, channel: int) -> None:
+        """Switch the micro-ring of ``channel`` to the ON (drop) state."""
+        self._check_channel(channel)
+        self._active_receive_channels.add(channel)
+
+    def deactivate_receiver(self, channel: int) -> None:
+        """Switch the micro-ring of ``channel`` back to the OFF (pass) state."""
+        self._check_channel(channel)
+        self._active_receive_channels.discard(channel)
+
+    def reset_receivers(self) -> None:
+        """Switch every receiver ring OFF."""
+        self._active_receive_channels.clear()
+
+    def set_active_receive_channels(self, channels: Iterable[int]) -> None:
+        """Replace the set of ON receiver channels."""
+        channels = set(channels)
+        for channel in channels:
+            self._check_channel(channel)
+        self._active_receive_channels = channels
+
+    @property
+    def active_receive_channels(self) -> FrozenSet[int]:
+        """Channels whose receiver micro-ring is currently ON."""
+        return frozenset(self._active_receive_channels)
+
+    def receiver_state(self, channel: int) -> MicroRingState:
+        """ON/OFF state of the receiver micro-ring of ``channel``."""
+        self._check_channel(channel)
+        if channel in self._active_receive_channels:
+            return MicroRingState.ON
+        return MicroRingState.OFF
+
+    def receiver(self, channel: int) -> MicroRingResonator:
+        """The receiver micro-ring of ``channel``."""
+        self._check_channel(channel)
+        return self.receivers[channel]
+
+    # --------------------------------------------------------------- transmit
+    def transmitter(self, channel: int) -> VcselLaser:
+        """The laser of ``channel``."""
+        self._check_channel(channel)
+        return self.transmitters[channel]
+
+    # ------------------------------------------------------------------ loss
+    def through_gain_db(self, channel: int) -> float:
+        """Gain (dB, negative) seen by a signal of ``channel`` crossing this ONI.
+
+        The signal crosses every receiver micro-ring of the ONI; each OFF ring
+        contributes its pass loss and each ON ring contributes its ON loss (or
+        its ON crosstalk if the ring is resonant with the signal).
+        """
+        self._check_channel(channel)
+        wavelength = self.grid.wavelength_nm(channel)
+        gain = 0.0
+        for ring_channel, ring in enumerate(self.receivers):
+            gain += ring.through_gain_db(wavelength, self.receiver_state(ring_channel))
+        return gain
+
+    def drop_gain_db(self, drop_channel: int, signal_channel: int) -> float:
+        """Gain (dB) from the waveguide to the photodetector of ``drop_channel``.
+
+        ``signal_channel`` is the channel of the incoming optical signal; when
+        it differs from ``drop_channel`` the returned value is the first-order
+        inter-channel crosstalk leak of Eq. (7).
+        """
+        self._check_channel(drop_channel)
+        self._check_channel(signal_channel)
+        ring = self.receivers[drop_channel]
+        wavelength = self.grid.wavelength_nm(signal_channel)
+        return ring.drop_gain_db(wavelength, self.receiver_state(drop_channel))
+
+    def active_ring_count(self) -> int:
+        """Number of receiver rings currently ON (used by the energy model)."""
+        return len(self._active_receive_channels)
+
+    # ------------------------------------------------------------------ misc
+    def channel_summary(self) -> Dict[int, str]:
+        """Human-readable ON/OFF state of every receiver channel."""
+        return {
+            channel: self.receiver_state(channel).value for channel in self.grid.indices()
+        }
+
+    def _check_channel(self, channel: int) -> None:
+        if not 0 <= channel < self.grid.count:
+            raise TopologyError(
+                f"channel {channel} outside the {self.grid.count}-wavelength grid"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"OpticalNetworkInterface(id={self.oni_id}, channels={self.grid.count}, "
+            f"active={sorted(self._active_receive_channels)})"
+        )

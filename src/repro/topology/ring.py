@@ -1,0 +1,135 @@
+"""Unidirectional ring waveguide and path computation.
+
+The optical layer is one closed ring waveguide visiting every ONI once, in the
+serpentine order given by the :class:`~repro.topology.layout.TileLayout`.
+Propagation is unidirectional (as in ORNoC-style single-waveguide rings), so
+the path from a source ONI to a destination ONI is uniquely determined: follow
+the ring in the propagation direction until the destination is reached.
+
+The ring produces :class:`~repro.devices.waveguide.WaveguidePath` objects whose
+geometry (length, bends, crossed ONIs) feeds the power-loss model, and exposes
+segment-level queries used by the wavelength-conflict validity rules of the
+allocator (two communications whose paths share a directed waveguide segment
+must not use the same wavelength at the same time).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from ..devices.waveguide import WaveguidePath, WaveguideSegment
+from ..errors import TopologyError
+from .layout import TileLayout
+
+__all__ = ["RingWaveguide"]
+
+
+@dataclass(frozen=True)
+class RingWaveguide:
+    """The closed, unidirectional ring waveguide of the optical layer.
+
+    Parameters
+    ----------
+    layout:
+        Physical layout providing the visiting order and per-segment geometry.
+    """
+
+    layout: TileLayout
+    _segments: Tuple[WaveguideSegment, ...] = field(default=(), repr=False)
+
+    def __post_init__(self) -> None:
+        if not self._segments:
+            object.__setattr__(self, "_segments", self._build_segments(self.layout))
+
+    @staticmethod
+    def _build_segments(layout: TileLayout) -> Tuple[WaveguideSegment, ...]:
+        segments = []
+        for source in layout.ring_order():
+            destination = layout.ring_successor(source)
+            segments.append(
+                WaveguideSegment(
+                    source_oni=source,
+                    destination_oni=destination,
+                    length_cm=layout.segment_length_cm(source),
+                    bend_count=layout.segment_bend_count(source),
+                )
+            )
+        return tuple(segments)
+
+    # ------------------------------------------------------------------ sizes
+    @property
+    def oni_count(self) -> int:
+        """Number of ONIs attached to the ring."""
+        return self.layout.core_count
+
+    @property
+    def segments(self) -> Tuple[WaveguideSegment, ...]:
+        """Every directed segment of the ring, in propagation order."""
+        return self._segments
+
+    @property
+    def circumference_cm(self) -> float:
+        """Total physical length of the closed ring."""
+        return sum(segment.length_cm for segment in self._segments)
+
+    # ------------------------------------------------------------------ paths
+    def segment_after(self, oni_id: int) -> WaveguideSegment:
+        """The segment leaving ``oni_id`` in the propagation direction."""
+        self._check_oni(oni_id)
+        return self._segments[oni_id]
+
+    def path(self, source_oni: int, destination_oni: int) -> WaveguidePath:
+        """Waveguide path from ``source_oni`` to ``destination_oni``.
+
+        The path follows the single propagation direction of the ring; a path
+        from an ONI to itself is rejected because the architecture never routes
+        a communication between a core and itself.
+        """
+        self._check_oni(source_oni)
+        self._check_oni(destination_oni)
+        if source_oni == destination_oni:
+            raise TopologyError("source and destination ONIs must differ")
+        segments: List[WaveguideSegment] = []
+        current = source_oni
+        while current != destination_oni:
+            segment = self.segment_after(current)
+            segments.append(segment)
+            current = segment.destination_oni
+        return WaveguidePath.from_segments(segments)
+
+    def hop_count(self, source_oni: int, destination_oni: int) -> int:
+        """Number of ring segments between two ONIs in the propagation direction."""
+        self._check_oni(source_oni)
+        self._check_oni(destination_oni)
+        return self.layout.ring_distance(source_oni, destination_oni)
+
+    def crossed_onis(self, source_oni: int, destination_oni: int) -> List[int]:
+        """ONIs strictly between source and destination along the path."""
+        return self.path(source_oni, destination_oni).intermediate_onis
+
+    def segment_usage(
+        self, endpoints: Sequence[Tuple[int, int]]
+    ) -> Dict[Tuple[int, int], List[int]]:
+        """Map each directed segment to the indices of the paths using it.
+
+        ``endpoints`` is a sequence of (source, destination) ONI pairs; the
+        result maps a segment key to the list of indices into ``endpoints``
+        whose path traverses that segment.  This is the core primitive of the
+        wavelength-conflict detection used by the allocator.
+        """
+        usage: Dict[Tuple[int, int], List[int]] = {}
+        for index, (source, destination) in enumerate(endpoints):
+            for key in self.path(source, destination).segment_keys():
+                usage.setdefault(key, []).append(index)
+        return usage
+
+    def _check_oni(self, oni_id: int) -> None:
+        if not 0 <= oni_id < self.oni_count:
+            raise TopologyError(f"ONI {oni_id} outside ring with {self.oni_count} ONIs")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"RingWaveguide(onis={self.oni_count}, "
+            f"circumference={self.circumference_cm:.2f} cm)"
+        )

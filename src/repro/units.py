@@ -1,0 +1,142 @@
+"""Unit conversion helpers used throughout the optical models.
+
+All optical power bookkeeping in the paper is carried out in decibels so that a
+link budget is a simple sum of per-element contributions (Eqs. 2-7).  The SNR
+(Eq. 8) and the energy model, on the other hand, need linear power.  This module
+centralises the conversions so every model uses exactly the same arithmetic.
+
+Conventions
+-----------
+* ``*_db``   : relative power ratio in decibel (10*log10 of a linear ratio).
+* ``*_dbm``  : absolute power referenced to 1 mW.
+* ``*_mw``   : absolute power in milliwatt.
+* ``*_w``    : absolute power in watt.
+* wavelengths are handled in nanometres, waveguide lengths in centimetres.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "db_to_linear",
+    "linear_to_db",
+    "dbm_to_mw",
+    "mw_to_dbm",
+    "dbm_to_watt",
+    "watt_to_dbm",
+    "sum_powers_dbm",
+    "joules_to_femtojoules",
+    "femtojoules_to_joules",
+    "nm_to_m",
+    "m_to_nm",
+    "cm_to_m",
+    "cycles_to_seconds",
+    "seconds_to_cycles",
+    "safe_log10",
+]
+
+_MIN_LINEAR = 1.0e-300
+
+
+def db_to_linear(value_db: float) -> float:
+    """Convert a relative power ratio from decibel to linear scale."""
+    return 10.0 ** (value_db / 10.0)
+
+
+def linear_to_db(value_linear: float) -> float:
+    """Convert a linear power ratio to decibel.
+
+    Values at or below zero map to ``-inf`` rather than raising, because the
+    crosstalk models legitimately produce zero power for empty noise sets.
+    """
+    if value_linear <= 0.0:
+        return float("-inf")
+    return 10.0 * math.log10(value_linear)
+
+
+def dbm_to_mw(value_dbm: float) -> float:
+    """Convert absolute power from dBm to milliwatt."""
+    return 10.0 ** (value_dbm / 10.0)
+
+
+def mw_to_dbm(value_mw: float) -> float:
+    """Convert absolute power from milliwatt to dBm."""
+    if value_mw <= 0.0:
+        return float("-inf")
+    return 10.0 * math.log10(value_mw)
+
+
+def dbm_to_watt(value_dbm: float) -> float:
+    """Convert absolute power from dBm to watt."""
+    return dbm_to_mw(value_dbm) * 1.0e-3
+
+
+def watt_to_dbm(value_w: float) -> float:
+    """Convert absolute power from watt to dBm."""
+    return mw_to_dbm(value_w * 1.0e3)
+
+
+def sum_powers_dbm(values_dbm: Iterable[float]) -> float:
+    """Sum absolute powers expressed in dBm (the sum happens in linear mW).
+
+    Returns ``-inf`` for an empty iterable, which is the natural identity of a
+    power sum (zero milliwatt).
+    """
+    total_mw = 0.0
+    for value in values_dbm:
+        if value == float("-inf"):
+            continue
+        total_mw += dbm_to_mw(value)
+    return mw_to_dbm(total_mw)
+
+
+def joules_to_femtojoules(value_j: float) -> float:
+    """Convert joules to femtojoules."""
+    return value_j * 1.0e15
+
+
+def femtojoules_to_joules(value_fj: float) -> float:
+    """Convert femtojoules to joules."""
+    return value_fj * 1.0e-15
+
+
+def nm_to_m(value_nm: float) -> float:
+    """Convert nanometres to metres."""
+    return value_nm * 1.0e-9
+
+
+def m_to_nm(value_m: float) -> float:
+    """Convert metres to nanometres."""
+    return value_m * 1.0e9
+
+
+def cm_to_m(value_cm: float) -> float:
+    """Convert centimetres to metres."""
+    return value_cm * 1.0e-2
+
+
+def cycles_to_seconds(cycles: float, clock_frequency_hz: float) -> float:
+    """Convert a number of clock cycles to seconds at ``clock_frequency_hz``."""
+    if clock_frequency_hz <= 0.0:
+        raise ValueError("clock_frequency_hz must be positive")
+    return cycles / clock_frequency_hz
+
+
+def seconds_to_cycles(seconds: float, clock_frequency_hz: float) -> float:
+    """Convert a duration in seconds to clock cycles at ``clock_frequency_hz``."""
+    if clock_frequency_hz <= 0.0:
+        raise ValueError("clock_frequency_hz must be positive")
+    return seconds * clock_frequency_hz
+
+
+def safe_log10(values: Sequence[float] | np.ndarray) -> np.ndarray:
+    """Element-wise log10 that clips non-positive inputs to a tiny floor.
+
+    Useful when plotting BER values that can numerically underflow to zero.
+    """
+    array = np.asarray(values, dtype=float)
+    return np.log10(np.clip(array, _MIN_LINEAR, None))

@@ -1,0 +1,140 @@
+"""Unit tests for the chromosome encoding (Fig. 4)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.allocation import Chromosome
+from repro.errors import AllocationError
+
+
+class TestConstruction:
+    def test_from_allocation_and_back(self):
+        chromosome = Chromosome.from_allocation([(0,), (3,), (1, 2)], wavelength_count=4)
+        assert chromosome.communication_count == 3
+        assert chromosome.wavelength_count == 4
+        assert chromosome.allocation() == [(0,), (3,), (1, 2)]
+
+    def test_paper_example_chromosome(self):
+        # Section III-D's example: 6 communications, 4 wavelengths.
+        chromosome = Chromosome.from_paper_string("[1000/0001/0001/0001/1000/1000]")
+        assert chromosome.communication_count == 6
+        assert chromosome.wavelength_count == 4
+        assert chromosome.wavelength_counts() == (1, 1, 1, 1, 1, 1)
+        assert chromosome.channels_of(0) == (0,)
+        assert chromosome.channels_of(1) == (3,)
+
+    def test_paper_string_roundtrip(self):
+        text = "[1100/0011/1010]"
+        assert Chromosome.from_paper_string(text).to_paper_string() == text
+
+    def test_from_array_accepts_numpy(self):
+        genes = np.array([[1, 0], [0, 1]])
+        chromosome = Chromosome.from_array(genes, 2, 2)
+        assert chromosome.allocation() == [(0,), (1,)]
+
+    def test_gene_length_checked(self):
+        with pytest.raises(AllocationError):
+            Chromosome.from_array([1, 0, 1], 2, 2)
+
+    def test_gene_values_checked(self):
+        with pytest.raises(AllocationError):
+            Chromosome.from_array([0, 2, 0, 1], 2, 2)
+
+    def test_channel_out_of_range_rejected(self):
+        with pytest.raises(AllocationError):
+            Chromosome.from_allocation([(5,)], wavelength_count=4)
+
+    def test_bad_paper_string_rejected(self):
+        with pytest.raises(AllocationError):
+            Chromosome.from_paper_string("[]")
+        with pytest.raises(AllocationError):
+            Chromosome.from_paper_string("[10/100]")
+
+    def test_zero_sizes_rejected(self):
+        with pytest.raises(AllocationError):
+            Chromosome(genes=(), communication_count=0, wavelength_count=4)
+
+
+class TestViews:
+    def test_wavelength_counts(self):
+        chromosome = Chromosome.from_allocation([(0, 1, 2), (3,), ()], wavelength_count=4)
+        assert chromosome.wavelength_counts() == (3, 1, 0)
+        assert chromosome.total_reserved() == 4
+
+    def test_has_empty_communication(self):
+        empty = Chromosome.from_allocation([(0,), ()], wavelength_count=2)
+        full = Chromosome.from_allocation([(0,), (1,)], wavelength_count=2)
+        assert empty.has_empty_communication()
+        assert not full.has_empty_communication()
+
+    def test_as_array_shape(self):
+        chromosome = Chromosome.from_allocation([(0,), (1,)], wavelength_count=3)
+        assert chromosome.as_array().shape == (2, 3)
+
+    def test_channels_of_bounds(self):
+        chromosome = Chromosome.from_allocation([(0,)], wavelength_count=2)
+        with pytest.raises(AllocationError):
+            chromosome.channels_of(1)
+
+    def test_len_and_hash(self):
+        first = Chromosome.from_allocation([(0,), (1,)], wavelength_count=2)
+        second = Chromosome.from_allocation([(0,), (1,)], wavelength_count=2)
+        assert len(first) == 4
+        assert hash(first) == hash(second)
+        assert first == second
+
+
+class TestOperations:
+    def test_with_gene_and_flipped(self):
+        chromosome = Chromosome.from_allocation([(0,)], wavelength_count=3)
+        changed = chromosome.with_gene(2, 1)
+        assert changed.channels_of(0) == (0, 2)
+        flipped = changed.flipped(0)
+        assert flipped.channels_of(0) == (2,)
+        # Originals untouched (immutability).
+        assert chromosome.channels_of(0) == (0,)
+
+    def test_gene_position_bounds(self):
+        chromosome = Chromosome.from_allocation([(0,)], wavelength_count=2)
+        with pytest.raises(AllocationError):
+            chromosome.with_gene(5, 1)
+        with pytest.raises(AllocationError):
+            chromosome.flipped(-1)
+
+    def test_random_respects_shape(self):
+        rng = np.random.default_rng(0)
+        chromosome = Chromosome.random(4, 8, rng)
+        assert chromosome.communication_count == 4
+        assert chromosome.wavelength_count == 8
+        assert len(chromosome) == 32
+
+    def test_random_density_extremes(self):
+        rng = np.random.default_rng(0)
+        sparse = Chromosome.random(4, 8, rng, reserve_probability=0.0)
+        dense = Chromosome.random(4, 8, rng, reserve_probability=1.0)
+        assert sparse.total_reserved() == 0
+        assert dense.total_reserved() == 32
+
+    @given(
+        communications=st.integers(min_value=1, max_value=6),
+        wavelengths=st.integers(min_value=1, max_value=12),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    def test_roundtrip_through_allocation(self, communications, wavelengths, seed):
+        rng = np.random.default_rng(seed)
+        chromosome = Chromosome.random(communications, wavelengths, rng)
+        rebuilt = Chromosome.from_allocation(chromosome.allocation(), wavelengths)
+        assert rebuilt == chromosome
+
+    @given(
+        communications=st.integers(min_value=1, max_value=5),
+        wavelengths=st.integers(min_value=1, max_value=8),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    def test_paper_string_roundtrip_property(self, communications, wavelengths, seed):
+        rng = np.random.default_rng(seed)
+        chromosome = Chromosome.random(communications, wavelengths, rng)
+        assert Chromosome.from_paper_string(chromosome.to_paper_string()) == chromosome

@@ -1,0 +1,214 @@
+"""Unit tests for the allocation evaluator: validity rules and objective functions."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.allocation import (
+    AllocationEvaluator,
+    Chromosome,
+    CrosstalkScope,
+    ObjectiveVector,
+)
+from repro.errors import AllocationError
+
+
+def single_channel_allocation(evaluator: AllocationEvaluator) -> list:
+    """A conflict-free one-wavelength-per-communication assignment."""
+    return [(index % evaluator.wavelength_count,) for index in range(evaluator.communication_count)]
+
+
+class TestObjectiveVector:
+    def test_value_lookup(self):
+        vector = ObjectiveVector(10.0, 1e-4, 5.0)
+        assert vector.value_of("time") == 10.0
+        assert vector.value_of("ber") == 1e-4
+        assert vector.value_of("energy") == 5.0
+        with pytest.raises(AllocationError):
+            vector.value_of("latency")
+
+    def test_as_tuple_order(self):
+        vector = ObjectiveVector(10.0, 1e-4, 5.0)
+        assert vector.as_tuple(("energy", "time")) == (5.0, 10.0)
+
+    def test_log10_ber(self):
+        vector = ObjectiveVector(10.0, 1e-3, 5.0)
+        assert vector.log10_ber == pytest.approx(-3.0)
+
+    def test_infinite_vector(self):
+        infinite = ObjectiveVector.infinite()
+        assert not infinite.is_finite
+        assert ObjectiveVector(1.0, 1.0, 1.0).is_finite
+
+
+class TestValidityRules:
+    def test_empty_communication_is_invalid(self, evaluator):
+        chromosome = Chromosome.from_allocation(
+            [(0,), (), (1,), (2,), (3,), (4,)], evaluator.wavelength_count
+        )
+        report = evaluator.check_validity(chromosome)
+        assert not report.is_valid
+        assert report.empty_communications == (1,)
+        assert "c1" in report.reason
+
+    def test_single_channel_assignment_is_valid(self, evaluator):
+        solution = evaluator.evaluate_allocation(single_channel_allocation(evaluator))
+        assert solution.is_valid
+        assert solution.validity.reason == "valid"
+
+    def test_conflicting_fanout_transfers_are_invalid(self, evaluator):
+        # c0 (T0->T1) and c1 (T0->T2) leave the same source simultaneously and
+        # share the first waveguide segments: a common wavelength is a conflict.
+        allocation = single_channel_allocation(evaluator)
+        allocation[0] = (0,)
+        allocation[1] = (0,)
+        solution = evaluator.evaluate_allocation(allocation)
+        assert not solution.is_valid
+        assert any(conflict[:2] == (0, 1) for conflict in solution.validity.conflicts)
+        assert not solution.objectives.is_finite
+
+    def test_shape_mismatch_rejected(self, evaluator):
+        wrong = Chromosome.from_allocation([(0,)], evaluator.wavelength_count)
+        with pytest.raises(AllocationError):
+            evaluator.evaluate(wrong)
+        wrong_width = Chromosome.from_allocation(
+            [(0,)] * evaluator.communication_count, evaluator.wavelength_count + 1
+        )
+        with pytest.raises(AllocationError):
+            evaluator.evaluate(wrong_width)
+
+    def test_conflict_pairs_reflect_sharing_and_overlap(self, evaluator):
+        pairs = evaluator.conflict_pairs([1] * evaluator.communication_count)
+        assert (0, 1) in pairs
+        for j, k in pairs:
+            assert evaluator.shares_segment(j, k)
+
+    def test_invalid_solutions_get_infinite_fitness(self, evaluator):
+        chromosome = Chromosome.from_allocation(
+            [()] * evaluator.communication_count, evaluator.wavelength_count
+        )
+        solution = evaluator.evaluate(chromosome)
+        assert solution.objectives.execution_time_kcycles == float("inf")
+        assert solution.wavelength_counts == (0,) * 6
+
+
+class TestObjectives:
+    def test_single_wavelength_matches_paper_scale(self, evaluator):
+        solution = evaluator.evaluate_allocation(single_channel_allocation(evaluator))
+        assert solution.objectives.execution_time_kcycles == pytest.approx(38.0)
+        assert 3.0 < solution.objectives.bit_energy_fj < 8.0
+        assert -4.0 < solution.objectives.log10_ber < -3.0
+
+    def test_execution_time_matches_scheduler(self, evaluator):
+        allocation = [(0, 1), (2, 3), (4,), (5,), (6, 7), (2,)]
+        solution = evaluator.evaluate_allocation(allocation)
+        if solution.is_valid:
+            expected = evaluator.scheduler.makespan_cycles(
+                [len(channels) for channels in allocation]
+            )
+            assert solution.objectives.execution_time_kcycles == pytest.approx(expected / 1000.0)
+
+    def test_more_wavelengths_reduce_time_and_increase_energy(self, evaluator):
+        sparse = evaluator.evaluate_allocation(single_channel_allocation(evaluator))
+        dense = evaluator.evaluate_allocation(
+            [(0, 1), (2, 3, 4), (5, 6), (0, 7), (2, 3), (5, 6)]
+        )
+        assert dense.is_valid
+        assert dense.objectives.execution_time_kcycles < sparse.objectives.execution_time_kcycles
+        assert dense.objectives.bit_energy_fj > sparse.objectives.bit_energy_fj
+
+    def test_adding_a_wavelength_never_lowers_energy(self, evaluator):
+        base_allocation = single_channel_allocation(evaluator)
+        base = evaluator.evaluate_allocation(base_allocation)
+        for index in range(evaluator.communication_count):
+            widened = list(base_allocation)
+            widened[index] = tuple(sorted(set(widened[index]) | {5}))
+            solution = evaluator.evaluate_allocation(widened)
+            if solution.is_valid:
+                assert solution.objectives.bit_energy_fj >= base.objectives.bit_energy_fj - 1e-9
+
+    def test_per_communication_metrics_have_right_length(self, evaluator):
+        solution = evaluator.evaluate_allocation(single_channel_allocation(evaluator))
+        assert len(solution.per_communication_ber) == 6
+        assert len(solution.per_communication_energy_fj) == 6
+        assert len(solution.per_communication_duration_kcycles) == 6
+
+    def test_allocation_summary_format(self, evaluator):
+        solution = evaluator.evaluate_allocation(single_channel_allocation(evaluator))
+        assert solution.allocation_summary == "[1, 1, 1, 1, 1, 1]"
+
+    def test_evaluate_allocation_equals_evaluate_chromosome(self, evaluator):
+        allocation = single_channel_allocation(evaluator)
+        direct = evaluator.evaluate_allocation(allocation)
+        via_chromosome = evaluator.evaluate(
+            Chromosome.from_allocation(allocation, evaluator.wavelength_count)
+        )
+        assert direct.objectives == via_chromosome.objectives
+
+
+class TestCrosstalkScope:
+    def test_intra_scope_ignores_other_communications(self, architecture, task_graph, mapping):
+        intra = AllocationEvaluator(
+            architecture, task_graph, mapping, crosstalk_scope=CrosstalkScope.INTRA
+        )
+        temporal = AllocationEvaluator(
+            architecture, task_graph, mapping, crosstalk_scope=CrosstalkScope.TEMPORAL
+        )
+        allocation = [(0,), (1,), (2,), (3,), (4,), (5,)]
+        assert (
+            intra.evaluate_allocation(allocation).objectives.mean_bit_error_rate
+            <= temporal.evaluate_allocation(allocation).objectives.mean_bit_error_rate + 1e-12
+        )
+
+    def test_spatial_scope_is_most_pessimistic(self, architecture, task_graph, mapping):
+        spatial = AllocationEvaluator(
+            architecture, task_graph, mapping, crosstalk_scope=CrosstalkScope.SPATIAL
+        )
+        temporal = AllocationEvaluator(
+            architecture, task_graph, mapping, crosstalk_scope=CrosstalkScope.TEMPORAL
+        )
+        allocation = [(0,), (1,), (2,), (3,), (4,), (5,)]
+        assert (
+            spatial.evaluate_allocation(allocation).objectives.mean_bit_error_rate
+            >= temporal.evaluate_allocation(allocation).objectives.mean_bit_error_rate - 1e-12
+        )
+
+    def test_intra_crosstalk_grows_with_channel_count(self, architecture, task_graph, mapping):
+        intra = AllocationEvaluator(
+            architecture, task_graph, mapping, crosstalk_scope=CrosstalkScope.INTRA
+        )
+        narrow = intra.evaluate_allocation([(0,), (1,), (2,), (3,), (4,), (5,)])
+        wide = intra.evaluate_allocation(
+            [(0, 1, 2, 3), (4, 5), (6, 7), (0, 1), (2, 3), (4, 5)]
+        )
+        assert wide.objectives.mean_bit_error_rate > narrow.objectives.mean_bit_error_rate
+
+
+class TestRandomChromosomeProperties:
+    @settings(max_examples=25)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_every_evaluation_is_well_formed(self, evaluator, seed):
+        rng = np.random.default_rng(seed)
+        chromosome = evaluator.random_chromosome(rng)
+        solution = evaluator.evaluate(chromosome)
+        if solution.is_valid:
+            assert solution.objectives.is_finite
+            assert solution.objectives.execution_time_kcycles >= 20.0 - 1e-9
+            assert solution.objectives.execution_time_kcycles <= 38.0 + 1e-9
+            assert 0.0 <= solution.objectives.mean_bit_error_rate <= 0.5
+            assert solution.objectives.bit_energy_fj > 0.0
+        else:
+            assert not solution.objectives.is_finite
+
+    @settings(max_examples=25)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_validity_report_is_consistent(self, evaluator, seed):
+        rng = np.random.default_rng(seed)
+        chromosome = evaluator.random_chromosome(rng)
+        solution = evaluator.evaluate(chromosome)
+        report = evaluator.check_validity(chromosome)
+        assert solution.is_valid == report.is_valid

@@ -1,0 +1,168 @@
+"""Unit tests for Pareto dominance, non-dominated sorting and crowding distance."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.allocation import ParetoFront, crowding_distance, dominates, non_dominated_sort
+
+
+class TestDominance:
+    def test_strictly_better_dominates(self):
+        assert dominates((1.0, 1.0), (2.0, 2.0))
+
+    def test_equal_does_not_dominate(self):
+        assert not dominates((1.0, 1.0), (1.0, 1.0))
+
+    def test_trade_off_does_not_dominate(self):
+        assert not dominates((1.0, 3.0), (2.0, 2.0))
+        assert not dominates((2.0, 2.0), (1.0, 3.0))
+
+    def test_better_in_one_equal_in_other(self):
+        assert dominates((1.0, 2.0), (1.0, 3.0))
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            dominates((1.0,), (1.0, 2.0))
+
+    @given(
+        first=st.tuples(st.floats(0, 10), st.floats(0, 10)),
+        second=st.tuples(st.floats(0, 10), st.floats(0, 10)),
+    )
+    def test_dominance_is_antisymmetric(self, first, second):
+        assert not (dominates(first, second) and dominates(second, first))
+
+
+class TestNonDominatedSort:
+    def test_empty_population(self):
+        assert non_dominated_sort([]) == []
+
+    def test_single_front(self):
+        objectives = [(1.0, 4.0), (2.0, 3.0), (3.0, 2.0), (4.0, 1.0)]
+        fronts = non_dominated_sort(objectives)
+        assert len(fronts) == 1
+        assert sorted(fronts[0]) == [0, 1, 2, 3]
+
+    def test_layered_fronts(self):
+        objectives = [
+            (1.0, 1.0),  # dominates everything
+            (2.0, 2.0),  # second layer
+            (3.0, 3.0),  # third layer
+            (1.0, 3.0),  # second layer (not dominated by (2,2))
+        ]
+        fronts = non_dominated_sort(objectives)
+        assert fronts[0] == [0]
+        assert sorted(fronts[1]) == [1, 3]
+        assert fronts[2] == [2]
+
+    def test_every_solution_appears_exactly_once(self):
+        rng = np.random.default_rng(0)
+        objectives = [tuple(rng.uniform(0, 10, size=3)) for _ in range(40)]
+        fronts = non_dominated_sort(objectives)
+        flattened = [index for front in fronts for index in front]
+        assert sorted(flattened) == list(range(40))
+
+    def test_first_front_is_mutually_non_dominated(self):
+        rng = np.random.default_rng(1)
+        objectives = [tuple(rng.uniform(0, 10, size=2)) for _ in range(30)]
+        first_front = non_dominated_sort(objectives)[0]
+        for i in first_front:
+            for j in first_front:
+                assert not dominates(objectives[i], objectives[j])
+
+
+class TestCrowdingDistance:
+    def test_boundaries_are_infinite(self):
+        objectives = [(1.0, 4.0), (2.0, 3.0), (3.0, 2.0), (4.0, 1.0)]
+        distances = crowding_distance(objectives)
+        assert distances[0] == float("inf")
+        assert distances[3] == float("inf")
+        assert np.isfinite(distances[1])
+        assert np.isfinite(distances[2])
+
+    def test_empty_front(self):
+        assert crowding_distance([]).size == 0
+
+    def test_identical_points_have_zero_interior_distance(self):
+        objectives = [(1.0, 1.0)] * 4
+        distances = crowding_distance(objectives)
+        assert np.isfinite(distances).sum() >= 0  # no NaN produced
+
+    def test_isolated_point_has_larger_distance(self):
+        objectives = [(0.0, 10.0), (1.0, 9.0), (1.5, 8.5), (10.0, 0.0)]
+        distances = crowding_distance(objectives)
+        # The interior point next to the large gap is more isolated.
+        assert distances[2] > distances[1] or distances[1] == float("inf")
+
+    def test_handles_infinite_objectives(self):
+        objectives = [(1.0, 2.0), (float("inf"), float("inf")), (2.0, 1.0)]
+        distances = crowding_distance(objectives)
+        assert not np.isnan(distances).any()
+
+
+class TestParetoFront:
+    def test_add_keeps_non_dominated(self):
+        front: ParetoFront[str] = ParetoFront()
+        assert front.add("a", (2.0, 2.0))
+        assert front.add("b", (1.0, 3.0))
+        assert len(front) == 2
+
+    def test_dominated_insert_is_rejected(self):
+        front: ParetoFront[str] = ParetoFront()
+        front.add("a", (1.0, 1.0))
+        assert not front.add("b", (2.0, 2.0))
+        assert len(front) == 1
+
+    def test_dominating_insert_evicts(self):
+        front: ParetoFront[str] = ParetoFront()
+        front.add("a", (2.0, 2.0))
+        front.add("b", (3.0, 1.0))
+        assert front.add("c", (1.0, 1.0))
+        items = [item for item, _ in front]
+        assert items == ["c"]
+
+    def test_duplicate_objectives_kept_once(self):
+        front: ParetoFront[str] = ParetoFront()
+        assert front.add("a", (1.0, 2.0))
+        assert not front.add("b", (1.0, 2.0))
+
+    def test_extend_counts_insertions(self):
+        front: ParetoFront[str] = ParetoFront()
+        inserted = front.extend([("a", (1.0, 3.0)), ("b", (2.0, 2.0)), ("c", (5.0, 5.0))])
+        assert inserted == 2
+
+    def test_sorted_and_best_by(self):
+        front: ParetoFront[str] = ParetoFront()
+        front.add("slow-cheap", (10.0, 1.0))
+        front.add("fast-costly", (1.0, 10.0))
+        assert front.best_by(0)[0] == "fast-costly"
+        assert front.best_by(1)[0] == "slow-cheap"
+        ordering = [item for item, _ in front.sorted_by(0)]
+        assert ordering == ["fast-costly", "slow-cheap"]
+
+    def test_best_by_empty_front_raises(self):
+        with pytest.raises(ValueError):
+            ParetoFront().best_by(0)
+
+    def test_objective_array_shape(self):
+        front: ParetoFront[str] = ParetoFront()
+        front.add("a", (1.0, 2.0))
+        front.add("b", (2.0, 1.0))
+        assert front.objective_array().shape == (2, 2)
+        assert ParetoFront().objective_array().shape == (0, 0)
+
+    @given(
+        points=st.lists(
+            st.tuples(st.floats(0, 100), st.floats(0, 100)), min_size=1, max_size=50
+        )
+    )
+    def test_front_is_always_mutually_non_dominated(self, points):
+        front: ParetoFront[int] = ParetoFront()
+        for index, point in enumerate(points):
+            front.add(index, point)
+        objectives = list(front.objectives)
+        for first in objectives:
+            for second in objectives:
+                assert not dominates(first, second) or first == second

@@ -1,0 +1,153 @@
+"""Unit tests for the analysis helpers (metrics, plotting, CSV)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis import (
+    ascii_scatter,
+    coverage,
+    format_table,
+    front_extent,
+    front_spread,
+    hypervolume_2d,
+    rows_to_csv_text,
+    write_csv,
+)
+
+
+class TestHypervolume:
+    def test_single_point(self):
+        assert hypervolume_2d([(1.0, 1.0)], reference=(2.0, 2.0)) == pytest.approx(1.0)
+
+    def test_point_outside_reference_contributes_nothing(self):
+        assert hypervolume_2d([(3.0, 3.0)], reference=(2.0, 2.0)) == 0.0
+
+    def test_staircase(self):
+        # Union of the three dominated rectangles: 3x1 + 2x1 + 1x1 = 6.
+        front = [(1.0, 3.0), (2.0, 2.0), (3.0, 1.0)]
+        value = hypervolume_2d(front, reference=(4.0, 4.0))
+        assert value == pytest.approx(6.0)
+
+    def test_dominated_points_add_nothing(self):
+        base = hypervolume_2d([(1.0, 1.0)], reference=(3.0, 3.0))
+        extended = hypervolume_2d([(1.0, 1.0), (2.0, 2.0)], reference=(3.0, 3.0))
+        assert extended == pytest.approx(base)
+
+    def test_rejects_three_objectives(self):
+        with pytest.raises(ValueError):
+            hypervolume_2d([(1.0, 1.0, 1.0)], reference=(2.0, 2.0))
+
+    @given(
+        points=st.lists(
+            st.tuples(st.floats(0.0, 1.0), st.floats(0.0, 1.0)), min_size=1, max_size=20
+        )
+    )
+    def test_bounded_by_reference_box(self, points):
+        value = hypervolume_2d(points, reference=(1.0, 1.0))
+        assert 0.0 <= value <= 1.0 + 1e-9
+
+
+class TestSpreadAndExtent:
+    def test_even_spacing_has_zero_spread(self):
+        front = [(0.0, 3.0), (1.0, 2.0), (2.0, 1.0), (3.0, 0.0)]
+        assert front_spread(front) == pytest.approx(0.0, abs=1e-12)
+
+    def test_uneven_spacing_has_positive_spread(self):
+        front = [(0.0, 3.0), (0.1, 2.9), (3.0, 0.0)]
+        assert front_spread(front) > 0.0
+
+    def test_tiny_fronts_have_zero_spread(self):
+        assert front_spread([(1.0, 1.0)]) == 0.0
+        assert front_spread([(1.0, 1.0), (2.0, 0.0)]) == 0.0
+
+    def test_extent(self):
+        ranges = front_extent([(1.0, 5.0), (3.0, 2.0)])
+        assert ranges == ((1.0, 3.0), (2.0, 5.0))
+
+
+class TestCoverage:
+    def test_full_coverage(self):
+        assert coverage([(0.0, 0.0)], [(1.0, 1.0), (2.0, 2.0)]) == 1.0
+
+    def test_no_coverage(self):
+        assert coverage([(2.0, 2.0)], [(1.0, 1.0)]) == 0.0
+
+    def test_partial_coverage(self):
+        first = [(1.0, 1.0)]
+        second = [(2.0, 2.0), (0.5, 0.5)]
+        assert coverage(first, second) == pytest.approx(0.5)
+
+    def test_empty_second_front(self):
+        assert coverage([(1.0, 1.0)], []) == 0.0
+
+
+class TestAsciiScatter:
+    def test_contains_markers_and_labels(self):
+        text = ascii_scatter(
+            [(1.0, 1.0), (2.0, 4.0)], x_label="time", y_label="energy", title="demo"
+        )
+        assert "demo" in text
+        assert "time" in text
+        assert "energy" in text
+        assert "*" in text
+
+    def test_custom_markers(self):
+        text = ascii_scatter([(1.0, 1.0), (2.0, 2.0)], markers=["a", "b"])
+        assert "a" in text
+        assert "b" in text
+
+    def test_empty_points(self):
+        assert "(no points)" in ascii_scatter([])
+
+    def test_degenerate_single_point(self):
+        text = ascii_scatter([(5.0, 5.0)])
+        assert "*" in text
+
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            ascii_scatter([(1.0, 1.0)], width=5, height=2)
+
+    def test_deterministic(self):
+        points = [(1.0, 2.0), (3.0, 1.0), (2.0, 5.0)]
+        assert ascii_scatter(points) == ascii_scatter(points)
+
+
+class TestFormatTable:
+    def test_columns_aligned_and_ordered(self):
+        rows = [{"name": "a", "value": 1.23456}, {"name": "bb", "value": 7.0}]
+        text = format_table(rows)
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert "1.235" in text
+        assert len(lines) == 4
+
+    def test_explicit_columns(self):
+        rows = [{"a": 1, "b": 2}]
+        text = format_table(rows, columns=["b"])
+        assert "a" not in text.splitlines()[0]
+
+    def test_empty_table(self):
+        assert format_table([]) == "(empty table)"
+
+
+class TestCsv:
+    def test_rows_to_csv_text(self):
+        text = rows_to_csv_text([{"x": 1, "y": 2.5}, {"x": 3, "y": 4.5}])
+        lines = text.strip().splitlines()
+        assert lines[0] == "x,y"
+        assert lines[1] == "1,2.5"
+
+    def test_empty_rows_give_empty_text(self):
+        assert rows_to_csv_text([]) == ""
+
+    def test_union_of_columns(self):
+        text = rows_to_csv_text([{"a": 1}, {"b": 2}])
+        assert text.splitlines()[0] == "a,b"
+
+    def test_write_csv_creates_directories(self, tmp_path):
+        target = tmp_path / "nested" / "out.csv"
+        written = write_csv(target, [{"a": 1}])
+        assert written == target
+        assert target.read_text().startswith("a")

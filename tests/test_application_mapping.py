@@ -1,0 +1,140 @@
+"""Unit tests for the task-to-core mapping (Definition 3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.application import Mapping, paper_mapping, paper_task_graph, pipeline_task_graph
+from repro.errors import MappingError, TaskGraphError
+from repro.topology import RingOnocArchitecture
+
+
+class TestMappingBasics:
+    def test_one_to_one_enforced(self):
+        with pytest.raises(MappingError):
+            Mapping.from_dict({"A": 3, "B": 3})
+
+    def test_negative_core_rejected(self):
+        with pytest.raises(MappingError):
+            Mapping.from_dict({"A": -1})
+
+    def test_core_of_and_task_on(self):
+        mapping = Mapping.from_dict({"A": 2, "B": 5})
+        assert mapping.core_of("A") == 2
+        assert mapping.task_on(5) == "B"
+        assert mapping.task_on(9) is None
+        with pytest.raises(MappingError):
+            mapping.core_of("Z")
+
+    def test_lists(self):
+        mapping = Mapping.from_dict({"A": 2, "B": 5})
+        assert mapping.mapped_tasks() == ["A", "B"]
+        assert mapping.used_cores() == [2, 5]
+        assert len(mapping) == 2
+
+    def test_with_swap(self):
+        mapping = Mapping.from_dict({"A": 2, "B": 5})
+        swapped = mapping.with_swap("A", "B")
+        assert swapped.core_of("A") == 5
+        assert swapped.core_of("B") == 2
+        # The original mapping is untouched.
+        assert mapping.core_of("A") == 2
+
+    def test_with_swap_requires_both_tasks(self):
+        mapping = Mapping.from_dict({"A": 2})
+        with pytest.raises(MappingError):
+            mapping.with_swap("A", "Z")
+
+
+class TestValidation:
+    def test_validate_against_accepts_paper_setup(self, architecture, task_graph, mapping):
+        mapping.validate_against(task_graph, architecture)
+
+    def test_validate_rejects_missing_task(self, architecture, task_graph):
+        partial = Mapping.from_dict({"T0": 0})
+        with pytest.raises(MappingError):
+            partial.validate_against(task_graph, architecture)
+
+    def test_validate_rejects_unknown_task(self, architecture, task_graph, mapping):
+        extended = Mapping.from_dict({**mapping.assignment, "ghost": 15})
+        with pytest.raises(MappingError):
+            extended.validate_against(task_graph, architecture)
+
+    def test_validate_rejects_core_out_of_range(self, architecture, task_graph, mapping):
+        shifted = dict(mapping.assignment)
+        shifted["T5"] = 99
+        with pytest.raises(MappingError):
+            Mapping.from_dict(shifted).validate_against(task_graph, architecture)
+
+
+class TestFactories:
+    def test_round_robin_is_one_to_one(self, architecture):
+        graph = pipeline_task_graph(stage_count=8)
+        mapping = Mapping.round_robin(graph, architecture, stride=3)
+        assert len(set(mapping.used_cores())) == 8
+        mapping.validate_against(graph, architecture)
+
+    def test_round_robin_stride_spreads_tasks(self, architecture):
+        graph = pipeline_task_graph(stage_count=4)
+        packed = Mapping.round_robin(graph, architecture, stride=1)
+        spread = Mapping.round_robin(graph, architecture, stride=4)
+        packed_span = max(packed.used_cores()) - min(packed.used_cores())
+        spread_span = max(spread.used_cores()) - min(spread.used_cores())
+        assert spread_span > packed_span
+
+    def test_round_robin_rejects_bad_stride(self, architecture, task_graph):
+        with pytest.raises(MappingError):
+            Mapping.round_robin(task_graph, architecture, stride=0)
+
+    def test_round_robin_rejects_too_many_tasks(self):
+        architecture = RingOnocArchitecture.grid(2, 2, wavelength_count=2)
+        graph = pipeline_task_graph(stage_count=5)
+        with pytest.raises(MappingError):
+            Mapping.round_robin(graph, architecture)
+
+    def test_random_mapping_is_reproducible(self, architecture, task_graph):
+        first = Mapping.random(task_graph, architecture, seed=7)
+        second = Mapping.random(task_graph, architecture, seed=7)
+        different = Mapping.random(task_graph, architecture, seed=8)
+        assert first.assignment == second.assignment
+        assert first.assignment != different.assignment
+
+    def test_random_mapping_valid(self, architecture, task_graph):
+        mapping = Mapping.random(task_graph, architecture, seed=3)
+        mapping.validate_against(task_graph, architecture)
+
+    def test_random_rejects_too_many_tasks(self):
+        architecture = RingOnocArchitecture.grid(2, 2, wavelength_count=2)
+        graph = pipeline_task_graph(stage_count=6)
+        with pytest.raises(MappingError):
+            Mapping.random(graph, architecture)
+
+
+class TestPaperMapping:
+    def test_covers_every_paper_task(self, architecture):
+        mapping = paper_mapping(architecture)
+        assert set(mapping.mapped_tasks()) == {f"T{i}" for i in range(6)}
+
+    def test_is_valid_for_paper_setup(self, architecture):
+        mapping = paper_mapping(architecture)
+        mapping.validate_against(paper_task_graph(), architecture)
+
+    def test_requires_enough_cores(self):
+        tiny = RingOnocArchitecture.grid(2, 2, wavelength_count=4)
+        with pytest.raises(TaskGraphError):
+            paper_mapping(tiny)
+
+    def test_consecutive_communications_share_ring_segments(self, architecture):
+        # The placement must create waveguide sharing, otherwise the wavelength
+        # conflict constraint would be vacuous.
+        from repro.application import build_communications
+
+        mapping = paper_mapping(architecture)
+        communications = build_communications(paper_task_graph(), mapping, architecture)
+        sharing_pairs = sum(
+            1
+            for i, first in enumerate(communications)
+            for second in communications[i + 1 :]
+            if first.shares_waveguide_with(second)
+        )
+        assert sharing_pairs >= 3

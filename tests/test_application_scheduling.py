@@ -1,0 +1,160 @@
+"""Unit tests for the communication and scheduling models (Eqs. 10-12)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.application import (
+    ListScheduler,
+    Mapping,
+    build_communications,
+    paper_mapping,
+    paper_task_graph,
+    pipeline_task_graph,
+)
+from repro.config import TimingParameters
+from repro.errors import MappingError, SchedulingError
+
+
+@pytest.fixture
+def scheduler(task_graph, mapping) -> ListScheduler:
+    return ListScheduler(task_graph, mapping)
+
+
+class TestMappedCommunications:
+    def test_chromosome_order_is_preserved(self, architecture, task_graph, mapping):
+        communications = build_communications(task_graph, mapping, architecture)
+        assert [c.index for c in communications] == list(range(6))
+        assert [c.label for c in communications] == [f"c{i}" for i in range(6)]
+
+    def test_paths_follow_the_mapping(self, architecture, task_graph, mapping):
+        communications = build_communications(task_graph, mapping, architecture)
+        first = communications[0]
+        assert first.source_core == mapping.core_of("T0")
+        assert first.destination_core == mapping.core_of("T1")
+        assert first.path.source_oni == first.source_core
+        assert first.path.destination_oni == first.destination_core
+
+    def test_volume_and_hops_exposed(self, architecture, task_graph, mapping):
+        communications = build_communications(task_graph, mapping, architecture)
+        assert communications[0].volume_bits == pytest.approx(6000.0)
+        assert communications[0].hop_count >= 1
+        assert all(c.crossed_onis == c.path.intermediate_onis for c in communications)
+
+    def test_same_core_mapping_rejected(self, architecture, task_graph):
+        # The one-to-one constraint is enforced as early as mapping construction.
+        with pytest.raises(MappingError):
+            Mapping.from_dict({"T0": 0, "T1": 0, "T2": 2, "T3": 3, "T4": 4, "T5": 5})
+
+    def test_crosses_oni(self, architecture, task_graph, mapping):
+        communications = build_communications(task_graph, mapping, architecture)
+        c1 = communications[1]  # T0 -> T2
+        assert c1.crosses_oni(c1.destination_core)
+        assert not c1.crosses_oni(c1.source_core)
+
+
+class TestCommunicationDuration:
+    def test_duration_follows_eq10(self, scheduler):
+        assert scheduler.communication_duration_cycles(6000.0, 1) == pytest.approx(6000.0)
+        assert scheduler.communication_duration_cycles(6000.0, 3) == pytest.approx(2000.0)
+
+    def test_duration_scales_with_data_rate(self, task_graph, mapping):
+        fast = ListScheduler(task_graph, mapping, TimingParameters(data_rate_bits_per_cycle=2.0))
+        assert fast.communication_duration_cycles(6000.0, 1) == pytest.approx(3000.0)
+
+    def test_zero_wavelengths_rejected(self, scheduler):
+        with pytest.raises(SchedulingError):
+            scheduler.communication_duration_cycles(6000.0, 0)
+
+
+class TestSchedule:
+    def test_single_wavelength_makespan_is_38_kcycles(self, scheduler):
+        schedule = scheduler.schedule([1] * 6)
+        assert schedule.makespan_kilocycles == pytest.approx(38.0)
+
+    def test_infinite_bandwidth_limit_is_critical_path(self, scheduler):
+        # With very many wavelengths the makespan approaches the 20 k-cycle
+        # computation-only critical path of the paper.
+        schedule = scheduler.schedule([1000] * 6)
+        assert schedule.makespan_kilocycles == pytest.approx(20.0, abs=0.1)
+        assert scheduler.minimum_makespan_cycles() == pytest.approx(20000.0)
+
+    def test_more_wavelengths_never_slow_down(self, scheduler):
+        slower = scheduler.makespan_cycles([1, 1, 1, 1, 1, 1])
+        faster = scheduler.makespan_cycles([2, 2, 2, 2, 2, 2])
+        assert faster <= slower
+
+    def test_entry_task_starts_at_zero(self, scheduler):
+        schedule = scheduler.schedule([1] * 6)
+        assert schedule.entry("T0").start_cycle == pytest.approx(0.0)
+        assert schedule.entry("T0").end_cycle == pytest.approx(5000.0)
+
+    def test_task_waits_for_slowest_input(self, scheduler, task_graph):
+        schedule = scheduler.schedule([1] * 6)
+        sink_entry = schedule.entry("T5")
+        producer_ends = []
+        for predecessor in task_graph.predecessors("T5"):
+            edge = task_graph.communication_between(predecessor, "T5")
+            producer_ends.append(schedule.interval(edge.index).end_cycle)
+        assert sink_entry.start_cycle == pytest.approx(max(producer_ends))
+
+    def test_transfer_starts_when_producer_completes(self, scheduler):
+        schedule = scheduler.schedule([1] * 6)
+        assert schedule.interval(0).start_cycle == pytest.approx(
+            schedule.entry("T0").end_cycle
+        )
+
+    def test_entries_carry_cores(self, scheduler, mapping):
+        schedule = scheduler.schedule([1] * 6)
+        assert schedule.entry("T3").core_id == mapping.core_of("T3")
+
+    def test_wrong_vector_length_rejected(self, scheduler):
+        with pytest.raises(SchedulingError):
+            scheduler.schedule([1, 1, 1])
+
+    def test_zero_wavelength_vector_rejected(self, scheduler):
+        with pytest.raises(SchedulingError):
+            scheduler.schedule([1, 1, 0, 1, 1, 1])
+
+    def test_unknown_task_and_edge_lookup(self, scheduler):
+        schedule = scheduler.schedule([1] * 6)
+        with pytest.raises(SchedulingError):
+            schedule.entry("ghost")
+        with pytest.raises(SchedulingError):
+            schedule.interval(42)
+
+    @given(counts=st.lists(st.integers(min_value=1, max_value=12), min_size=6, max_size=6))
+    def test_makespan_bounded_by_critical_path_and_serial_time(self, scheduler, counts):
+        makespan = scheduler.makespan_cycles(counts)
+        assert makespan >= scheduler.minimum_makespan_cycles() - 1e-9
+        assert makespan <= 38000.0 + 1e-9
+
+
+class TestTemporalOverlap:
+    def test_fanout_transfers_overlap(self, scheduler):
+        schedule = scheduler.schedule([1] * 6)
+        # c0 (T0->T1) and c1 (T0->T2) both start when T0 finishes.
+        pairs = schedule.temporal_overlap_pairs()
+        assert (0, 1) in pairs
+
+    def test_pipeline_transfers_do_not_overlap(self, architecture):
+        graph = pipeline_task_graph(stage_count=4)
+        mapping = Mapping.round_robin(graph, architecture, stride=2)
+        scheduler = ListScheduler(graph, mapping)
+        schedule = scheduler.schedule([1] * graph.communication_count)
+        assert schedule.temporal_overlap_pairs() == []
+
+    def test_overlap_matrix_is_symmetric(self, scheduler):
+        schedule = scheduler.schedule([1] * 6)
+        matrix = schedule.overlap_matrix(6)
+        for i in range(6):
+            assert not matrix[i][i]
+            for j in range(6):
+                assert matrix[i][j] == matrix[j][i]
+
+    def test_interval_durations_match_eq10(self, scheduler, task_graph):
+        schedule = scheduler.schedule([2] * 6)
+        for interval in schedule.communication_intervals:
+            edge = task_graph.communication(interval.edge_index)
+            assert interval.duration_cycles == pytest.approx(edge.volume_bits / 2.0)

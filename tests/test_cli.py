@@ -1,0 +1,134 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(capsys, *argv: str) -> str:
+    """Run the CLI and return its captured standard output."""
+    exit_code = main(list(argv))
+    captured = capsys.readouterr()
+    assert exit_code == 0, captured.err
+    return captured.out
+
+
+FAST_GA = ("--population", "16", "--generations", "6")
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert "repro" in capsys.readouterr().out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["teleport"])
+
+    def test_paper_artefact_choices(self):
+        parser = build_parser()
+        args = parser.parse_args(["paper", "table2"])
+        assert args.artefact == "table2"
+        with pytest.raises(SystemExit):
+            parser.parse_args(["paper", "fig99"])
+
+
+class TestInfo:
+    def test_describes_architecture_and_application(self, capsys):
+        output = run_cli(capsys, "info")
+        assert "4x4 IP cores" in output
+        assert "8 wavelengths" in output
+        assert "6 tasks" in output
+        assert "Lp0" in output
+
+    def test_respects_wavelength_flag(self, capsys):
+        output = run_cli(capsys, "info", "--wavelengths", "12")
+        assert "12 wavelengths" in output
+
+
+class TestEvaluate:
+    def test_single_wavelength_allocation(self, capsys):
+        output = run_cli(capsys, "evaluate", "--allocation", "1,1,1,1,1,1")
+        assert "[1, 1, 1, 1, 1, 1]" in output
+        assert "38.00 kcc" in output
+        assert "valid            : True" in output
+
+    def test_csv_output(self, capsys, tmp_path):
+        target = tmp_path / "eval.csv"
+        output = run_cli(
+            capsys, "evaluate", "--allocation", "1,1,1,1,1,1", "--csv", str(target)
+        )
+        assert target.exists()
+        assert "wrote 1 rows" in output
+
+    def test_bad_allocation_string_is_a_clean_error(self, capsys):
+        exit_code = main(["evaluate", "--allocation", "1,x,1"])
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert "error:" in captured.err
+
+    def test_infeasible_allocation_is_a_clean_error(self, capsys):
+        # Requesting every wavelength for conflicting communications cannot work.
+        exit_code = main(["evaluate", "--allocation", "8,8,8,8,8,8"])
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert "error:" in captured.err
+
+
+class TestSimulate:
+    def test_simulation_reports_makespan_and_conflicts(self, capsys):
+        output = run_cli(capsys, "simulate", "--allocation", "1,1,1,1,1,1")
+        assert "makespan             : 38.00 kcc" in output
+        assert "wavelength conflicts : 0" in output
+
+
+class TestExplore:
+    def test_explore_prints_pareto_table(self, capsys):
+        output = run_cli(capsys, "explore", *FAST_GA)
+        assert "Pareto front" in output
+        assert "execution_time_kcycles" in output
+
+    def test_explore_with_objective_subset_and_csv(self, capsys, tmp_path):
+        target = tmp_path / "front.csv"
+        output = run_cli(
+            capsys,
+            "explore",
+            *FAST_GA,
+            "--objectives",
+            "time,energy",
+            "--csv",
+            str(target),
+        )
+        assert "(time, energy)" in output
+        assert target.exists()
+        assert target.read_text().startswith("wavelength_count")
+
+
+class TestPaperArtefacts:
+    def test_table1(self, capsys):
+        output = run_cli(capsys, "paper", "table1")
+        assert "Propagation loss" in output
+        assert "-0.274 dB/cm" in output
+
+    def test_table2(self, capsys):
+        output = run_cli(capsys, "paper", "table2", *FAST_GA)
+        assert "pareto_front_size" in output
+        assert "valid_solution_count" in output
+
+    def test_fig6a_ascii_plot(self, capsys):
+        output = run_cli(capsys, "paper", "fig6a", *FAST_GA)
+        assert "bit energy (fJ/bit)" in output
+        assert "execution time (kcc)" in output
+
+    def test_fig7_for_eight_wavelengths(self, capsys):
+        output = run_cli(capsys, "paper", "fig7", *FAST_GA, "--wavelengths", "8")
+        assert "Pareto front" in output
+        assert "log10(BER)" in output

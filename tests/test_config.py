@@ -1,0 +1,179 @@
+"""Unit tests for the configuration dataclasses."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.config import (
+    EnergyParameters,
+    GeneticParameters,
+    OnocConfiguration,
+    PhotonicParameters,
+    TimingParameters,
+)
+from repro.errors import ConfigurationError
+
+
+class TestPhotonicParameters:
+    def test_defaults_match_table1(self):
+        parameters = PhotonicParameters()
+        assert parameters.propagation_loss_db_per_cm == pytest.approx(-0.274)
+        assert parameters.bending_loss_db_per_90deg == pytest.approx(-0.005)
+        assert parameters.mr_off_pass_loss_db == pytest.approx(-0.005)
+        assert parameters.mr_on_loss_db == pytest.approx(-0.5)
+        assert parameters.mr_off_crosstalk_db == pytest.approx(-20.0)
+        assert parameters.mr_on_crosstalk_db == pytest.approx(-25.0)
+
+    def test_defaults_match_section_iv(self):
+        parameters = PhotonicParameters()
+        assert parameters.free_spectral_range_nm == pytest.approx(12.8)
+        assert parameters.quality_factor == pytest.approx(9600.0)
+        assert parameters.laser_power_one_dbm == pytest.approx(-10.0)
+        assert parameters.laser_power_zero_dbm == pytest.approx(-30.0)
+
+    def test_half_bandwidth_follows_quality_factor(self):
+        parameters = PhotonicParameters()
+        expected = parameters.center_wavelength_nm / (2.0 * parameters.quality_factor)
+        assert parameters.half_bandwidth_nm == pytest.approx(expected)
+
+    def test_rejects_positive_loss(self):
+        with pytest.raises(ConfigurationError):
+            PhotonicParameters(propagation_loss_db_per_cm=0.5)
+
+    def test_rejects_zero_quality_factor(self):
+        with pytest.raises(ConfigurationError):
+            PhotonicParameters(quality_factor=0.0)
+
+    def test_rejects_inverted_laser_levels(self):
+        with pytest.raises(ConfigurationError):
+            PhotonicParameters(laser_power_one_dbm=-30.0, laser_power_zero_dbm=-10.0)
+
+    def test_with_quality_factor_returns_new_instance(self):
+        parameters = PhotonicParameters()
+        tuned = parameters.with_quality_factor(5000.0)
+        assert tuned.quality_factor == pytest.approx(5000.0)
+        assert parameters.quality_factor == pytest.approx(9600.0)
+
+    def test_with_free_spectral_range(self):
+        tuned = PhotonicParameters().with_free_spectral_range(25.6)
+        assert tuned.free_spectral_range_nm == pytest.approx(25.6)
+
+    def test_is_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            PhotonicParameters().quality_factor = 1000.0  # type: ignore[misc]
+
+    def test_to_dict_round_trips_every_field(self):
+        parameters = PhotonicParameters()
+        payload = parameters.to_dict()
+        assert payload["quality_factor"] == pytest.approx(9600.0)
+        assert len(payload) == 11
+
+
+class TestTimingParameters:
+    def test_defaults(self):
+        timing = TimingParameters()
+        assert timing.data_rate_bits_per_cycle == pytest.approx(1.0)
+        assert timing.clock_frequency_hz == pytest.approx(1.0e9)
+
+    def test_data_rate_in_bits_per_second(self):
+        timing = TimingParameters(data_rate_bits_per_cycle=2.0, clock_frequency_hz=5.0e8)
+        assert timing.data_rate_bits_per_second == pytest.approx(1.0e9)
+
+    def test_rejects_non_positive_rate(self):
+        with pytest.raises(ConfigurationError):
+            TimingParameters(data_rate_bits_per_cycle=0.0)
+
+    def test_rejects_non_positive_clock(self):
+        with pytest.raises(ConfigurationError):
+            TimingParameters(clock_frequency_hz=-1.0)
+
+    def test_to_dict(self):
+        assert set(TimingParameters().to_dict()) == {
+            "data_rate_bits_per_cycle",
+            "clock_frequency_hz",
+        }
+
+
+class TestEnergyParameters:
+    def test_defaults_are_positive(self):
+        energy = EnergyParameters()
+        assert 0.0 < energy.laser_efficiency <= 1.0
+        assert energy.mr_tuning_power_mw >= 0.0
+        assert energy.channel_setup_energy_fj >= 0.0
+
+    def test_rejects_bad_efficiency(self):
+        with pytest.raises(ConfigurationError):
+            EnergyParameters(laser_efficiency=0.0)
+        with pytest.raises(ConfigurationError):
+            EnergyParameters(laser_efficiency=1.5)
+
+    def test_rejects_negative_tuning_power(self):
+        with pytest.raises(ConfigurationError):
+            EnergyParameters(mr_tuning_power_mw=-1.0)
+
+    def test_rejects_negative_setup_energy(self):
+        with pytest.raises(ConfigurationError):
+            EnergyParameters(channel_setup_energy_fj=-1.0)
+
+    def test_to_dict(self):
+        payload = EnergyParameters().to_dict()
+        assert "photodetector_sensitivity_dbm" in payload
+        assert "channel_setup_energy_fj" in payload
+
+
+class TestGeneticParameters:
+    def test_paper_defaults_match_section_iv(self):
+        parameters = GeneticParameters.paper_defaults()
+        assert parameters.population_size == 400
+        assert parameters.generations == 300
+
+    def test_smoke_test_is_small(self):
+        parameters = GeneticParameters.smoke_test()
+        assert parameters.population_size <= 32
+        assert parameters.generations <= 16
+
+    def test_rejects_odd_population(self):
+        with pytest.raises(ConfigurationError):
+            GeneticParameters(population_size=31)
+
+    def test_rejects_tiny_population(self):
+        with pytest.raises(ConfigurationError):
+            GeneticParameters(population_size=2)
+
+    def test_rejects_zero_generations(self):
+        with pytest.raises(ConfigurationError):
+            GeneticParameters(generations=0)
+
+    def test_rejects_bad_probabilities(self):
+        with pytest.raises(ConfigurationError):
+            GeneticParameters(crossover_probability=1.5)
+        with pytest.raises(ConfigurationError):
+            GeneticParameters(mutation_probability=-0.1)
+
+    def test_rejects_tournament_of_one(self):
+        with pytest.raises(ConfigurationError):
+            GeneticParameters(tournament_size=1)
+
+    def test_to_dict_contains_seed(self):
+        assert GeneticParameters(seed=42).to_dict()["seed"] == 42
+
+
+class TestOnocConfiguration:
+    def test_default_composition(self):
+        configuration = OnocConfiguration()
+        assert isinstance(configuration.photonic, PhotonicParameters)
+        assert isinstance(configuration.timing, TimingParameters)
+        assert isinstance(configuration.energy, EnergyParameters)
+        assert isinstance(configuration.genetic, GeneticParameters)
+
+    def test_paper_defaults_use_paper_ga(self):
+        configuration = OnocConfiguration.paper_defaults()
+        assert configuration.genetic.population_size == 400
+        assert configuration.genetic.generations == 300
+
+    def test_to_dict_is_nested(self):
+        payload = OnocConfiguration().to_dict()
+        assert set(payload) == {"photonic", "timing", "energy", "genetic"}
+        assert payload["photonic"]["quality_factor"] == pytest.approx(9600.0)

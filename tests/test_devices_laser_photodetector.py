@@ -1,0 +1,88 @@
+"""Unit tests for the VCSEL laser and photodetector models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import EnergyParameters, PhotonicParameters
+from repro.devices import OokSymbol, Photodetector, VcselLaser
+from repro.errors import ConfigurationError
+
+
+class TestVcselLaser:
+    def test_from_parameters_uses_paper_powers(self):
+        laser = VcselLaser.from_parameters(1550.0, PhotonicParameters(), EnergyParameters())
+        assert laser.emitted_power_dbm(OokSymbol.ONE) == pytest.approx(-10.0)
+        assert laser.emitted_power_dbm(OokSymbol.ZERO) == pytest.approx(-30.0)
+
+    def test_emitted_power_mw(self):
+        laser = VcselLaser.from_parameters(1550.0, PhotonicParameters())
+        assert laser.emitted_power_mw(OokSymbol.ONE) == pytest.approx(0.1)
+        assert laser.emitted_power_mw(OokSymbol.ZERO) == pytest.approx(0.001)
+
+    def test_extinction_ratio(self):
+        laser = VcselLaser.from_parameters(1550.0, PhotonicParameters())
+        assert laser.extinction_ratio_db == pytest.approx(20.0)
+
+    def test_average_power_assumes_equiprobable_symbols(self):
+        laser = VcselLaser.from_parameters(1550.0, PhotonicParameters())
+        assert laser.average_power_mw == pytest.approx(0.5 * (0.1 + 0.001))
+
+    def test_electrical_power_scales_with_efficiency(self):
+        efficient = VcselLaser(1550.0, -10.0, -30.0, wall_plug_efficiency=0.5)
+        lossy = VcselLaser(1550.0, -10.0, -30.0, wall_plug_efficiency=0.1)
+        assert lossy.electrical_power_mw() == pytest.approx(5 * efficient.electrical_power_mw())
+
+    def test_energy_per_bit_at_one_gbps(self):
+        laser = VcselLaser(1550.0, -10.0, -30.0, wall_plug_efficiency=0.1)
+        energy_j = laser.energy_per_bit_j(1.0e9)
+        expected_mw = laser.average_power_mw / 0.1
+        assert energy_j == pytest.approx(expected_mw * 1.0e-3 / 1.0e9)
+
+    def test_energy_per_bit_rejects_bad_rate(self):
+        laser = VcselLaser(1550.0, -10.0, -30.0)
+        with pytest.raises(ConfigurationError):
+            laser.energy_per_bit_j(0.0)
+
+    def test_rejects_bad_efficiency(self):
+        with pytest.raises(ConfigurationError):
+            VcselLaser(1550.0, -10.0, -30.0, wall_plug_efficiency=0.0)
+
+    def test_rejects_zero_above_one_power(self):
+        with pytest.raises(ConfigurationError):
+            VcselLaser(1550.0, -10.0, -5.0)
+
+    def test_rejects_non_positive_wavelength(self):
+        with pytest.raises(ConfigurationError):
+            VcselLaser(0.0, -10.0, -30.0)
+
+
+class TestPhotodetector:
+    def test_from_energy_parameters_uses_sensitivity(self):
+        energy = EnergyParameters(photodetector_sensitivity_dbm=-28.0)
+        detector = Photodetector.from_energy_parameters(energy)
+        assert detector.sensitivity_dbm == pytest.approx(-28.0)
+
+    def test_detects_above_sensitivity(self):
+        detector = Photodetector(sensitivity_dbm=-20.0)
+        assert detector.detects(-15.0)
+        assert detector.detects(-20.0)
+        assert not detector.detects(-25.0)
+
+    def test_power_margin(self):
+        detector = Photodetector(sensitivity_dbm=-20.0)
+        assert detector.power_margin_db(-14.0) == pytest.approx(6.0)
+        assert detector.power_margin_db(-26.0) == pytest.approx(-6.0)
+
+    def test_photocurrent_scales_with_responsivity(self):
+        unit = Photodetector(responsivity_a_per_w=1.0)
+        strong = Photodetector(responsivity_a_per_w=2.0)
+        assert strong.photocurrent_a(-10.0) == pytest.approx(2 * unit.photocurrent_a(-10.0))
+
+    def test_photocurrent_of_zero_dbm(self):
+        detector = Photodetector(responsivity_a_per_w=1.0)
+        assert detector.photocurrent_a(0.0) == pytest.approx(1.0e-3)
+
+    def test_rejects_non_positive_responsivity(self):
+        with pytest.raises(ConfigurationError):
+            Photodetector(responsivity_a_per_w=0.0)

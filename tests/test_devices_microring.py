@@ -1,0 +1,143 @@
+"""Unit tests for the micro-ring resonator model (Eqs. 1-5)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.config import PhotonicParameters
+from repro.devices import MicroRingResonator, MicroRingState
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture
+def parameters() -> PhotonicParameters:
+    return PhotonicParameters()
+
+
+@pytest.fixture
+def ring(parameters) -> MicroRingResonator:
+    return MicroRingResonator.from_photonic_parameters(1550.0, parameters)
+
+
+class TestLorentzianFilter:
+    def test_transmission_is_one_at_resonance(self, ring):
+        assert ring.filter_transmission(1550.0) == pytest.approx(1.0)
+
+    def test_transmission_db_is_zero_at_resonance(self, ring):
+        assert ring.filter_transmission_db(1550.0) == pytest.approx(0.0)
+
+    def test_half_bandwidth_matches_quality_factor(self, ring):
+        assert ring.half_bandwidth_nm == pytest.approx(1550.0 / (2 * 9600.0))
+
+    def test_minus_three_db_at_half_bandwidth(self, ring):
+        detuned = 1550.0 + ring.half_bandwidth_nm
+        assert ring.filter_transmission(detuned) == pytest.approx(0.5)
+        assert ring.filter_transmission_db(detuned) == pytest.approx(-3.0103, abs=1e-3)
+
+    def test_transmission_decreases_with_detuning(self, ring):
+        separations = [0.5, 1.0, 2.0, 4.0]
+        values = [ring.filter_transmission(1550.0 + s) for s in separations]
+        assert all(a > b for a, b in zip(values, values[1:]))
+
+    def test_transmission_is_symmetric(self, ring):
+        assert ring.filter_transmission(1551.6) == pytest.approx(
+            ring.filter_transmission(1548.4), rel=1e-3
+        )
+
+    def test_adjacent_channel_leak_for_paper_grid(self, ring):
+        # 8 wavelengths over 12.8 nm FSR -> 1.6 nm spacing; the first-order
+        # crosstalk should sit a bit beyond -25 dB for Q = 9600.
+        leak_db = ring.filter_transmission_db(1550.0 + 1.6)
+        assert -30.0 < leak_db < -20.0
+
+    def test_array_form_matches_scalar(self, ring):
+        wavelengths = np.array([1548.4, 1550.0, 1551.6, 1553.2])
+        array_db = ring.filter_transmission_array_db(wavelengths)
+        scalar_db = [ring.filter_transmission_db(w) for w in wavelengths]
+        assert np.allclose(array_db, scalar_db)
+
+    @given(detuning=st.floats(min_value=0.01, max_value=50.0))
+    def test_transmission_bounded_between_zero_and_one(self, ring, detuning):
+        value = ring.filter_transmission(1550.0 + detuning)
+        assert 0.0 < value < 1.0
+
+
+class TestPortBehaviour:
+    def test_off_state_through_applies_pass_loss(self, ring, parameters):
+        gain = ring.through_gain_db(1551.6, MicroRingState.OFF)
+        assert gain == pytest.approx(parameters.mr_off_pass_loss_db)
+
+    def test_off_state_through_same_for_resonant_signal(self, ring, parameters):
+        gain = ring.through_gain_db(1550.0, MicroRingState.OFF)
+        assert gain == pytest.approx(parameters.mr_off_pass_loss_db)
+
+    def test_on_state_through_blocks_resonant_signal(self, ring, parameters):
+        gain = ring.through_gain_db(1550.0, MicroRingState.ON)
+        assert gain == pytest.approx(parameters.mr_on_crosstalk_db)
+
+    def test_on_state_through_attenuates_other_signals(self, ring, parameters):
+        gain = ring.through_gain_db(1551.6, MicroRingState.ON)
+        assert gain == pytest.approx(parameters.mr_on_loss_db)
+
+    def test_on_state_drop_of_resonant_signal(self, ring, parameters):
+        gain = ring.drop_gain_db(1550.0, MicroRingState.ON)
+        assert gain == pytest.approx(parameters.mr_on_loss_db)
+
+    def test_off_state_drop_of_resonant_signal_is_crosstalk(self, ring, parameters):
+        gain = ring.drop_gain_db(1550.0, MicroRingState.OFF)
+        assert gain == pytest.approx(parameters.mr_off_crosstalk_db)
+
+    def test_drop_of_non_resonant_signal_follows_lorentzian(self, ring):
+        expected = ring.filter_transmission_db(1551.6)
+        assert ring.drop_gain_db(1551.6, MicroRingState.ON) == pytest.approx(expected)
+        assert ring.drop_gain_db(1551.6, MicroRingState.OFF) == pytest.approx(expected)
+
+    def test_crosstalk_leak_matches_filter(self, ring):
+        assert ring.crosstalk_leak_db(1552.0) == pytest.approx(
+            ring.filter_transmission_db(1552.0)
+        )
+
+    def test_all_port_gains_are_non_positive(self, ring):
+        for wavelength in (1548.4, 1550.0, 1551.6):
+            for state in MicroRingState:
+                assert ring.through_gain_db(wavelength, state) <= 0.0
+                assert ring.drop_gain_db(wavelength, state) <= 0.0
+
+
+class TestValidation:
+    def test_rejects_non_positive_resonance(self):
+        with pytest.raises(ConfigurationError):
+            MicroRingResonator(
+                resonance_wavelength_nm=0.0,
+                quality_factor=9600.0,
+                off_pass_loss_db=-0.005,
+                on_loss_db=-0.5,
+                off_crosstalk_db=-20.0,
+                on_crosstalk_db=-25.0,
+            )
+
+    def test_rejects_non_positive_quality_factor(self):
+        with pytest.raises(ConfigurationError):
+            MicroRingResonator(
+                resonance_wavelength_nm=1550.0,
+                quality_factor=-1.0,
+                off_pass_loss_db=-0.005,
+                on_loss_db=-0.5,
+                off_crosstalk_db=-20.0,
+                on_crosstalk_db=-25.0,
+            )
+
+    def test_is_resonant_tolerance(self, ring):
+        assert ring.is_resonant(1550.0)
+        assert not ring.is_resonant(1550.1)
+
+    def test_higher_quality_factor_means_sharper_filter(self, parameters):
+        sharp = MicroRingResonator.from_photonic_parameters(
+            1550.0, parameters.with_quality_factor(20000.0)
+        )
+        blunt = MicroRingResonator.from_photonic_parameters(
+            1550.0, parameters.with_quality_factor(2000.0)
+        )
+        assert sharp.filter_transmission(1551.6) < blunt.filter_transmission(1551.6)

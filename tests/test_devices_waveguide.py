@@ -1,0 +1,104 @@
+"""Unit tests for waveguide segments and paths."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import PhotonicParameters
+from repro.devices import WaveguidePath, WaveguideSegment
+from repro.errors import ConfigurationError, TopologyError
+
+
+@pytest.fixture
+def parameters() -> PhotonicParameters:
+    return PhotonicParameters()
+
+
+def segment(source: int, destination: int, length: float = 0.2, bends: int = 2) -> WaveguideSegment:
+    return WaveguideSegment(
+        source_oni=source, destination_oni=destination, length_cm=length, bend_count=bends
+    )
+
+
+class TestWaveguideSegment:
+    def test_propagation_loss(self, parameters):
+        assert segment(0, 1, length=1.0).propagation_loss_db(parameters) == pytest.approx(-0.274)
+
+    def test_bending_loss(self, parameters):
+        assert segment(0, 1, bends=4).bending_loss_db(parameters) == pytest.approx(-0.02)
+
+    def test_total_loss_is_sum(self, parameters):
+        piece = segment(0, 1, length=0.5, bends=2)
+        assert piece.total_loss_db(parameters) == pytest.approx(
+            piece.propagation_loss_db(parameters) + piece.bending_loss_db(parameters)
+        )
+
+    def test_key_is_directed_pair(self):
+        assert segment(3, 4).key == (3, 4)
+
+    def test_rejects_negative_length(self):
+        with pytest.raises(ConfigurationError):
+            segment(0, 1, length=-0.1)
+
+    def test_rejects_negative_bends(self):
+        with pytest.raises(ConfigurationError):
+            segment(0, 1, bends=-1)
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(ConfigurationError):
+            segment(2, 2)
+
+
+class TestWaveguidePath:
+    def test_contiguity_is_enforced(self):
+        with pytest.raises(TopologyError):
+            WaveguidePath.from_segments([segment(0, 1), segment(2, 3)])
+
+    def test_endpoints_and_intermediates(self):
+        path = WaveguidePath.from_segments([segment(0, 1), segment(1, 2), segment(2, 3)])
+        assert path.source_oni == 0
+        assert path.destination_oni == 3
+        assert path.intermediate_onis == [1, 2]
+        assert path.onis == [0, 1, 2, 3]
+        assert path.hop_count == 3
+
+    def test_empty_path_has_no_endpoints(self):
+        path = WaveguidePath()
+        assert len(path) == 0
+        assert path.onis == []
+        with pytest.raises(TopologyError):
+            _ = path.source_oni
+        with pytest.raises(TopologyError):
+            _ = path.destination_oni
+
+    def test_length_and_bends_accumulate(self):
+        path = WaveguidePath.from_segments(
+            [segment(0, 1, length=0.2, bends=2), segment(1, 2, length=0.3, bends=4)]
+        )
+        assert path.length_cm == pytest.approx(0.5)
+        assert path.bend_count == 6
+
+    def test_losses_accumulate(self, parameters):
+        path = WaveguidePath.from_segments([segment(0, 1), segment(1, 2)])
+        assert path.propagation_loss_db(parameters) == pytest.approx(2 * -0.274 * 0.2)
+        assert path.bending_loss_db(parameters) == pytest.approx(2 * 2 * -0.005)
+        assert path.total_waveguide_loss_db(parameters) == pytest.approx(
+            path.propagation_loss_db(parameters) + path.bending_loss_db(parameters)
+        )
+
+    def test_segment_keys_in_order(self):
+        path = WaveguidePath.from_segments([segment(5, 6), segment(6, 7)])
+        assert path.segment_keys() == [(5, 6), (6, 7)]
+
+    def test_shares_segment_with(self):
+        first = WaveguidePath.from_segments([segment(0, 1), segment(1, 2)])
+        second = WaveguidePath.from_segments([segment(1, 2), segment(2, 3)])
+        third = WaveguidePath.from_segments([segment(3, 4)])
+        assert first.shares_segment_with(second)
+        assert not first.shares_segment_with(third)
+
+    def test_iteration(self):
+        pieces = [segment(0, 1), segment(1, 2)]
+        path = WaveguidePath.from_segments(pieces)
+        assert list(path) == pieces
+        assert len(path) == 2

@@ -1,0 +1,114 @@
+"""Unit tests for the WDM wavelength grid."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.config import PhotonicParameters
+from repro.devices import WavelengthGrid
+from repro.errors import ConfigurationError
+
+
+class TestConstruction:
+    def test_channel_spacing_is_fsr_over_count(self):
+        grid = WavelengthGrid(count=8, center_wavelength_nm=1550.0, free_spectral_range_nm=12.8)
+        assert grid.channel_spacing_nm == pytest.approx(1.6)
+
+    def test_from_photonic_parameters(self):
+        grid = WavelengthGrid.from_photonic_parameters(4, PhotonicParameters())
+        assert grid.count == 4
+        assert grid.free_spectral_range_nm == pytest.approx(12.8)
+        assert grid.center_wavelength_nm == pytest.approx(1550.0)
+
+    def test_rejects_zero_channels(self):
+        with pytest.raises(ConfigurationError):
+            WavelengthGrid(count=0, center_wavelength_nm=1550.0, free_spectral_range_nm=12.8)
+
+    def test_rejects_non_positive_wavelength(self):
+        with pytest.raises(ConfigurationError):
+            WavelengthGrid(count=4, center_wavelength_nm=0.0, free_spectral_range_nm=12.8)
+
+    def test_rejects_non_positive_fsr(self):
+        with pytest.raises(ConfigurationError):
+            WavelengthGrid(count=4, center_wavelength_nm=1550.0, free_spectral_range_nm=-1.0)
+
+
+class TestGeometry:
+    def test_wavelengths_are_sorted_and_equally_spaced(self):
+        grid = WavelengthGrid(count=8, center_wavelength_nm=1550.0, free_spectral_range_nm=12.8)
+        wavelengths = np.asarray(grid.wavelengths_nm)
+        spacings = np.diff(wavelengths)
+        assert np.allclose(spacings, grid.channel_spacing_nm)
+
+    def test_comb_is_centred(self):
+        grid = WavelengthGrid(count=7, center_wavelength_nm=1550.0, free_spectral_range_nm=14.0)
+        assert np.mean(grid.wavelengths_nm) == pytest.approx(1550.0)
+
+    def test_single_channel_sits_at_centre(self):
+        grid = WavelengthGrid(count=1, center_wavelength_nm=1310.0, free_spectral_range_nm=10.0)
+        assert grid.wavelength_nm(0) == pytest.approx(1310.0)
+
+    def test_comb_spans_less_than_one_fsr(self):
+        grid = WavelengthGrid(count=8, center_wavelength_nm=1550.0, free_spectral_range_nm=12.8)
+        span = grid.wavelength_nm(7) - grid.wavelength_nm(0)
+        assert span == pytest.approx(12.8 * 7 / 8)
+        assert span < grid.free_spectral_range_nm
+
+    def test_separation_between_adjacent_channels(self):
+        grid = WavelengthGrid(count=4, center_wavelength_nm=1550.0, free_spectral_range_nm=12.8)
+        assert grid.separation_nm(0, 1) == pytest.approx(3.2)
+        assert grid.separation_nm(3, 0) == pytest.approx(9.6)
+
+    def test_separation_matrix_is_symmetric_with_zero_diagonal(self):
+        grid = WavelengthGrid(count=6, center_wavelength_nm=1550.0, free_spectral_range_nm=12.8)
+        matrix = grid.separation_matrix_nm()
+        assert np.allclose(matrix, matrix.T)
+        assert np.allclose(np.diag(matrix), 0.0)
+
+    def test_neighbours_first_order(self):
+        grid = WavelengthGrid(count=8, center_wavelength_nm=1550.0, free_spectral_range_nm=12.8)
+        assert grid.neighbours(0) == [1]
+        assert grid.neighbours(3) == [2, 4]
+        assert grid.neighbours(7) == [6]
+
+    def test_neighbours_second_order(self):
+        grid = WavelengthGrid(count=8, center_wavelength_nm=1550.0, free_spectral_range_nm=12.8)
+        assert grid.neighbours(3, order=2) == [1, 2, 4, 5]
+
+    def test_neighbours_rejects_bad_order(self):
+        grid = WavelengthGrid(count=4, center_wavelength_nm=1550.0, free_spectral_range_nm=12.8)
+        with pytest.raises(ConfigurationError):
+            grid.neighbours(0, order=0)
+
+    def test_index_bounds_are_checked(self):
+        grid = WavelengthGrid(count=4, center_wavelength_nm=1550.0, free_spectral_range_nm=12.8)
+        with pytest.raises(ConfigurationError):
+            grid.wavelength_nm(4)
+        with pytest.raises(ConfigurationError):
+            grid.separation_nm(0, -1)
+
+    def test_len_iter_and_subset(self):
+        grid = WavelengthGrid(count=4, center_wavelength_nm=1550.0, free_spectral_range_nm=12.8)
+        assert len(grid) == 4
+        assert list(grid) == list(grid.wavelengths_nm)
+        assert grid.subset([0, 2]) == (grid.wavelength_nm(0), grid.wavelength_nm(2))
+
+
+class TestProperties:
+    @given(count=st.integers(min_value=1, max_value=64))
+    def test_channel_count_matches(self, count):
+        grid = WavelengthGrid(
+            count=count, center_wavelength_nm=1550.0, free_spectral_range_nm=12.8
+        )
+        assert len(grid.wavelengths_nm) == count
+
+    @given(
+        count=st.integers(min_value=2, max_value=32),
+        fsr=st.floats(min_value=1.0, max_value=100.0),
+    )
+    def test_spacing_shrinks_with_channel_count(self, count, fsr):
+        narrow = WavelengthGrid(count=count, center_wavelength_nm=1550.0, free_spectral_range_nm=fsr)
+        wide = WavelengthGrid(count=count * 2, center_wavelength_nm=1550.0, free_spectral_range_nm=fsr)
+        assert wide.channel_spacing_nm == pytest.approx(narrow.channel_spacing_nm / 2.0)

@@ -1,0 +1,157 @@
+"""Unit tests for the exploration harness (experiments, sweeps, reports)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.application import paper_mapping, paper_task_graph
+from repro.config import GeneticParameters, OnocConfiguration
+from repro.errors import ExperimentError
+from repro.exploration import (
+    WavelengthExplorationExperiment,
+    front_series,
+    pareto_table,
+    solution_count_table,
+    sweep_channel_setup_energy,
+    sweep_genetic_parameters,
+    sweep_mappings,
+    sweep_quality_factor,
+    sweep_wavelength_counts,
+)
+from repro.application import Mapping
+
+#: A deliberately tiny GA so the exploration tests stay fast.
+TINY = GeneticParameters.smoke_test()
+
+
+@pytest.fixture(scope="module")
+def experiment() -> WavelengthExplorationExperiment:
+    return WavelengthExplorationExperiment(
+        task_graph=paper_task_graph(), mapping_factory=paper_mapping
+    )
+
+
+@pytest.fixture(scope="module")
+def records(experiment):
+    return experiment.run_many([4, 8], genetic_parameters=TINY)
+
+
+class TestExperiment:
+    def test_run_single_produces_a_complete_record(self, experiment):
+        record = experiment.run_single(4, genetic_parameters=TINY)
+        assert record.wavelength_count == 4
+        assert record.valid_solution_count > 0
+        assert record.pareto_size > 0
+        assert record.best_time_kcycles <= 38.0
+        assert record.runtime_seconds > 0.0
+
+    def test_run_many_keeps_request_order(self, records):
+        assert [record.wavelength_count for record in records] == [4, 8]
+
+    def test_build_allocator_uses_requested_wavelengths(self, experiment):
+        allocator = experiment.build_allocator(12)
+        assert allocator.architecture.wavelength_count == 12
+
+    def test_zero_wavelengths_rejected(self, experiment):
+        with pytest.raises(ExperimentError):
+            experiment.build_allocator(0)
+
+    def test_explicit_mapping_object_is_accepted(self, architecture):
+        mapping = paper_mapping(architecture)
+        experiment = WavelengthExplorationExperiment(
+            task_graph=paper_task_graph(), mapping_factory=mapping
+        )
+        record = experiment.run_single(8, genetic_parameters=TINY)
+        assert record.wavelength_count == 8
+
+    def test_record_rows(self, records):
+        record = records[0]
+        pareto_rows = record.pareto_rows()
+        valid_rows = record.valid_solution_rows()
+        assert len(pareto_rows) == record.pareto_size
+        assert len(valid_rows) == record.valid_solution_count
+        assert {"execution_time_kcycles", "bit_energy_fj", "log10_ber"} <= set(valid_rows[0])
+
+
+class TestReports:
+    def test_solution_count_table_rows(self, records):
+        rows = solution_count_table(records)
+        assert [row["wavelength_count"] for row in rows] == [4, 8]
+        for row, record in zip(rows, records):
+            assert row["valid_solution_count"] == record.valid_solution_count
+            assert 0 < row["pareto_front_size"] <= record.valid_solution_count
+
+    def test_front_series_is_sorted_and_non_dominated(self, records):
+        series = front_series(records[0], "time", "energy")
+        xs = [x for x, _ in series]
+        ys = [y for _, y in series]
+        assert xs == sorted(xs)
+        # Along a 2-objective minimisation front sorted by x, y must decrease.
+        assert all(earlier >= later for earlier, later in zip(ys, ys[1:]))
+
+    def test_front_series_log_ber_axis(self, records):
+        series = front_series(records[0], "time", "log_ber")
+        assert all(-6.0 < y < 0.0 for _, y in series)
+
+    def test_front_series_rejects_unknown_axis(self, records):
+        with pytest.raises(ExperimentError):
+            front_series(records[0], "time", "area")
+
+    def test_pareto_table_concatenates_records(self, records):
+        rows = pareto_table(records)
+        assert len(rows) == sum(record.pareto_size for record in records)
+        assert {row["wavelength_count"] for row in rows} == {4, 8}
+
+
+class TestSweeps:
+    def test_sweep_wavelength_counts(self):
+        records = sweep_wavelength_counts(
+            paper_task_graph(),
+            paper_mapping,
+            wavelength_counts=(4, 8),
+            genetic_parameters=TINY,
+        )
+        assert [record.wavelength_count for record in records] == [4, 8]
+
+    def test_sweep_quality_factor_degrades_ber_when_q_drops(self):
+        records = sweep_quality_factor(
+            paper_task_graph(),
+            paper_mapping,
+            quality_factors=(9600.0, 1000.0),
+            wavelength_count=8,
+            genetic_parameters=TINY,
+        )
+        assert set(records) == {9600.0, 1000.0}
+        # A blunter filter (low Q) leaks more crosstalk: the best reachable BER gets worse.
+        assert records[1000.0].best_log10_ber >= records[9600.0].best_log10_ber - 1e-9
+
+    def test_sweep_channel_setup_energy_raises_energy(self):
+        records = sweep_channel_setup_energy(
+            paper_task_graph(),
+            paper_mapping,
+            setup_energies_fj=(0.0, 6000.0),
+            wavelength_count=8,
+            genetic_parameters=TINY,
+        )
+        assert records[6000.0].best_energy_fj > records[0.0].best_energy_fj
+
+    def test_sweep_genetic_parameters(self):
+        records = sweep_genetic_parameters(
+            paper_task_graph(),
+            paper_mapping,
+            parameter_sets=[TINY, GeneticParameters(population_size=24, generations=10)],
+            wavelength_count=8,
+        )
+        assert len(records) == 2
+        assert records[1].valid_solution_count >= records[0].valid_solution_count
+
+    def test_sweep_mappings(self, architecture):
+        mappings = [
+            paper_mapping(architecture),
+            Mapping.round_robin(paper_task_graph(), architecture, stride=1),
+        ]
+        records = sweep_mappings(
+            paper_task_graph(), mappings, wavelength_count=8, genetic_parameters=TINY
+        )
+        assert len(records) == 2
+        assert all(record.pareto_size > 0 for record in records)

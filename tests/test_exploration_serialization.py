@@ -1,0 +1,97 @@
+"""Tests for saving and loading exploration results."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.application import paper_mapping, paper_task_graph
+from repro.config import GeneticParameters
+from repro.errors import ExperimentError
+from repro.exploration import (
+    WavelengthExplorationExperiment,
+    load_summary,
+    record_to_dict,
+    save_record,
+)
+from repro.exploration.serialization import SCHEMA
+
+
+@pytest.fixture(scope="module")
+def record():
+    experiment = WavelengthExplorationExperiment(
+        task_graph=paper_task_graph(), mapping_factory=paper_mapping
+    )
+    return experiment.run_single(8, genetic_parameters=GeneticParameters.smoke_test())
+
+
+class TestSerialisation:
+    def test_record_to_dict_layout(self, record):
+        payload = record_to_dict(record)
+        assert payload["schema"] == SCHEMA
+        assert payload["wavelength_count"] == 8
+        assert payload["pareto_size"] == len(payload["pareto_solutions"])
+        assert payload["valid_solution_count"] == record.valid_solution_count
+        first = payload["pareto_solutions"][0]
+        assert set(first) == {
+            "chromosome",
+            "wavelength_counts",
+            "execution_time_kcycles",
+            "bit_energy_fj",
+            "mean_ber",
+        }
+
+    def test_payload_is_json_serialisable(self, record):
+        text = json.dumps(record_to_dict(record))
+        assert "pareto_solutions" in text
+
+    def test_save_and_load_roundtrip(self, record, tmp_path):
+        path = save_record(record, tmp_path / "exploration" / "nw8.json")
+        assert path.exists()
+        summary = load_summary(path)
+        assert summary.wavelength_count == 8
+        assert summary.valid_solution_count == record.valid_solution_count
+        assert summary.pareto_size == record.pareto_size
+        assert summary.best_time_kcycles == pytest.approx(record.best_time_kcycles)
+        assert summary.best_energy_fj == pytest.approx(record.best_energy_fj)
+
+    def test_loaded_solutions_match_original_objectives(self, record, tmp_path):
+        path = save_record(record, tmp_path / "nw8.json")
+        summary = load_summary(path)
+        original = record.result.pareto_solutions
+        for restored, source in zip(summary.pareto_solutions, original):
+            assert restored.chromosome == source.chromosome
+            assert restored.wavelength_counts == source.wavelength_counts
+            assert restored.execution_time_kcycles == pytest.approx(
+                source.objectives.execution_time_kcycles
+            )
+            assert restored.allocation_summary == source.allocation_summary
+
+    def test_front_points_sorted_by_time(self, record, tmp_path):
+        summary = load_summary(save_record(record, tmp_path / "nw8.json"))
+        points = summary.front_points("time", "energy")
+        assert [x for x, _ in points] == sorted(x for x, _ in points)
+
+    def test_front_points_rejects_unknown_axis(self, record, tmp_path):
+        summary = load_summary(save_record(record, tmp_path / "nw8.json"))
+        with pytest.raises(ExperimentError):
+            summary.front_points("time", "area")
+
+
+class TestLoadErrors:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ExperimentError):
+            load_summary(tmp_path / "does-not-exist.json")
+
+    def test_invalid_json(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        with pytest.raises(ExperimentError):
+            load_summary(path)
+
+    def test_wrong_schema(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text(json.dumps({"schema": "something-else/9"}))
+        with pytest.raises(ExperimentError):
+            load_summary(path)

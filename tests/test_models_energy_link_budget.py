@@ -1,0 +1,152 @@
+"""Unit tests for the bit-energy model and the link-budget facade."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.config import EnergyParameters, TimingParameters
+from repro.errors import ConfigurationError
+from repro.models import BitEnergyModel, LinkBudget
+
+
+@pytest.fixture
+def energy_model() -> BitEnergyModel:
+    return BitEnergyModel(EnergyParameters(), TimingParameters())
+
+
+class TestCrosstalkPenalty:
+    def test_zero_ratio_has_no_penalty(self, energy_model):
+        assert energy_model.crosstalk_penalty_db(0.0) == pytest.approx(0.0)
+
+    def test_penalty_grows_with_ratio(self, energy_model):
+        small = energy_model.crosstalk_penalty_db(0.01)
+        large = energy_model.crosstalk_penalty_db(0.2)
+        assert 0.0 < small < large
+
+    def test_penalty_is_capped(self, energy_model):
+        assert energy_model.crosstalk_penalty_db(0.999999) <= BitEnergyModel.MAX_PENALTY_DB
+        assert energy_model.crosstalk_penalty_db(1.5) == BitEnergyModel.MAX_PENALTY_DB
+
+    def test_negative_ratio_rejected(self, energy_model):
+        with pytest.raises(ConfigurationError):
+            energy_model.crosstalk_penalty_db(-0.1)
+
+
+class TestLaserBudget:
+    def test_required_power_compensates_loss(self, energy_model):
+        sensitivity = EnergyParameters().photodetector_sensitivity_dbm
+        assert energy_model.required_laser_power_dbm(-3.0) == pytest.approx(sensitivity + 3.0)
+
+    def test_required_power_rejects_positive_loss(self, energy_model):
+        with pytest.raises(ConfigurationError):
+            energy_model.required_laser_power_dbm(1.0)
+
+    def test_electrical_power_includes_efficiency(self):
+        efficient = BitEnergyModel(EnergyParameters(laser_efficiency=1.0), TimingParameters())
+        lossy = BitEnergyModel(EnergyParameters(laser_efficiency=0.1), TimingParameters())
+        assert lossy.laser_electrical_power_mw(-2.0) == pytest.approx(
+            10 * efficient.laser_electrical_power_mw(-2.0)
+        )
+
+    def test_more_loss_needs_more_power(self, energy_model):
+        assert energy_model.laser_electrical_power_mw(-5.0) > energy_model.laser_electrical_power_mw(-1.0)
+
+
+class TestCommunicationEnergy:
+    def test_duration_follows_eq10(self, energy_model):
+        breakdown = energy_model.communication_energy(8000.0, [-2.0, -2.0])
+        # 8000 bits over 2 wavelengths at 1 bit/cycle at 1 GHz -> 4000 ns.
+        assert breakdown.duration_s == pytest.approx(4000.0e-9)
+
+    def test_energy_per_bit_fields_are_consistent(self, energy_model):
+        breakdown = energy_model.communication_energy(6000.0, [-2.0])
+        assert breakdown.energy_per_bit_fj == pytest.approx(breakdown.energy_per_bit_j * 1e15)
+        assert breakdown.total_energy_j == pytest.approx(
+            breakdown.laser_energy_j + breakdown.tuning_energy_j + breakdown.setup_energy_j
+        )
+
+    def test_setup_energy_scales_with_channel_count(self, energy_model):
+        one = energy_model.communication_energy(6000.0, [-2.0])
+        four = energy_model.communication_energy(6000.0, [-2.0] * 4)
+        assert four.setup_energy_j == pytest.approx(4 * one.setup_energy_j)
+
+    def test_more_wavelengths_cost_more_energy_per_bit(self, energy_model):
+        one = energy_model.communication_energy(6000.0, [-2.0])
+        four = energy_model.communication_energy(6000.0, [-2.0] * 4)
+        assert four.energy_per_bit_fj > one.energy_per_bit_fj
+
+    def test_single_wavelength_energy_in_paper_range(self, energy_model):
+        breakdown = energy_model.communication_energy(6000.0, [-1.5])
+        assert 2.0 < breakdown.energy_per_bit_fj < 8.0
+
+    def test_crosstalk_ratio_increases_energy(self, energy_model):
+        clean = energy_model.communication_energy(6000.0, [-2.0], [0.0])
+        noisy = energy_model.communication_energy(6000.0, [-2.0], [0.3])
+        assert noisy.energy_per_bit_fj > clean.energy_per_bit_fj
+
+    def test_requires_at_least_one_channel(self, energy_model):
+        with pytest.raises(ConfigurationError):
+            energy_model.communication_energy(6000.0, [])
+
+    def test_requires_matching_ratio_length(self, energy_model):
+        with pytest.raises(ConfigurationError):
+            energy_model.communication_energy(6000.0, [-2.0, -2.0], [0.0])
+
+    def test_rejects_negative_volume(self, energy_model):
+        with pytest.raises(ConfigurationError):
+            energy_model.communication_energy(-1.0, [-2.0])
+
+    def test_allocation_average_is_volume_weighted(self, energy_model):
+        small = energy_model.communication_energy(1000.0, [-2.0] * 4)
+        big = energy_model.communication_energy(9000.0, [-2.0])
+        average = energy_model.allocation_energy_per_bit_fj([small, big])
+        assert min(big.energy_per_bit_fj, small.energy_per_bit_fj) < average
+        assert average < max(big.energy_per_bit_fj, small.energy_per_bit_fj)
+        # Should sit much closer to the big transfer's figure.
+        assert abs(average - big.energy_per_bit_fj) < abs(average - small.energy_per_bit_fj)
+
+    def test_allocation_average_of_nothing_is_zero(self, energy_model):
+        assert energy_model.allocation_energy_per_bit_fj([]) == 0.0
+
+    @given(channels=st.integers(min_value=1, max_value=12))
+    def test_energy_monotone_in_channel_count(self, energy_model, channels):
+        fewer = energy_model.communication_energy(8000.0, [-2.0] * channels)
+        more = energy_model.communication_energy(8000.0, [-2.0] * (channels + 1))
+        assert more.energy_per_bit_fj >= fewer.energy_per_bit_fj - 1e-12
+
+
+class TestLinkBudget:
+    def test_link_closes_on_short_path(self, architecture):
+        budget = LinkBudget(architecture)
+        report = budget.evaluate_link(0, 2, channel=0)
+        assert report.closes
+        assert report.detector_margin_db > 0.0
+
+    def test_report_contains_consistent_snr_and_ber(self, architecture):
+        budget = LinkBudget(architecture)
+        report = budget.evaluate_link(0, 5, channel=3)
+        assert 0.0 <= report.bit_error_rate <= 0.5
+        assert report.snr.signal_power_dbm == pytest.approx(report.signal.power_dbm)
+
+    def test_intra_crosstalk_worsens_ber(self, architecture):
+        budget = LinkBudget(architecture)
+        alone = budget.evaluate_channels(0, 5, channels=[0], include_intra_crosstalk=True)[0]
+        crowded = budget.evaluate_channels(0, 5, channels=[0, 1, 2, 3])
+        victim = next(report for report in crowded if report.signal.channel == 0)
+        assert victim.bit_error_rate >= alone.bit_error_rate
+
+    def test_worst_case_report_is_the_maximum(self, architecture):
+        budget = LinkBudget(architecture)
+        reports = budget.evaluate_channels(0, 5, channels=[0, 1, 2])
+        worst = budget.worst_case_report(0, 5, channels=[0, 1, 2])
+        assert worst.bit_error_rate == pytest.approx(
+            max(report.bit_error_rate for report in reports)
+        )
+
+    def test_aggressors_increase_noise(self, architecture):
+        budget = LinkBudget(architecture)
+        architecture.oni(5).activate_receiver(0)
+        quiet = budget.evaluate_link(0, 5, channel=0)
+        loud = budget.evaluate_link(0, 5, channel=0, aggressors=[(1, 1), (2, 2)])
+        assert loud.snr.snr_linear < quiet.snr.snr_linear

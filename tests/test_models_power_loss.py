@@ -1,0 +1,121 @@
+"""Unit tests for the reference power-loss and crosstalk model (Eqs. 2-7)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import PhotonicParameters
+from repro.errors import TopologyError
+from repro.models import PowerLossModel
+
+
+@pytest.fixture
+def model(architecture) -> PowerLossModel:
+    return PowerLossModel(architecture)
+
+
+class TestPathLossBreakdown:
+    def test_all_contributions_are_non_positive(self, model):
+        breakdown = model.path_loss_breakdown(0, 5, channel=0)
+        assert breakdown.propagation_db <= 0.0
+        assert breakdown.bending_db <= 0.0
+        assert breakdown.off_ring_db <= 0.0
+        assert breakdown.on_ring_through_db <= 0.0
+        assert breakdown.drop_db <= 0.0
+        assert breakdown.total_db == pytest.approx(
+            breakdown.propagation_db
+            + breakdown.bending_db
+            + breakdown.off_ring_db
+            + breakdown.on_ring_through_db
+            + breakdown.drop_db
+        )
+
+    def test_adjacent_hop_has_smallest_loss(self, model):
+        near = model.path_loss_breakdown(0, 1, channel=0).total_db
+        far = model.path_loss_breakdown(0, 9, channel=0).total_db
+        assert near > far
+
+    def test_all_off_loss_matches_hand_computation(self, model, architecture):
+        parameters = architecture.configuration.photonic
+        breakdown = model.path_loss_breakdown(0, 2, channel=0)
+        path = architecture.path(0, 2)
+        expected_off_rings = 1 * 8 + 7  # one intermediate ONI + destination's other rings
+        assert breakdown.off_ring_db == pytest.approx(
+            expected_off_rings * parameters.mr_off_pass_loss_db
+        )
+        assert breakdown.propagation_db == pytest.approx(
+            path.propagation_loss_db(parameters)
+        )
+        assert breakdown.drop_db == pytest.approx(parameters.mr_on_loss_db)
+        assert breakdown.on_ring_through_db == pytest.approx(0.0)
+
+    def test_on_rings_on_path_increase_loss(self, model, architecture):
+        baseline = model.path_loss_breakdown(0, 5, channel=0).total_db
+        # Another destination on the path switches two of its rings ON.
+        architecture.oni(3).set_active_receive_channels([1, 2])
+        with_on_rings = model.path_loss_breakdown(0, 5, channel=0).total_db
+        assert with_on_rings < baseline
+        delta = baseline - with_on_rings
+        parameters = architecture.configuration.photonic
+        expected = 2 * (parameters.mr_off_pass_loss_db - parameters.mr_on_loss_db)
+        assert delta == pytest.approx(abs(expected))
+
+    def test_conflicting_intermediate_drop_raises(self, model, architecture):
+        # An intermediate ONI dropping the victim's own channel is a conflict.
+        architecture.oni(3).activate_receiver(0)
+        with pytest.raises(TopologyError):
+            model.path_loss_breakdown(0, 5, channel=0)
+
+
+class TestSignalPower:
+    def test_signal_power_is_laser_plus_losses(self, model):
+        received = model.signal_power_dbm(0, 4, channel=2)
+        assert received.power_dbm == pytest.approx(-10.0 + received.breakdown.total_db)
+
+    def test_custom_laser_power(self, model):
+        received = model.signal_power_dbm(0, 4, channel=2, laser_power_dbm=0.0)
+        assert received.power_dbm == pytest.approx(received.breakdown.total_db)
+
+    def test_signal_is_below_laser_power(self, model):
+        received = model.signal_power_dbm(0, 8, channel=1)
+        assert received.power_dbm < -10.0
+
+
+class TestCrosstalk:
+    def test_aggressor_power_is_well_below_signal(self, model, architecture):
+        architecture.oni(4).activate_receiver(0)
+        signal = model.signal_power_dbm(0, 4, channel=0).power_dbm
+        aggressor = model.aggressor_power_dbm(
+            aggressor_source=1,
+            aggressor_channel=1,
+            victim_destination=4,
+            victim_channel=0,
+        )
+        assert aggressor < signal - 15.0
+
+    def test_closer_channels_leak_more(self, model, architecture):
+        architecture.oni(4).activate_receiver(0)
+        adjacent = model.aggressor_power_dbm(1, 1, 4, 0)
+        distant = model.aggressor_power_dbm(1, 5, 4, 0)
+        assert adjacent > distant
+
+    def test_same_channel_aggressor_is_rejected(self, model):
+        with pytest.raises(TopologyError):
+            model.aggressor_power_dbm(1, 0, 4, 0)
+
+    def test_noise_terms_skip_same_channel(self, model, architecture):
+        architecture.oni(4).activate_receiver(0)
+        terms = model.crosstalk_noise_terms_dbm(
+            victim_source=0,
+            victim_destination=4,
+            victim_channel=0,
+            aggressors=[(1, 0), (1, 1), (2, 3)],
+        )
+        assert len(terms) == 2
+
+    def test_aggressor_injected_at_victim_oni(self, model, architecture):
+        architecture.oni(4).activate_receiver(0)
+        local = model.aggressor_power_dbm(4, 1, 4, 0)
+        remote = model.aggressor_power_dbm(0, 1, 4, 0)
+        # The locally injected aggressor has suffered no propagation loss.
+        assert local > remote

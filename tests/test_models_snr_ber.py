@@ -1,0 +1,124 @@
+"""Unit tests for the SNR (Eq. 8) and BER (Eq. 9) models."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.config import PhotonicParameters
+from repro.models import BerModel, SnrConvention, SnrModel, ber_from_snr
+from repro.units import dbm_to_mw
+
+
+@pytest.fixture
+def snr_model() -> SnrModel:
+    return SnrModel(PhotonicParameters())
+
+
+class TestSnrModel:
+    def test_no_crosstalk_leaves_only_zero_level(self, snr_model):
+        result = snr_model.evaluate(signal_power_dbm=-13.0, crosstalk_terms_dbm=[])
+        expected = dbm_to_mw(-13.0) / dbm_to_mw(-30.0)
+        assert result.snr_linear == pytest.approx(expected)
+
+    def test_snr_decreases_with_more_crosstalk(self, snr_model):
+        clean = snr_model.evaluate(-13.0, [])
+        noisy = snr_model.evaluate(-13.0, [-40.0, -40.0, -40.0])
+        assert noisy.snr_linear < clean.snr_linear
+
+    def test_snr_db_matches_linear(self, snr_model):
+        result = snr_model.evaluate(-13.0, [-40.0])
+        assert result.snr_db == pytest.approx(10 * math.log10(result.snr_linear))
+
+    def test_total_noise_combines_crosstalk_and_zero_level(self, snr_model):
+        result = snr_model.evaluate(-13.0, [-30.0])
+        assert dbm_to_mw(result.total_noise_dbm) == pytest.approx(
+            dbm_to_mw(result.noise_power_dbm) + dbm_to_mw(result.zero_level_power_dbm)
+        )
+
+    def test_attenuated_zero_level_improves_snr(self):
+        fixed = SnrModel(PhotonicParameters(), attenuate_zero_level=False)
+        attenuated = SnrModel(PhotonicParameters(), attenuate_zero_level=True)
+        loss_db = -3.0
+        assert (
+            attenuated.evaluate(-13.0, [], path_gain_db=loss_db).snr_linear
+            > fixed.evaluate(-13.0, [], path_gain_db=loss_db).snr_linear
+        )
+
+    def test_evaluate_many_matches_scalar(self, snr_model):
+        results = snr_model.evaluate_many([-13.0, -15.0], [[], [-40.0]])
+        assert len(results) == 2
+        assert results[0].snr_linear == pytest.approx(snr_model.evaluate(-13.0, []).snr_linear)
+
+    def test_evaluate_many_checks_lengths(self, snr_model):
+        with pytest.raises(ValueError):
+            snr_model.evaluate_many([-13.0], [[], []])
+
+    @given(
+        signal=st.floats(min_value=-30.0, max_value=0.0),
+        noise=st.lists(st.floats(min_value=-60.0, max_value=-20.0), max_size=6),
+    )
+    def test_snr_is_positive(self, snr_model, signal, noise):
+        assert snr_model.evaluate(signal, noise).snr_linear > 0.0
+
+
+class TestBerFormula:
+    def test_eq9_at_reference_point(self):
+        # BER = 0.5 * exp(-S/2) * (1 + S/4); at S = 17 (the ~17 dB operating
+        # point of the paper's setup) this is ~5.3e-4, i.e. log10 ~ -3.3.
+        ber = ber_from_snr(17.0)
+        assert math.log10(ber) == pytest.approx(-3.27, abs=0.05)
+
+    def test_ber_decreases_with_snr(self):
+        values = [ber_from_snr(snr) for snr in (5.0, 10.0, 20.0, 40.0)]
+        assert all(a > b for a, b in zip(values, values[1:]))
+
+    def test_zero_or_negative_snr_gives_half(self):
+        assert ber_from_snr(0.0) == pytest.approx(0.5)
+        assert ber_from_snr(-3.0) == pytest.approx(0.5)
+
+    def test_infinite_snr_gives_zero(self):
+        assert ber_from_snr(float("inf")) == 0.0
+
+    def test_nan_snr_gives_half(self):
+        assert ber_from_snr(float("nan")) == pytest.approx(0.5)
+
+    @given(st.floats(min_value=0.0, max_value=500.0))
+    def test_ber_is_bounded(self, snr):
+        assert 0.0 <= ber_from_snr(snr) <= 0.5
+
+
+class TestBerModel:
+    def test_default_convention_is_decibel(self):
+        assert BerModel().convention is SnrConvention.DECIBEL
+
+    def test_decibel_convention_reproduces_paper_range(self, snr_model):
+        # Signal around -13 dBm over a -30 dBm zero level gives log10(BER) in
+        # the paper's -3.0 .. -3.7 window under the decibel convention.
+        result = snr_model.evaluate(-13.0, [])
+        ber = BerModel().from_snr_result(result)
+        assert -3.8 < math.log10(ber) < -3.0
+
+    def test_linear_convention_is_much_more_optimistic(self, snr_model):
+        result = snr_model.evaluate(-13.0, [])
+        decibel = BerModel(SnrConvention.DECIBEL).from_snr_result(result)
+        linear = BerModel(SnrConvention.LINEAR).from_snr_result(result)
+        assert linear < decibel
+
+    def test_average_and_worst(self, snr_model):
+        results = [snr_model.evaluate(-13.0, []), snr_model.evaluate(-13.0, [-30.0])]
+        model = BerModel()
+        values = model.from_snr_results(results)
+        assert model.worst_ber(results) == pytest.approx(max(values))
+        assert model.average_ber(results) == pytest.approx(sum(values) / 2)
+
+    def test_empty_aggregates_are_zero(self):
+        model = BerModel()
+        assert model.average_ber([]) == 0.0
+        assert model.worst_ber([]) == 0.0
+
+    def test_log10_ber_has_floor(self):
+        model = BerModel(SnrConvention.LINEAR)
+        assert model.log10_ber(1.0e6) >= -300.0

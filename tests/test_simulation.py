@@ -1,0 +1,202 @@
+"""Unit tests for the discrete-event simulation substrate."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.application import Mapping, paper_mapping, paper_task_graph, pipeline_task_graph
+from repro.errors import SimulationError
+from repro.simulation import DiscreteEventEngine, EventQueue, OnocSimulator, UtilisationTracker
+from repro.topology import RingOnocArchitecture
+
+
+class TestEventQueue:
+    def test_events_pop_in_time_order(self):
+        queue = EventQueue()
+        order = []
+        queue.push(5.0, lambda: order.append("late"))
+        queue.push(1.0, lambda: order.append("early"))
+        queue.push(3.0, lambda: order.append("middle"))
+        while queue:
+            queue.pop().action()
+        assert order == ["early", "middle", "late"]
+
+    def test_same_time_uses_priority_then_insertion(self):
+        queue = EventQueue()
+        order = []
+        queue.push(1.0, lambda: order.append("second"), priority=1)
+        queue.push(1.0, lambda: order.append("first"), priority=0)
+        queue.push(1.0, lambda: order.append("third"), priority=1)
+        while queue:
+            queue.pop().action()
+        assert order == ["first", "second", "third"]
+
+    def test_cancelled_events_are_skipped(self):
+        queue = EventQueue()
+        event = queue.push(1.0, lambda: None)
+        queue.push(2.0, lambda: None)
+        event.cancel()
+        assert len(queue) == 1
+        assert queue.peek_time() == pytest.approx(2.0)
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(SimulationError):
+            EventQueue().push(-1.0, lambda: None)
+
+    def test_empty_queue_behaviour(self):
+        queue = EventQueue()
+        assert queue.pop() is None
+        assert queue.peek_time() is None
+        assert not queue
+
+
+class TestDiscreteEventEngine:
+    def test_clock_advances_with_events(self):
+        engine = DiscreteEventEngine()
+        times = []
+        engine.schedule_at(2.0, lambda: times.append(engine.now))
+        engine.schedule_at(5.0, lambda: times.append(engine.now))
+        end = engine.run()
+        assert times == [2.0, 5.0]
+        assert end == pytest.approx(5.0)
+        assert engine.processed_events == 2
+
+    def test_schedule_after_uses_relative_delay(self):
+        engine = DiscreteEventEngine()
+        seen = []
+
+        def first():
+            engine.schedule_after(3.0, lambda: seen.append(engine.now))
+
+        engine.schedule_at(1.0, first)
+        engine.run()
+        assert seen == [4.0]
+
+    def test_until_stops_early(self):
+        engine = DiscreteEventEngine()
+        fired = []
+        engine.schedule_at(10.0, lambda: fired.append(True))
+        end = engine.run(until=5.0)
+        assert fired == []
+        assert end == pytest.approx(5.0)
+
+    def test_scheduling_in_the_past_rejected(self):
+        engine = DiscreteEventEngine()
+        engine.schedule_at(5.0, lambda: engine.schedule_at(1.0, lambda: None))
+        with pytest.raises(SimulationError):
+            engine.run()
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            DiscreteEventEngine().schedule_after(-1.0, lambda: None)
+
+    def test_event_cap_detects_loops(self):
+        engine = DiscreteEventEngine()
+
+        def loop():
+            engine.schedule_after(1.0, loop)
+
+        engine.schedule_at(0.0, loop)
+        with pytest.raises(SimulationError):
+            engine.run(max_events=100)
+
+    def test_reset(self):
+        engine = DiscreteEventEngine()
+        engine.schedule_at(1.0, lambda: None)
+        engine.run()
+        engine.reset()
+        assert engine.now == 0.0
+        assert engine.processed_events == 0
+
+
+class TestUtilisationTracker:
+    def test_busy_time_and_utilisation(self):
+        tracker = UtilisationTracker()
+        tracker.add_busy_interval("core0", 0.0, 5.0)
+        tracker.add_busy_interval("core0", 10.0, 15.0)
+        assert tracker.busy_time("core0") == pytest.approx(10.0)
+        assert tracker.activations("core0") == 2
+        assert tracker.utilisation("core0", 20.0) == pytest.approx(0.5)
+
+    def test_unknown_resource_is_idle(self):
+        tracker = UtilisationTracker()
+        assert tracker.busy_time("ghost") == 0.0
+        assert tracker.utilisation("ghost", 10.0) == 0.0
+
+    def test_bad_interval_rejected(self):
+        with pytest.raises(ValueError):
+            UtilisationTracker().add_busy_interval("x", 5.0, 1.0)
+
+    def test_utilisation_capped_at_one(self):
+        tracker = UtilisationTracker()
+        tracker.add_busy_interval("x", 0.0, 50.0)
+        assert tracker.utilisation("x", 10.0) == 1.0
+
+
+class TestOnocSimulator:
+    def test_matches_analytical_schedule(self, architecture, task_graph, mapping, evaluator):
+        simulator = OnocSimulator(architecture, task_graph, mapping)
+        allocation = [(0,), (1,), (2,), (3,), (4,), (5,)]
+        report = simulator.run(allocation)
+        analytical = evaluator.evaluate_allocation(allocation)
+        assert report.makespan_kilocycles == pytest.approx(
+            analytical.objectives.execution_time_kcycles
+        )
+        assert report.is_conflict_free
+
+    def test_matches_schedule_for_multi_wavelength_allocation(
+        self, architecture, task_graph, mapping, evaluator
+    ):
+        simulator = OnocSimulator(architecture, task_graph, mapping)
+        allocation = [(0, 1), (2, 3, 4), (5, 6), (0, 7), (2, 3), (5, 6)]
+        report = simulator.run(allocation)
+        analytical = evaluator.evaluate_allocation(allocation)
+        assert analytical.is_valid
+        assert report.makespan_kilocycles == pytest.approx(
+            analytical.objectives.execution_time_kcycles
+        )
+        assert report.is_conflict_free
+
+    def test_detects_wavelength_conflicts(self, architecture, task_graph, mapping):
+        simulator = OnocSimulator(architecture, task_graph, mapping)
+        # c0 and c1 overlap in time and share segments: same channel conflicts.
+        report = simulator.run([(0,), (0,), (2,), (3,), (4,), (5,)])
+        assert not report.is_conflict_free
+        assert report.statistics.conflicts_detected == len(report.conflicts)
+
+    def test_transfer_records_cover_every_edge(self, architecture, task_graph, mapping):
+        simulator = OnocSimulator(architecture, task_graph, mapping)
+        report = simulator.run([(0,), (1,), (2,), (3,), (4,), (5,)])
+        assert [record.edge_index for record in report.transfers] == list(range(6))
+        assert report.statistics.transfers_completed == 6
+        assert report.statistics.tasks_completed == 6
+        assert report.statistics.total_bits_transferred == pytest.approx(
+            task_graph.total_volume_bits()
+        )
+
+    def test_statistics_utilisations_are_fractions(self, architecture, task_graph, mapping):
+        simulator = OnocSimulator(architecture, task_graph, mapping)
+        report = simulator.run([(0,), (1,), (2,), (3,), (4,), (5,)])
+        for value in report.statistics.core_utilisation.values():
+            assert 0.0 < value <= 1.0
+        for value in report.statistics.wavelength_utilisation.values():
+            assert 0.0 < value <= 1.0
+        assert 0.0 < report.statistics.average_core_utilisation <= 1.0
+        assert report.statistics.effective_bandwidth_bits_per_cycle > 0.0
+
+    def test_pipeline_simulation(self, architecture):
+        graph = pipeline_task_graph(stage_count=4)
+        mapping = Mapping.round_robin(graph, architecture, stride=3)
+        simulator = OnocSimulator(architecture, graph, mapping)
+        report = simulator.run([(0,), (1,), (2,)])
+        expected = 4 * 5000.0 + 3 * 4000.0
+        assert report.makespan_cycles == pytest.approx(expected)
+
+    def test_input_validation(self, architecture, task_graph, mapping):
+        simulator = OnocSimulator(architecture, task_graph, mapping)
+        with pytest.raises(SimulationError):
+            simulator.run([(0,)] * 3)
+        with pytest.raises(SimulationError):
+            simulator.run([(0,), (), (2,), (3,), (4,), (5,)])
+        with pytest.raises(SimulationError):
+            simulator.run([(0,), (99,), (2,), (3,), (4,), (5,)])

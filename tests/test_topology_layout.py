@@ -1,0 +1,105 @@
+"""Unit tests for the tile layout and serpentine numbering."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import TopologyError
+from repro.topology import TileLayout
+from repro.topology.layout import TileCoordinate
+
+
+@pytest.fixture
+def layout() -> TileLayout:
+    return TileLayout(rows=4, columns=4)
+
+
+class TestSerpentineNumbering:
+    def test_core_count(self, layout):
+        assert layout.core_count == 16
+
+    def test_first_row_left_to_right(self, layout):
+        assert [layout.coordinate_of(i).column for i in range(4)] == [0, 1, 2, 3]
+        assert all(layout.coordinate_of(i).row == 0 for i in range(4))
+
+    def test_second_row_right_to_left(self, layout):
+        # Paper numbering: row 1 holds cores 7 6 5 4 from left to right.
+        assert layout.core_at(TileCoordinate(1, 0)) == 7
+        assert layout.core_at(TileCoordinate(1, 1)) == 6
+        assert layout.core_at(TileCoordinate(1, 2)) == 5
+        assert layout.core_at(TileCoordinate(1, 3)) == 4
+
+    def test_fourth_row_matches_paper_figure(self, layout):
+        assert layout.core_at(TileCoordinate(3, 0)) == 15
+        assert layout.core_at(TileCoordinate(3, 3)) == 12
+
+    def test_coordinate_core_roundtrip(self, layout):
+        for core in layout.core_ids():
+            assert layout.core_at(layout.coordinate_of(core)) == core
+
+    def test_coordinate_out_of_grid_is_rejected(self, layout):
+        with pytest.raises(TopologyError):
+            layout.core_at(TileCoordinate(4, 0))
+
+    def test_core_out_of_range_is_rejected(self, layout):
+        with pytest.raises(TopologyError):
+            layout.coordinate_of(16)
+
+    def test_coordinates_mapping_is_complete(self, layout):
+        coordinates = layout.coordinates()
+        assert set(coordinates) == set(range(16))
+
+    @given(rows=st.integers(min_value=1, max_value=6), columns=st.integers(min_value=2, max_value=6))
+    def test_roundtrip_for_arbitrary_grids(self, rows, columns):
+        layout = TileLayout(rows=rows, columns=columns)
+        for core in layout.core_ids():
+            assert layout.core_at(layout.coordinate_of(core)) == core
+
+
+class TestRingGeometry:
+    def test_ring_order_is_identity(self, layout):
+        assert layout.ring_order() == list(range(16))
+
+    def test_successor_wraps_around(self, layout):
+        assert layout.ring_successor(15) == 0
+        assert layout.ring_successor(0) == 1
+
+    def test_ring_distance(self, layout):
+        assert layout.ring_distance(0, 5) == 5
+        assert layout.ring_distance(5, 0) == 11
+        assert layout.ring_distance(7, 7) == 0
+
+    def test_adjacent_serpentine_tiles_are_one_pitch_apart(self, layout):
+        assert layout.segment_length_cm(0) == pytest.approx(layout.tile_pitch_cm)
+        assert layout.segment_length_cm(3) == pytest.approx(layout.tile_pitch_cm)
+
+    def test_row_turn_adds_bends(self, layout):
+        straight = layout.segment_bend_count(1)
+        turning = layout.segment_bend_count(3)
+        assert turning > straight
+
+    def test_wraparound_segment_is_longest(self, layout):
+        closing = layout.segment_length_cm(15)
+        assert closing >= max(layout.segment_length_cm(i) for i in range(15))
+
+    def test_manhattan_distance(self):
+        assert TileCoordinate(0, 0).manhattan_distance(TileCoordinate(2, 3)) == 5
+
+
+class TestValidation:
+    def test_rejects_single_tile(self):
+        with pytest.raises(TopologyError):
+            TileLayout(rows=1, columns=1)
+
+    def test_rejects_zero_rows(self):
+        with pytest.raises(TopologyError):
+            TileLayout(rows=0, columns=4)
+
+    def test_rejects_non_positive_pitch(self):
+        with pytest.raises(TopologyError):
+            TileLayout(rows=2, columns=2, tile_pitch_cm=0.0)
+
+    def test_rejects_negative_bends(self):
+        with pytest.raises(TopologyError):
+            TileLayout(rows=2, columns=2, bends_per_tile_crossing=-1)

@@ -1,0 +1,149 @@
+"""Unit tests for the ring waveguide and the optical network interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import EnergyParameters, PhotonicParameters
+from repro.devices import MicroRingState, WavelengthGrid
+from repro.errors import TopologyError
+from repro.topology import RingWaveguide, TileLayout
+from repro.topology.oni import OpticalNetworkInterface
+
+
+@pytest.fixture
+def ring() -> RingWaveguide:
+    return RingWaveguide(layout=TileLayout(rows=4, columns=4))
+
+
+@pytest.fixture
+def oni() -> OpticalNetworkInterface:
+    grid = WavelengthGrid(count=4, center_wavelength_nm=1550.0, free_spectral_range_nm=12.8)
+    return OpticalNetworkInterface.build(3, grid, PhotonicParameters(), EnergyParameters())
+
+
+class TestRingWaveguide:
+    def test_one_segment_per_oni(self, ring):
+        assert len(ring.segments) == 16
+        assert ring.oni_count == 16
+
+    def test_segments_form_a_closed_cycle(self, ring):
+        for segment in ring.segments:
+            assert ring.segment_after(segment.source_oni) is segment
+        visited = [0]
+        current = 0
+        for _ in range(16):
+            current = ring.segment_after(current).destination_oni
+            visited.append(current)
+        assert visited[-1] == 0
+        assert sorted(set(visited)) == list(range(16))
+
+    def test_path_follows_propagation_direction(self, ring):
+        path = ring.path(2, 6)
+        assert path.onis == [2, 3, 4, 5, 6]
+
+    def test_path_wraps_around(self, ring):
+        path = ring.path(14, 1)
+        assert path.onis == [14, 15, 0, 1]
+
+    def test_path_rejects_self(self, ring):
+        with pytest.raises(TopologyError):
+            ring.path(4, 4)
+
+    def test_hop_count_matches_path_length(self, ring):
+        assert ring.hop_count(3, 9) == len(ring.path(3, 9))
+
+    def test_crossed_onis_excludes_endpoints(self, ring):
+        assert ring.crossed_onis(0, 3) == [1, 2]
+
+    def test_circumference_positive(self, ring):
+        assert ring.circumference_cm > 0.0
+
+    def test_segment_usage_identifies_sharing(self, ring):
+        usage = ring.segment_usage([(0, 4), (2, 6), (8, 10)])
+        # Segment (2,3) is used by both the first and the second path.
+        assert usage[(2, 3)] == [0, 1]
+        # Segment (8,9) only by the third.
+        assert usage[(8, 9)] == [2]
+
+    def test_oni_bounds_checked(self, ring):
+        with pytest.raises(TopologyError):
+            ring.path(0, 99)
+
+
+class TestOpticalNetworkInterface:
+    def test_one_device_per_channel(self, oni):
+        assert len(oni.transmitters) == 4
+        assert len(oni.receivers) == 4
+
+    def test_receivers_start_off(self, oni):
+        assert oni.active_receive_channels == frozenset()
+        assert all(
+            oni.receiver_state(channel) is MicroRingState.OFF for channel in range(4)
+        )
+
+    def test_activate_and_deactivate(self, oni):
+        oni.activate_receiver(2)
+        assert oni.receiver_state(2) is MicroRingState.ON
+        assert oni.active_ring_count() == 1
+        oni.deactivate_receiver(2)
+        assert oni.receiver_state(2) is MicroRingState.OFF
+
+    def test_set_active_channels_replaces(self, oni):
+        oni.activate_receiver(0)
+        oni.set_active_receive_channels([1, 3])
+        assert oni.active_receive_channels == frozenset({1, 3})
+
+    def test_reset_receivers(self, oni):
+        oni.set_active_receive_channels([0, 1, 2])
+        oni.reset_receivers()
+        assert oni.active_ring_count() == 0
+
+    def test_through_gain_all_off_is_n_pass_losses(self, oni):
+        gain = oni.through_gain_db(0)
+        assert gain == pytest.approx(4 * -0.005)
+
+    def test_through_gain_with_other_channel_on(self, oni):
+        oni.activate_receiver(3)
+        gain = oni.through_gain_db(0)
+        # Three OFF rings at -0.005 plus one ON ring at -0.5.
+        assert gain == pytest.approx(3 * -0.005 + -0.5)
+
+    def test_through_gain_when_own_channel_on_is_blocking(self, oni):
+        oni.activate_receiver(0)
+        gain = oni.through_gain_db(0)
+        # The resonant ON ring passes only its -25 dB crosstalk residue.
+        assert gain <= -25.0
+
+    def test_drop_gain_resonant_on(self, oni):
+        oni.activate_receiver(1)
+        assert oni.drop_gain_db(1, 1) == pytest.approx(-0.5)
+
+    def test_drop_gain_non_resonant_is_lorentzian(self, oni):
+        oni.activate_receiver(1)
+        leak = oni.drop_gain_db(1, 2)
+        assert leak < -20.0
+
+    def test_channel_bounds_checked(self, oni):
+        with pytest.raises(TopologyError):
+            oni.activate_receiver(7)
+        with pytest.raises(TopologyError):
+            oni.receiver(9)
+
+    def test_channel_summary(self, oni):
+        oni.activate_receiver(1)
+        summary = oni.channel_summary()
+        assert summary[1] == "on"
+        assert summary[0] == "off"
+
+    def test_build_requires_matching_devices(self):
+        grid = WavelengthGrid(count=2, center_wavelength_nm=1550.0, free_spectral_range_nm=12.8)
+        good = OpticalNetworkInterface.build(0, grid, PhotonicParameters())
+        with pytest.raises(TopologyError):
+            OpticalNetworkInterface(
+                oni_id=0,
+                grid=grid,
+                transmitters=good.transmitters[:1],
+                receivers=good.receivers,
+                photodetector=good.photodetector,
+            )

@@ -1,0 +1,116 @@
+"""Unit tests for :mod:`repro.units`."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import units
+
+
+class TestDbConversions:
+    def test_db_to_linear_zero(self):
+        assert units.db_to_linear(0.0) == pytest.approx(1.0)
+
+    def test_db_to_linear_ten(self):
+        assert units.db_to_linear(10.0) == pytest.approx(10.0)
+
+    def test_db_to_linear_minus_three(self):
+        assert units.db_to_linear(-3.0) == pytest.approx(0.501187, rel=1e-5)
+
+    def test_linear_to_db_one(self):
+        assert units.linear_to_db(1.0) == pytest.approx(0.0)
+
+    def test_linear_to_db_hundred(self):
+        assert units.linear_to_db(100.0) == pytest.approx(20.0)
+
+    def test_linear_to_db_zero_is_minus_inf(self):
+        assert units.linear_to_db(0.0) == float("-inf")
+
+    def test_linear_to_db_negative_is_minus_inf(self):
+        assert units.linear_to_db(-1.0) == float("-inf")
+
+    @given(st.floats(min_value=-100.0, max_value=100.0))
+    def test_roundtrip_db(self, value_db):
+        assert units.linear_to_db(units.db_to_linear(value_db)) == pytest.approx(
+            value_db, abs=1e-9
+        )
+
+
+class TestAbsolutePower:
+    def test_dbm_to_mw_zero(self):
+        assert units.dbm_to_mw(0.0) == pytest.approx(1.0)
+
+    def test_dbm_to_mw_minus_ten(self):
+        assert units.dbm_to_mw(-10.0) == pytest.approx(0.1)
+
+    def test_mw_to_dbm_one(self):
+        assert units.mw_to_dbm(1.0) == pytest.approx(0.0)
+
+    def test_mw_to_dbm_zero_is_minus_inf(self):
+        assert units.mw_to_dbm(0.0) == float("-inf")
+
+    def test_dbm_to_watt(self):
+        assert units.dbm_to_watt(0.0) == pytest.approx(1.0e-3)
+
+    def test_watt_to_dbm(self):
+        assert units.watt_to_dbm(1.0e-3) == pytest.approx(0.0)
+
+    @given(st.floats(min_value=-80.0, max_value=30.0))
+    def test_roundtrip_dbm(self, value_dbm):
+        assert units.mw_to_dbm(units.dbm_to_mw(value_dbm)) == pytest.approx(
+            value_dbm, abs=1e-9
+        )
+
+
+class TestPowerSums:
+    def test_sum_of_equal_powers_adds_three_db(self):
+        assert units.sum_powers_dbm([-10.0, -10.0]) == pytest.approx(-10.0 + 10 * math.log10(2))
+
+    def test_sum_empty_is_minus_inf(self):
+        assert units.sum_powers_dbm([]) == float("-inf")
+
+    def test_sum_ignores_minus_inf_terms(self):
+        assert units.sum_powers_dbm([-20.0, float("-inf")]) == pytest.approx(-20.0)
+
+    @given(st.lists(st.floats(min_value=-60.0, max_value=0.0), min_size=1, max_size=8))
+    def test_sum_is_at_least_the_maximum(self, values):
+        assert units.sum_powers_dbm(values) >= max(values) - 1e-9
+
+
+class TestMiscConversions:
+    def test_joules_femtojoules_roundtrip(self):
+        assert units.femtojoules_to_joules(units.joules_to_femtojoules(2.5e-15)) == pytest.approx(
+            2.5e-15
+        )
+
+    def test_nm_to_m(self):
+        assert units.nm_to_m(1550.0) == pytest.approx(1.55e-6)
+
+    def test_m_to_nm(self):
+        assert units.m_to_nm(1.55e-6) == pytest.approx(1550.0)
+
+    def test_cm_to_m(self):
+        assert units.cm_to_m(2.0) == pytest.approx(0.02)
+
+    def test_cycles_to_seconds(self):
+        assert units.cycles_to_seconds(1000.0, 1.0e9) == pytest.approx(1.0e-6)
+
+    def test_seconds_to_cycles(self):
+        assert units.seconds_to_cycles(1.0e-6, 1.0e9) == pytest.approx(1000.0)
+
+    def test_cycles_to_seconds_rejects_non_positive_clock(self):
+        with pytest.raises(ValueError):
+            units.cycles_to_seconds(1.0, 0.0)
+
+    def test_seconds_to_cycles_rejects_non_positive_clock(self):
+        with pytest.raises(ValueError):
+            units.seconds_to_cycles(1.0, -1.0)
+
+    def test_safe_log10_clips_non_positive(self):
+        result = units.safe_log10([1.0, 0.0, -5.0])
+        assert result[0] == pytest.approx(0.0)
+        assert np.all(np.isfinite(result))

@@ -33,9 +33,11 @@ from .config import (
 from .errors import (
     AllocationError,
     ConfigurationError,
+    ExperimentError,
     InvalidChromosomeError,
     MappingError,
     ReproError,
+    ScenarioError,
     SchedulingError,
     SimulationError,
     TaskGraphError,
@@ -68,6 +70,14 @@ from .allocation import (
 from .models import BerModel, BitEnergyModel, LinkBudget, PowerLossModel, SnrModel
 from .simulation import OnocSimulator, SimulationReport
 from .exploration import WavelengthExplorationExperiment
+from .scenarios import (
+    Scenario,
+    ScenarioBuilder,
+    ScenarioResult,
+    Study,
+    StudyResult,
+    execute_scenario,
+)
 
 __version__ = "1.0.0"
 
@@ -89,6 +99,8 @@ __all__ = [
     "InvalidChromosomeError",
     "SchedulingError",
     "SimulationError",
+    "ExperimentError",
+    "ScenarioError",
     # architecture
     "RingOnocArchitecture",
     "TileLayout",
@@ -124,4 +136,11 @@ __all__ = [
     "SimulationReport",
     # exploration
     "WavelengthExplorationExperiment",
+    # scenarios
+    "Scenario",
+    "ScenarioBuilder",
+    "ScenarioResult",
+    "Study",
+    "StudyResult",
+    "execute_scenario",
 ]

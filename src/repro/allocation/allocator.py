@@ -34,36 +34,112 @@ __all__ = ["ExplorationResult", "WavelengthAllocator"]
 
 @dataclass
 class ExplorationResult:
-    """Outcome of one wavelength-allocation exploration."""
+    """Outcome of one wavelength-allocation exploration.
+
+    The result is backend-agnostic: an NSGA-II run stores its raw
+    :class:`~repro.allocation.nsga2.Nsga2Result` in ``nsga2``, while other
+    optimizer backends (exhaustive search, the classical heuristics — see
+    :mod:`repro.scenarios.backends`) fill ``front`` and ``solutions`` directly
+    through :meth:`from_solutions`.  Either way the reporting surface
+    (``pareto_front``, ``valid_solutions``, ``front_for`` ...) behaves the same.
+    """
 
     wavelength_count: int
     objective_keys: Tuple[str, ...]
-    nsga2: Nsga2Result
+    nsga2: Optional[Nsga2Result] = None
+    front: Optional[ParetoFront[AllocationSolution]] = None
+    solutions: Optional[Dict[Tuple[int, ...], AllocationSolution]] = None
+    valid_count: Optional[int] = None
+    backend: str = "nsga2"
+
+    def __post_init__(self) -> None:
+        if self.nsga2 is None and self.front is None:
+            raise AllocationError(
+                "an ExplorationResult needs either an NSGA-II result or an "
+                "explicit Pareto front"
+            )
+
+    @classmethod
+    def from_solutions(
+        cls,
+        wavelength_count: int,
+        objective_keys: Sequence[str],
+        solutions: Sequence[AllocationSolution],
+        valid_count: Optional[int] = None,
+        backend: str = "custom",
+    ) -> "ExplorationResult":
+        """Build a result from an explicit pool of evaluated solutions.
+
+        Invalid solutions are kept out of the Pareto front and the unique-valid
+        books, mirroring what the NSGA-II engine does during a run.
+        """
+        keys = tuple(objective_keys)
+        front: ParetoFront[AllocationSolution] = ParetoFront()
+        unique: Dict[Tuple[int, ...], AllocationSolution] = {}
+        for solution in solutions:
+            if not solution.is_valid or solution.chromosome.genes in unique:
+                continue
+            unique[solution.chromosome.genes] = solution
+            front.add(solution, solution.objective_tuple(keys))
+        return cls(
+            wavelength_count=wavelength_count,
+            objective_keys=keys,
+            front=front,
+            solutions=unique,
+            valid_count=valid_count if valid_count is not None else len(unique),
+            backend=backend,
+        )
 
     @property
     def pareto_front(self) -> ParetoFront[AllocationSolution]:
         """The Pareto front over every valid solution encountered."""
+        if self.front is not None:
+            return self.front
         return self.nsga2.pareto_front
 
     @property
     def pareto_solutions(self) -> List[AllocationSolution]:
         """Non-dominated solutions sorted by the first objective."""
+        if self.front is not None:
+            return [item for item, _ in self.pareto_front.sorted_by(0)]
         return self.nsga2.pareto_solutions
 
     @property
     def valid_solution_count(self) -> int:
         """Number of distinct valid chromosomes generated (Table II column)."""
+        if self.valid_count is not None:
+            return self.valid_count
+        if self.solutions is not None:
+            return len(self.solutions)
         return self.nsga2.valid_solution_count
 
     @property
     def pareto_size(self) -> int:
         """Number of Pareto-front solutions (Table II column)."""
-        return len(self.nsga2.pareto_front)
+        return len(self.pareto_front)
 
     @property
     def valid_solutions(self) -> List[AllocationSolution]:
         """Every distinct valid solution generated during the run."""
+        if self.solutions is not None:
+            return list(self.solutions.values())
         return list(self.nsga2.unique_valid_solutions.values())
+
+    def best_objective_values(self) -> Tuple[float, float, float]:
+        """(min time kcc, min bit energy fJ, min log10 BER) over the Pareto front.
+
+        All three are ``inf`` when the front is empty — the sentinel every
+        reporting layer shares.
+        """
+        solutions = self.pareto_solutions
+        if not solutions:
+            infinity = float("inf")
+            return infinity, infinity, infinity
+        return (
+            min(s.objectives.execution_time_kcycles for s in solutions),
+            min(float(s.objectives.bit_energy_fj) for s in solutions),
+            min(s.objectives.log10_ber for s in solutions),
+        )
 
     def front_for(self, objective_keys: Sequence[str]) -> ParetoFront[AllocationSolution]:
         """Pareto front over every valid solution for a chosen objective subset.
@@ -75,7 +151,7 @@ class ExplorationResult:
         projection from the run-wide pool of valid solutions.
         """
         if tuple(objective_keys) == self.objective_keys:
-            return self.nsga2.pareto_front
+            return self.pareto_front
         front: ParetoFront[AllocationSolution] = ParetoFront()
         for solution in self.valid_solutions:
             front.add(solution, solution.objective_tuple(objective_keys))
@@ -83,7 +159,15 @@ class ExplorationResult:
 
     def best_by(self, key: str) -> AllocationSolution:
         """Pareto solution minimising one objective."""
-        return self.nsga2.best_by(key)
+        if self.front is None:
+            return self.nsga2.best_by(key)
+        if key not in self.objective_keys:
+            raise AllocationError(
+                f"objective {key!r} was not part of this exploration "
+                f"(keys: {self.objective_keys})"
+            )
+        item, _ = self.pareto_front.best_by(self.objective_keys.index(key))
+        return item
 
     def summary_rows(self) -> List[Dict[str, float]]:
         """Pareto front as flat dictionaries, ready for CSV/reporting."""

@@ -12,14 +12,19 @@ The CLI exposes the most common workflows without writing Python:
     Replay an allocation in the discrete-event simulator.
 ``python -m repro paper table2|fig6a|fig6b|fig7``
     Regenerate one artefact of the paper's evaluation section.
+``python -m repro run scenario.json``
+    Execute one declarative scenario (``--template`` prints a starter file).
+``python -m repro study study.json --parallel 4``
+    Execute a batch of scenarios, optionally across worker processes.
 
-Every command accepts ``--wavelengths``, ``--rows``, ``--columns`` and the GA
-sizing flags; see ``python -m repro --help``.
+Every classic command accepts ``--wavelengths``, ``--rows``, ``--columns`` and
+the GA sizing flags; see ``python -m repro --help``.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional, Sequence
 
@@ -31,6 +36,7 @@ from .allocation.heuristics import first_fit_allocation
 from .config import GeneticParameters, OnocConfiguration
 from .errors import ReproError
 from .paper import PaperExperimentSuite, table1_rows
+from .scenarios import Scenario, Study, execute_scenario
 from .simulation import OnocSimulator
 from .topology import RingOnocArchitecture
 
@@ -99,14 +105,53 @@ def build_parser() -> argparse.ArgumentParser:
         help="which artefact of the paper's evaluation to regenerate",
     )
 
+    run = subparsers.add_parser(
+        "run", help="execute one declarative scenario from a JSON file"
+    )
+    run.add_argument(
+        "scenario", nargs="?", default=None, help="path to a scenario JSON document"
+    )
+    run.add_argument(
+        "--template",
+        action="store_true",
+        help="print a starter scenario JSON document and exit",
+    )
+    run.add_argument("--csv", type=str, default=None, help="write the Pareto rows to a CSV file")
+
+    study = subparsers.add_parser(
+        "study", help="execute a batch of scenarios from a JSON file"
+    )
+    study.add_argument(
+        "study", help="path to a study JSON document (or a JSON array of scenarios)"
+    )
+    study.add_argument(
+        "--parallel",
+        type=int,
+        default=None,
+        help="number of worker processes (default: run serially)",
+    )
+    study.add_argument("--csv", type=str, default=None, help="write the summary rows to a CSV file")
+    study.add_argument(
+        "--pareto-csv",
+        type=str,
+        default=None,
+        help="write every Pareto solution of every scenario to a CSV file",
+    )
+
     return parser
 
 
 def _genetic_parameters(args: argparse.Namespace) -> GeneticParameters:
     defaults = GeneticParameters()
+    population = defaults.population_size if args.population is None else args.population
+    generations = defaults.generations if args.generations is None else args.generations
+    if population <= 0:
+        raise ReproError(f"--population must be a positive even integer (got {population})")
+    if generations <= 0:
+        raise ReproError(f"--generations must be a positive integer (got {generations})")
     return GeneticParameters(
-        population_size=args.population or defaults.population_size,
-        generations=args.generations or defaults.generations,
+        population_size=population,
+        generations=generations,
         seed=args.seed,
     )
 
@@ -255,12 +300,61 @@ def _command_paper(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_run(args: argparse.Namespace) -> int:
+    if args.template:
+        print(Scenario().to_json())
+        return 0
+    if args.scenario is None:
+        raise ReproError("run needs a scenario JSON file (or --template)")
+    scenario = Scenario.load(args.scenario)
+    outcome = execute_scenario(scenario)
+    summary = outcome.summary()
+    print(
+        f"scenario {scenario.name!r}: optimizer {scenario.optimizer!r}, "
+        f"workload {scenario.workload!r}, mapping {scenario.mapping!r}, "
+        f"{scenario.wavelength_count} wavelengths"
+    )
+    print(
+        f"{summary.valid_solution_count} distinct valid allocations explored, "
+        f"{summary.pareto_size} on the Pareto front "
+        f"({', '.join(scenario.objectives)}) in {summary.runtime_seconds:.2f}s:"
+    )
+    rows = outcome.pareto_rows()
+    print(format_table(rows))
+    _maybe_write_csv(args, rows)
+    return 0
+
+
+def _command_study(args: argparse.Namespace) -> int:
+    study = Study.load(args.study)
+
+    def progress(completed: int, total: int, result) -> None:
+        print(
+            f"  [{completed}/{total}] {result.name}: "
+            f"{result.valid_solution_count} valid, "
+            f"{result.pareto_size} on the front ({result.runtime_seconds:.2f}s)"
+        )
+
+    result = study.run(parallel=args.parallel, progress=progress)
+    print()
+    print(result.report())
+    if args.csv:
+        path = result.to_csv(args.csv)
+        print(f"wrote {len(result.rows())} rows to {path}")
+    if args.pareto_csv:
+        path = result.pareto_to_csv(args.pareto_csv)
+        print(f"wrote {len(result.pareto_rows())} rows to {path}")
+    return 0
+
+
 _COMMANDS = {
     "info": _command_info,
     "explore": _command_explore,
     "evaluate": _command_evaluate,
     "simulate": _command_simulate,
     "paper": _command_paper,
+    "run": _command_run,
+    "study": _command_study,
 }
 
 
@@ -273,6 +367,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    except BrokenPipeError:
+        # Output piped into a consumer that exited early (e.g. `repro run | head`).
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised through __main__

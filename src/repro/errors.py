@@ -18,6 +18,7 @@ __all__ = [
     "SchedulingError",
     "SimulationError",
     "ExperimentError",
+    "ScenarioError",
 ]
 
 
@@ -59,3 +60,7 @@ class SimulationError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment driver received inconsistent inputs."""
+
+
+class ScenarioError(ExperimentError):
+    """A declarative scenario/study description cannot be resolved or executed."""

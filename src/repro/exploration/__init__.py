@@ -8,8 +8,10 @@
   paper's tables and figure data.
 """
 
-from .experiment import ExperimentRecord, WavelengthExplorationExperiment
+from .experiment import ExperimentRecord, WavelengthExplorationExperiment, make_record
 from .sweep import (
+    scenarios_for_wavelength_counts,
+    sweep_scenarios,
     sweep_wavelength_counts,
     sweep_quality_factor,
     sweep_channel_setup_energy,
@@ -28,6 +30,9 @@ from .serialization import (
 __all__ = [
     "ExperimentRecord",
     "WavelengthExplorationExperiment",
+    "make_record",
+    "scenarios_for_wavelength_counts",
+    "sweep_scenarios",
     "sweep_wavelength_counts",
     "sweep_quality_factor",
     "sweep_channel_setup_energy",

@@ -20,7 +20,7 @@ from ..config import GeneticParameters, OnocConfiguration
 from ..errors import ExperimentError
 from ..topology.architecture import RingOnocArchitecture
 
-__all__ = ["ExperimentRecord", "WavelengthExplorationExperiment"]
+__all__ = ["ExperimentRecord", "WavelengthExplorationExperiment", "make_record"]
 
 
 @dataclass
@@ -123,45 +123,57 @@ class WavelengthExplorationExperiment:
         wavelength_count: int,
         genetic_parameters: Optional[GeneticParameters] = None,
         objective_keys: Sequence[str] = ObjectiveVector.KEYS,
+        optimizer: str = "nsga2",
     ) -> ExperimentRecord:
-        """Run the exploration for one wavelength count."""
+        """Run the exploration for one wavelength count.
+
+        ``optimizer`` names any backend of the
+        :data:`~repro.scenarios.backends.OPTIMIZERS` registry, so the same
+        experiment can be driven by NSGA-II, the exhaustive search or a
+        heuristic baseline.
+        """
+        from ..scenarios.backends import OptimizerParameters, create_optimizer
+
         allocator = self.build_allocator(wavelength_count)
-        started = time.perf_counter()
-        result = allocator.explore(
-            genetic_parameters=genetic_parameters, objective_keys=objective_keys
+        backend = create_optimizer(optimizer)
+        parameters = OptimizerParameters(
+            genetic=genetic_parameters or self._configuration.genetic,
+            objective_keys=tuple(objective_keys),
         )
+        started = time.perf_counter()
+        result = backend.run(allocator.evaluator, parameters)
         elapsed = time.perf_counter() - started
-        return self._record(result, elapsed)
+        return make_record(result, elapsed)
 
     def run_many(
         self,
         wavelength_counts: Sequence[int],
         genetic_parameters: Optional[GeneticParameters] = None,
         objective_keys: Sequence[str] = ObjectiveVector.KEYS,
+        optimizer: str = "nsga2",
     ) -> List[ExperimentRecord]:
         """Run the exploration for several wavelength counts (e.g. 4, 8, 12)."""
         return [
-            self.run_single(count, genetic_parameters, objective_keys)
+            self.run_single(count, genetic_parameters, objective_keys, optimizer)
             for count in wavelength_counts
         ]
 
     @staticmethod
     def _record(result: ExplorationResult, elapsed: float) -> ExperimentRecord:
-        solutions = result.pareto_solutions
-        if solutions:
-            best_time = min(s.objectives.execution_time_kcycles for s in solutions)
-            best_energy = min(s.objectives.bit_energy_fj for s in solutions)
-            best_ber = min(s.objectives.log10_ber for s in solutions)
-        else:
-            best_time = best_energy = best_ber = float("inf")
-        return ExperimentRecord(
-            wavelength_count=result.wavelength_count,
-            objective_keys=result.objective_keys,
-            valid_solution_count=result.valid_solution_count,
-            pareto_size=result.pareto_size,
-            best_time_kcycles=best_time,
-            best_energy_fj=best_energy,
-            best_log10_ber=best_ber,
-            runtime_seconds=elapsed,
-            result=result,
-        )
+        return make_record(result, elapsed)
+
+
+def make_record(result: ExplorationResult, elapsed: float) -> ExperimentRecord:
+    """Summarise an exploration result into an :class:`ExperimentRecord`."""
+    best_time, best_energy, best_ber = result.best_objective_values()
+    return ExperimentRecord(
+        wavelength_count=result.wavelength_count,
+        objective_keys=result.objective_keys,
+        valid_solution_count=result.valid_solution_count,
+        pareto_size=result.pareto_size,
+        best_time_kcycles=best_time,
+        best_energy_fj=best_energy,
+        best_log10_ber=best_ber,
+        runtime_seconds=elapsed,
+        result=result,
+    )

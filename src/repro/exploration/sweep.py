@@ -18,12 +18,62 @@ from ..config import GeneticParameters, OnocConfiguration
 from .experiment import ExperimentRecord, WavelengthExplorationExperiment
 
 __all__ = [
+    "scenarios_for_wavelength_counts",
+    "sweep_scenarios",
     "sweep_wavelength_counts",
     "sweep_quality_factor",
     "sweep_channel_setup_energy",
     "sweep_genetic_parameters",
     "sweep_mappings",
 ]
+
+
+def scenarios_for_wavelength_counts(
+    wavelength_counts: Sequence[int] = (4, 8, 12),
+    workload: str = "paper",
+    mapping: str = "paper",
+    genetic_parameters: Optional[GeneticParameters] = None,
+    objective_keys: Sequence[str] = ObjectiveVector.KEYS,
+    rows: int = 4,
+    columns: int = 4,
+    optimizer: str = "nsga2",
+):
+    """The paper's primary sweep as a list of declarative scenarios.
+
+    This is the serialisable twin of :func:`sweep_wavelength_counts`: workload
+    and mapping are registry names (see :mod:`repro.scenarios.backends`), and
+    the returned scenarios can be saved to JSON, batched into a
+    :class:`~repro.scenarios.study.Study` and executed in parallel.
+    """
+    from ..scenarios.scenario import Scenario
+
+    genetic = genetic_parameters or GeneticParameters()
+    return [
+        Scenario(
+            name=f"{workload}-nw{count}",
+            rows=rows,
+            columns=columns,
+            wavelength_count=count,
+            workload=workload,
+            mapping=mapping,
+            objectives=tuple(objective_keys),
+            genetic=genetic,
+            optimizer=optimizer,
+        )
+        for count in wavelength_counts
+    ]
+
+
+def sweep_scenarios(scenarios, parallel: Optional[int] = None, progress=None):
+    """Execute a batch of scenarios through the :class:`~repro.scenarios.study.Study` runner.
+
+    Thin convenience wrapper so sweep-style call sites can move to the
+    declarative API without importing another module; returns the
+    :class:`~repro.scenarios.study.StudyResult`.
+    """
+    from ..scenarios.study import Study
+
+    return Study(scenarios).run(parallel=parallel, progress=progress)
 
 
 def sweep_wavelength_counts(

@@ -24,9 +24,10 @@ import os
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..config import GeneticParameters, OnocConfiguration
-from ..exploration.experiment import ExperimentRecord
+from ..exploration.experiment import ExperimentRecord, make_record
 from ..exploration.report import front_series, pareto_table, solution_count_table
-from .application import paper_experiment
+from ..scenarios.scenario import Scenario
+from ..scenarios.study import execute_scenario
 from .parameters import PAPER_WAVELENGTH_COUNTS, paper_configuration
 
 __all__ = [
@@ -71,7 +72,6 @@ class PaperExperimentSuite:
         self._configuration = configuration or paper_configuration(
             full_scale=full_scale, seed=seed
         )
-        self._experiment = paper_experiment(configuration=self._configuration)
         self._records: Dict[int, ExperimentRecord] = {}
 
     @property
@@ -84,12 +84,36 @@ class PaperExperimentSuite:
         """The configuration shared by every run."""
         return self._configuration
 
+    def scenario_for(self, wavelength_count: int) -> Scenario:
+        """The declarative scenario describing one paper run.
+
+        The suite's entire setup — Fig. 5 workload, Fig. 5b mapping, Table I
+        parameters, GA sizing — is expressed as a plain
+        :class:`~repro.scenarios.scenario.Scenario`, so any paper experiment
+        can be exported to JSON and replayed with ``python -m repro run``.
+        """
+        configuration = self._configuration
+        return Scenario(
+            name=f"paper-nw{wavelength_count}",
+            rows=4,
+            columns=4,
+            wavelength_count=wavelength_count,
+            workload="paper",
+            mapping="paper",
+            genetic=configuration.genetic,
+            overrides={
+                "photonic": configuration.photonic.to_dict(),
+                "timing": configuration.timing.to_dict(),
+                "energy": configuration.energy.to_dict(),
+            },
+        )
+
     def record(self, wavelength_count: int) -> ExperimentRecord:
         """The (cached) exploration record for one wavelength count."""
         if wavelength_count not in self._records:
-            self._records[wavelength_count] = self._experiment.run_single(
-                wavelength_count,
-                genetic_parameters=self._configuration.genetic,
+            outcome = execute_scenario(self.scenario_for(wavelength_count))
+            self._records[wavelength_count] = make_record(
+                outcome.result, outcome.runtime_seconds
             )
         return self._records[wavelength_count]
 

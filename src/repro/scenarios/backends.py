@@ -1,0 +1,329 @@
+"""Optimizer backends and the workload / mapping-strategy registries.
+
+Every search algorithm of the library is wrapped behind one uniform
+:class:`OptimizerBackend` interface — ``run(evaluator, parameters)`` returning
+an :class:`~repro.allocation.allocator.ExplorationResult` — and registered
+under a stable name in :data:`OPTIMIZERS`:
+
+``nsga2``
+    The paper's NSGA-II genetic exploration (Section III-D).
+``exhaustive``
+    Exact enumeration of the chromosome space (tiny instances only).
+``first_fit`` / ``most_used`` / ``least_used`` / ``random``
+    The classical WDM heuristics, optionally swept over several
+    wavelengths-per-communication settings so they produce a small front
+    instead of a single point.
+
+The companion registries :data:`WORKLOADS` and :data:`MAPPING_STRATEGIES`
+resolve the workload and mapping names a :class:`~repro.scenarios.scenario.Scenario`
+carries.  All three accept third-party additions through their ``register``
+decorator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Protocol, Sequence, Tuple
+
+from ..allocation import heuristics
+from ..allocation.allocator import ExplorationResult
+from ..allocation.exhaustive import exhaustive_pareto_front
+from ..allocation.nsga2 import Nsga2Optimizer
+from ..allocation.objectives import (
+    AllocationEvaluator,
+    AllocationSolution,
+    ObjectiveVector,
+)
+from ..application.kernels import fft_task_graph, gaussian_elimination_task_graph
+from ..application.mapping import Mapping
+from ..application.task_graph import TaskGraph
+from ..application.workloads import (
+    default_mapping,
+    fork_join_task_graph,
+    paper_mapping,
+    paper_task_graph,
+    pipeline_task_graph,
+    random_task_graph,
+)
+from ..config import GeneticParameters
+from ..errors import AllocationError, ScenarioError
+from ..topology.architecture import RingOnocArchitecture
+from .registry import Registry
+
+__all__ = [
+    "OptimizerParameters",
+    "OptimizerBackend",
+    "OPTIMIZERS",
+    "WORKLOADS",
+    "MAPPING_STRATEGIES",
+    "create_optimizer",
+    "build_workload",
+    "build_mapping",
+]
+
+
+@dataclass(frozen=True)
+class OptimizerParameters:
+    """Everything a backend may need for one run.
+
+    ``genetic`` carries the GA sizing *and* the run seed (which the non-genetic
+    backends reuse for their own randomness); ``options`` holds backend-specific
+    knobs taken verbatim from ``Scenario.optimizer_options``.
+    """
+
+    genetic: GeneticParameters = field(default_factory=GeneticParameters)
+    objective_keys: Tuple[str, ...] = ObjectiveVector.KEYS
+    options: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def seed(self) -> int:
+        """The run seed (shared with the GA parameters)."""
+        return self.genetic.seed
+
+
+class OptimizerBackend(Protocol):
+    """The single interface every search algorithm is wrapped behind."""
+
+    name: str
+
+    def run(
+        self, evaluator: AllocationEvaluator, parameters: OptimizerParameters
+    ) -> ExplorationResult:
+        """Execute the search and return its exploration result."""
+        ...
+
+
+#: Optimizer backends by name (``nsga2``, ``exhaustive``, the heuristics ...).
+OPTIMIZERS: Registry[Callable[[], OptimizerBackend]] = Registry("optimizer backend")
+
+#: Workload generators by name (``paper``, ``pipeline``, ``fft`` ...).
+WORKLOADS: Registry[Callable[..., TaskGraph]] = Registry("workload")
+
+#: Mapping strategies by name (``paper``, ``round_robin``, ``random`` ...).
+MAPPING_STRATEGIES: Registry[Callable[..., Mapping]] = Registry("mapping strategy")
+
+
+def create_optimizer(name: str) -> OptimizerBackend:
+    """Instantiate the optimizer backend registered under ``name``."""
+    return OPTIMIZERS.get(name)()
+
+
+def build_workload(name: str, options: Dict[str, Any]) -> TaskGraph:
+    """Build the task graph of the workload registered under ``name``."""
+    factory = WORKLOADS.get(name)
+    try:
+        return factory(**options)
+    except TypeError as error:
+        raise ScenarioError(f"invalid options for workload {name!r}: {error}") from None
+
+
+def build_mapping(
+    name: str,
+    task_graph: TaskGraph,
+    architecture: RingOnocArchitecture,
+    options: Dict[str, Any],
+) -> Mapping:
+    """Apply the mapping strategy registered under ``name``."""
+    strategy = MAPPING_STRATEGIES.get(name)
+    try:
+        return strategy(task_graph, architecture, **options)
+    except TypeError as error:
+        raise ScenarioError(f"invalid options for mapping {name!r}: {error}") from None
+
+
+# ------------------------------------------------------------------ optimizers
+@OPTIMIZERS.register("nsga2")
+class Nsga2Backend:
+    """The paper's NSGA-II exploration behind the uniform backend interface."""
+
+    name = "nsga2"
+
+    def run(
+        self, evaluator: AllocationEvaluator, parameters: OptimizerParameters
+    ) -> ExplorationResult:
+        optimizer = Nsga2Optimizer(
+            evaluator=evaluator,
+            parameters=parameters.genetic,
+            objective_keys=parameters.objective_keys,
+        )
+        return ExplorationResult(
+            wavelength_count=evaluator.wavelength_count,
+            objective_keys=tuple(parameters.objective_keys),
+            nsga2=optimizer.run(),
+            backend=self.name,
+        )
+
+
+@OPTIMIZERS.register("exhaustive")
+class ExhaustiveBackend:
+    """Exact enumeration of the chromosome space (the *true* Pareto front).
+
+    Only tractable for tiny instances; the result's ``valid_solutions`` holds
+    the front members only (keeping every enumerated solution would defeat the
+    point of summarising an exponential space), while ``valid_solution_count``
+    reports the true number of valid chromosomes encountered.
+    """
+
+    name = "exhaustive"
+
+    def run(
+        self, evaluator: AllocationEvaluator, parameters: OptimizerParameters
+    ) -> ExplorationResult:
+        front, valid_count = exhaustive_pareto_front(evaluator, parameters.objective_keys)
+        result = ExplorationResult.from_solutions(
+            wavelength_count=evaluator.wavelength_count,
+            objective_keys=parameters.objective_keys,
+            solutions=[item for item, _ in front],
+            valid_count=valid_count,
+            backend=self.name,
+        )
+        return result
+
+
+class _HeuristicBackend:
+    """Shared driver for the classical single-shot WDM heuristics.
+
+    Options (all optional):
+
+    ``target_counts``
+        Wavelengths per communication — an integer applied uniformly or an
+        explicit per-communication list.  Default 1.
+    ``sweep``
+        A list of uniform counts to evaluate instead of a single target; the
+        feasible ones are pooled into one result so the heuristic produces a
+        small front.  Infeasible entries are skipped (reserving many
+        wavelengths per communication quickly becomes impossible).
+    """
+
+    name = "heuristic"
+
+    @staticmethod
+    def _assign(
+        evaluator: AllocationEvaluator,
+        target_counts: Sequence[int] | int,
+        seed: int,
+    ) -> AllocationSolution:
+        raise NotImplementedError
+
+    def run(
+        self, evaluator: AllocationEvaluator, parameters: OptimizerParameters
+    ) -> ExplorationResult:
+        options = dict(parameters.options)
+        sweep = options.pop("sweep", None)
+        target_counts = options.pop("target_counts", 1)
+        if options:
+            raise ScenarioError(
+                f"unknown options for optimizer {self.name!r}: {sorted(options)}"
+            )
+        solutions: List[AllocationSolution] = []
+        if sweep is not None:
+            for count in sweep:
+                try:
+                    solutions.append(self._assign(evaluator, int(count), parameters.seed))
+                except AllocationError:
+                    continue
+            if not solutions:
+                raise ScenarioError(
+                    f"optimizer {self.name!r}: no entry of sweep {list(sweep)!r} is feasible"
+                )
+        else:
+            solutions.append(self._assign(evaluator, target_counts, parameters.seed))
+        return ExplorationResult.from_solutions(
+            wavelength_count=evaluator.wavelength_count,
+            objective_keys=parameters.objective_keys,
+            solutions=solutions,
+            backend=self.name,
+        )
+
+
+@OPTIMIZERS.register("first_fit")
+class FirstFitBackend(_HeuristicBackend):
+    """First-Fit wavelength assignment (lowest-indexed conflict-free channels)."""
+
+    name = "first_fit"
+
+    @staticmethod
+    def _assign(evaluator, target_counts, seed):
+        return heuristics.first_fit_allocation(evaluator, target_counts)
+
+
+@OPTIMIZERS.register("most_used")
+class MostUsedBackend(_HeuristicBackend):
+    """Most-Used wavelength assignment (pack traffic onto busy channels)."""
+
+    name = "most_used"
+
+    @staticmethod
+    def _assign(evaluator, target_counts, seed):
+        return heuristics.most_used_allocation(evaluator, target_counts)
+
+
+@OPTIMIZERS.register("least_used")
+class LeastUsedBackend(_HeuristicBackend):
+    """Least-Used wavelength assignment (spread traffic across the comb)."""
+
+    name = "least_used"
+
+    @staticmethod
+    def _assign(evaluator, target_counts, seed):
+        return heuristics.least_used_allocation(evaluator, target_counts)
+
+
+@OPTIMIZERS.register("random")
+class RandomBackend(_HeuristicBackend):
+    """Random wavelength assignment (uniform draws until a valid one appears)."""
+
+    name = "random"
+
+    @staticmethod
+    def _assign(evaluator, target_counts, seed):
+        return heuristics.random_allocation(evaluator, target_counts, seed=seed)
+
+
+# ------------------------------------------------------------------- workloads
+WORKLOADS.register("paper")(paper_task_graph)
+WORKLOADS.register("pipeline")(pipeline_task_graph)
+WORKLOADS.register("fork_join")(fork_join_task_graph)
+WORKLOADS.register("random")(random_task_graph)
+WORKLOADS.register("fft")(fft_task_graph)
+WORKLOADS.register("gaussian_elimination")(gaussian_elimination_task_graph)
+
+
+# ---------------------------------------------------------- mapping strategies
+@MAPPING_STRATEGIES.register("paper")
+def _paper_mapping_strategy(
+    task_graph: TaskGraph, architecture: RingOnocArchitecture
+) -> Mapping:
+    """The paper's fixed placement of the Fig. 5 application (Fig. 5b)."""
+    return paper_mapping(architecture)
+
+
+@MAPPING_STRATEGIES.register("round_robin")
+def _round_robin_strategy(
+    task_graph: TaskGraph,
+    architecture: RingOnocArchitecture,
+    stride: int = 1,
+    start: int = 0,
+) -> Mapping:
+    """Constant-stride spread of the tasks along the ring."""
+    return Mapping.round_robin(task_graph, architecture, stride=stride, start=start)
+
+
+@MAPPING_STRATEGIES.register("random")
+def _random_mapping_strategy(
+    task_graph: TaskGraph,
+    architecture: RingOnocArchitecture,
+    seed: int = 2017,
+) -> Mapping:
+    """A uniformly random one-to-one placement."""
+    return Mapping.random(task_graph, architecture, seed=seed)
+
+
+@MAPPING_STRATEGIES.register("default")
+def _default_mapping_strategy(
+    task_graph: TaskGraph,
+    architecture: RingOnocArchitecture,
+    stride: int = 2,
+) -> Mapping:
+    """The library's deterministic stride-2 spread (works for any workload)."""
+    return default_mapping(task_graph, architecture, stride=stride)

@@ -1,0 +1,450 @@
+"""Scenario execution and batched, parallel studies.
+
+:func:`execute_scenario` turns one declarative
+:class:`~repro.scenarios.scenario.Scenario` into a live run: it resolves the
+workload, mapping and optimizer names through the registries, builds the
+architecture and evaluator, executes the backend and wraps the outcome.
+
+:class:`Study` batches many scenarios: it deduplicates identical scenarios by
+fingerprint, caches their results across ``run`` calls, executes the remainder
+serially or through a :class:`~concurrent.futures.ProcessPoolExecutor`, and
+reports progress through a callback.  Because every scenario carries its own
+seed, serial and parallel execution produce identical
+:class:`ScenarioResult` summaries — the test-suite asserts this.
+
+    study = Study([scenario_a, scenario_b, scenario_c])
+    result = study.run(parallel=4, progress=lambda done, total, r: print(done, total))
+    result.to_csv("study.csv")
+    print(result.report())
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import json
+
+from ..allocation.allocator import ExplorationResult
+from ..allocation.objectives import AllocationEvaluator
+from ..analysis.csvout import write_csv
+from ..analysis.plotting import format_table
+from ..errors import ScenarioError
+from ..topology.architecture import RingOnocArchitecture
+from .backends import OptimizerParameters, build_mapping, build_workload, create_optimizer
+from .scenario import Scenario
+
+__all__ = [
+    "STUDY_SCHEMA",
+    "ScenarioOutcome",
+    "ScenarioResult",
+    "Study",
+    "StudyResult",
+    "build_scenario_evaluator",
+    "execute_scenario",
+]
+
+#: Identifier embedded in every serialised study document.
+STUDY_SCHEMA = "repro.study/1"
+
+#: Progress callback signature: ``(completed_count, total_count, latest_result)``.
+ProgressCallback = Callable[[int, int, "ScenarioResult"], None]
+
+
+def build_scenario_evaluator(scenario: Scenario) -> AllocationEvaluator:
+    """Resolve a scenario into a ready-to-search allocation evaluator."""
+    configuration = scenario.onoc_configuration()
+    architecture = RingOnocArchitecture.grid(
+        scenario.rows,
+        scenario.columns,
+        wavelength_count=scenario.wavelength_count,
+        configuration=configuration,
+    )
+    task_graph = build_workload(scenario.workload, scenario.workload_options)
+    mapping = build_mapping(
+        scenario.mapping, task_graph, architecture, scenario.mapping_options
+    )
+    return AllocationEvaluator(
+        architecture=architecture,
+        task_graph=task_graph,
+        mapping=mapping,
+        configuration=configuration,
+        crosstalk_scope=scenario.scope(),
+    )
+
+
+def execute_scenario(scenario: Scenario) -> "ScenarioOutcome":
+    """Run one scenario end to end and return the full outcome."""
+    evaluator = build_scenario_evaluator(scenario)
+    backend = create_optimizer(scenario.optimizer)
+    parameters = OptimizerParameters(
+        genetic=scenario.genetic_parameters(),
+        objective_keys=scenario.objectives,
+        options=dict(scenario.optimizer_options),
+    )
+    started = time.perf_counter()
+    result = backend.run(evaluator, parameters)
+    elapsed = time.perf_counter() - started
+    return ScenarioOutcome(scenario=scenario, result=result, runtime_seconds=elapsed)
+
+
+@dataclass
+class ScenarioOutcome:
+    """The full, in-memory outcome of one scenario run."""
+
+    scenario: Scenario
+    result: ExplorationResult
+    runtime_seconds: float
+
+    def pareto_rows(self) -> List[Dict[str, float]]:
+        """Pareto front as flat dictionaries (CSV-ready)."""
+        return self.result.summary_rows()
+
+    def summary(self) -> "ScenarioResult":
+        """The picklable summary a :class:`Study` aggregates."""
+        best_time, best_energy, best_ber = self.result.best_objective_values()
+        return ScenarioResult(
+            name=self.scenario.name,
+            fingerprint=self.scenario.fingerprint(),
+            optimizer=self.scenario.optimizer,
+            workload=self.scenario.workload,
+            mapping=self.scenario.mapping,
+            wavelength_count=self.scenario.wavelength_count,
+            objective_keys=self.scenario.objectives,
+            valid_solution_count=self.result.valid_solution_count,
+            pareto_size=self.result.pareto_size,
+            best_time_kcycles=best_time,
+            best_energy_fj=best_energy,
+            best_log10_ber=best_ber,
+            runtime_seconds=self.runtime_seconds,
+            pareto_rows=tuple(self.pareto_rows()),
+            scenario=self.scenario.to_dict(),
+        )
+
+
+@dataclass(frozen=True)
+class ScenarioResult:
+    """Serialisable summary of one scenario run.
+
+    This is what crosses the process boundary in parallel studies, so it holds
+    only plain values.  ``runtime_seconds`` is the one field that legitimately
+    differs between two runs of the same scenario; :meth:`comparable_dict`
+    excludes it for determinism checks.
+    """
+
+    name: str
+    fingerprint: str
+    optimizer: str
+    workload: str
+    mapping: str
+    wavelength_count: int
+    objective_keys: Tuple[str, ...]
+    valid_solution_count: int
+    pareto_size: int
+    best_time_kcycles: float
+    best_energy_fj: float
+    best_log10_ber: float
+    runtime_seconds: float
+    pareto_rows: Tuple[Dict[str, float], ...]
+    scenario: Dict[str, Any]
+
+    def summary_row(self) -> Dict[str, object]:
+        """One flat row for tables and CSV export."""
+        return {
+            "name": self.name,
+            "optimizer": self.optimizer,
+            "workload": self.workload,
+            "mapping": self.mapping,
+            "wavelength_count": self.wavelength_count,
+            "valid_solution_count": self.valid_solution_count,
+            "pareto_size": self.pareto_size,
+            "best_time_kcycles": self.best_time_kcycles,
+            "best_energy_fj": self.best_energy_fj,
+            "best_log10_ber": self.best_log10_ber,
+            "runtime_seconds": self.runtime_seconds,
+        }
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-compatible dictionary; inverse of :meth:`from_dict`."""
+        return {
+            "name": self.name,
+            "fingerprint": self.fingerprint,
+            "optimizer": self.optimizer,
+            "workload": self.workload,
+            "mapping": self.mapping,
+            "wavelength_count": self.wavelength_count,
+            "objective_keys": list(self.objective_keys),
+            "valid_solution_count": self.valid_solution_count,
+            "pareto_size": self.pareto_size,
+            "best_time_kcycles": self.best_time_kcycles,
+            "best_energy_fj": self.best_energy_fj,
+            "best_log10_ber": self.best_log10_ber,
+            "runtime_seconds": self.runtime_seconds,
+            "pareto_rows": [dict(row) for row in self.pareto_rows],
+            "scenario": dict(self.scenario),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "ScenarioResult":
+        """Rebuild a summary from :meth:`to_dict` output."""
+        return cls(
+            name=payload["name"],
+            fingerprint=payload["fingerprint"],
+            optimizer=payload["optimizer"],
+            workload=payload["workload"],
+            mapping=payload["mapping"],
+            wavelength_count=int(payload["wavelength_count"]),
+            objective_keys=tuple(payload["objective_keys"]),
+            valid_solution_count=int(payload["valid_solution_count"]),
+            pareto_size=int(payload["pareto_size"]),
+            best_time_kcycles=float(payload["best_time_kcycles"]),
+            best_energy_fj=float(payload["best_energy_fj"]),
+            best_log10_ber=float(payload["best_log10_ber"]),
+            runtime_seconds=float(payload["runtime_seconds"]),
+            pareto_rows=tuple(dict(row) for row in payload["pareto_rows"]),
+            scenario=dict(payload["scenario"]),
+        )
+
+    def comparable_dict(self) -> Dict[str, Any]:
+        """The result minus its wall-clock runtime (for determinism checks)."""
+        payload = self.to_dict()
+        payload.pop("runtime_seconds")
+        return payload
+
+
+def _execute_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Process-pool worker: scenario dict in, result summary dict out."""
+    scenario = Scenario.from_dict(payload)
+    return execute_scenario(scenario).summary().to_dict()
+
+
+class Study:
+    """A batch of scenarios executed together, serially or in parallel.
+
+    Parameters
+    ----------
+    scenarios:
+        The scenarios to run.  Duplicates (same fingerprint) are executed once
+        and their result is shared.
+    name:
+        Label used in reports and serialised documents.
+    """
+
+    def __init__(self, scenarios: Sequence[Scenario], name: str = "study") -> None:
+        scenarios = list(scenarios)
+        if not scenarios:
+            raise ScenarioError("a study needs at least one scenario")
+        for scenario in scenarios:
+            if not isinstance(scenario, Scenario):
+                raise ScenarioError(
+                    f"studies are built from Scenario objects, got {type(scenario).__name__}"
+                )
+        self._scenarios = scenarios
+        self._name = name
+        self._cache: Dict[str, ScenarioResult] = {}
+
+    # ----------------------------------------------------------------- access
+    @property
+    def name(self) -> str:
+        """The study label."""
+        return self._name
+
+    @property
+    def scenarios(self) -> List[Scenario]:
+        """The scenarios in execution order."""
+        return list(self._scenarios)
+
+    @property
+    def cache(self) -> Dict[str, ScenarioResult]:
+        """Fingerprint-keyed result cache (shared across ``run`` calls)."""
+        return self._cache
+
+    def __len__(self) -> int:
+        return len(self._scenarios)
+
+    # ------------------------------------------------------------ serialisation
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-compatible dictionary; inverse of :meth:`from_dict`."""
+        return {
+            "schema": STUDY_SCHEMA,
+            "name": self._name,
+            "scenarios": [scenario.to_dict() for scenario in self._scenarios],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Any) -> "Study":
+        """Build a study from a document (or a plain list of scenario dicts)."""
+        if isinstance(payload, list):
+            return cls([Scenario.from_dict(entry) for entry in payload])
+        if not isinstance(payload, dict):
+            raise ScenarioError("a study document must be a JSON object or array")
+        schema = payload.get("schema", STUDY_SCHEMA)
+        if schema != STUDY_SCHEMA:
+            raise ScenarioError(
+                f"unsupported study schema {schema!r} (expected {STUDY_SCHEMA!r})"
+            )
+        entries = payload.get("scenarios")
+        if not isinstance(entries, list):
+            raise ScenarioError("a study document needs a 'scenarios' array")
+        return cls(
+            [Scenario.from_dict(entry) for entry in entries],
+            name=str(payload.get("name", "study")),
+        )
+
+    def save(self, path: str | Path) -> Path:
+        """Write the study description to a JSON file and return its path."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.to_dict(), indent=2) + "\n")
+        return path
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Study":
+        """Read a study (or bare scenario list) from a JSON file."""
+        path = Path(path)
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as error:
+            raise ScenarioError(f"cannot read study file {path}: {error}") from None
+        return cls.from_dict(payload)
+
+    # -------------------------------------------------------------- execution
+    def run(
+        self,
+        parallel: Optional[int] = None,
+        progress: Optional[ProgressCallback] = None,
+    ) -> "StudyResult":
+        """Execute every scenario and return the aggregated results.
+
+        Parameters
+        ----------
+        parallel:
+            Number of worker processes.  ``None``, 0 or 1 run serially in this
+            process; larger values use a :class:`ProcessPoolExecutor`.  Results
+            are identical either way because each scenario is seeded by its own
+            description, not by execution order.
+        progress:
+            Optional callback invoked live, as each scenario finishes, with
+            ``(completed_count, total_count, result)``.  Scenarios served from
+            the cache (duplicates, earlier runs) are reported as finished too,
+            so the count always reaches the total.
+        """
+        fingerprints = [scenario.fingerprint() for scenario in self._scenarios]
+        total = len(fingerprints)
+        completed = 0
+
+        def notify(fingerprint: str) -> None:
+            nonlocal completed
+            result = self._cache[fingerprint]
+            occurrences = sum(1 for other in fingerprints if other == fingerprint)
+            for _ in range(occurrences):
+                completed += 1
+                if progress is not None:
+                    progress(completed, total, result)
+
+        pending: Dict[str, Scenario] = {}
+        for scenario, fingerprint in zip(self._scenarios, fingerprints):
+            if fingerprint not in self._cache and fingerprint not in pending:
+                pending[fingerprint] = scenario
+        for fingerprint in dict.fromkeys(fingerprints):
+            if fingerprint not in pending:
+                notify(fingerprint)
+
+        workers = 0 if parallel is None else int(parallel)
+        if workers > 1 and pending:
+            self._run_parallel(pending, min(workers, len(pending)), notify)
+        else:
+            for fingerprint, scenario in pending.items():
+                self._cache[fingerprint] = execute_scenario(scenario).summary()
+                notify(fingerprint)
+
+        results = tuple(self._cache[fingerprint] for fingerprint in fingerprints)
+        return StudyResult(name=self._name, results=results)
+
+    def _run_parallel(
+        self,
+        pending: Dict[str, Scenario],
+        workers: int,
+        notify: Callable[[str], None],
+    ) -> None:
+        payloads = {
+            fingerprint: scenario.to_dict() for fingerprint, scenario in pending.items()
+        }
+        with ProcessPoolExecutor(max_workers=workers) as executor:
+            futures = {
+                executor.submit(_execute_payload, payload): fingerprint
+                for fingerprint, payload in payloads.items()
+            }
+            outstanding = set(futures)
+            while outstanding:
+                done, outstanding = wait(outstanding, return_when=FIRST_COMPLETED)
+                for future in done:
+                    fingerprint = futures[future]
+                    self._cache[fingerprint] = ScenarioResult.from_dict(future.result())
+                    notify(fingerprint)
+
+
+@dataclass(frozen=True)
+class StudyResult:
+    """Aggregated results of one study run, in scenario order."""
+
+    name: str
+    results: Tuple[ScenarioResult, ...]
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __iter__(self):
+        return iter(self.results)
+
+    @property
+    def total_runtime_seconds(self) -> float:
+        """Sum of the per-scenario runtimes (cached scenarios count once as run)."""
+        return sum(result.runtime_seconds for result in self.results)
+
+    def result_for(self, name: str) -> ScenarioResult:
+        """The first result whose scenario carries ``name``."""
+        for result in self.results:
+            if result.name == name:
+                return result
+        raise ScenarioError(f"no scenario named {name!r} in study {self.name!r}")
+
+    def rows(self) -> List[Dict[str, object]]:
+        """One summary row per scenario (CSV/report-ready)."""
+        return [result.summary_row() for result in self.results]
+
+    def pareto_rows(self) -> List[Dict[str, object]]:
+        """Every Pareto solution of every scenario, tagged with its scenario name."""
+        rows: List[Dict[str, object]] = []
+        for result in self.results:
+            for row in result.pareto_rows:
+                tagged: Dict[str, object] = {"scenario": result.name}
+                tagged.update(row)
+                rows.append(tagged)
+        return rows
+
+    def to_csv(self, path: str | Path) -> Path:
+        """Write the summary rows to a CSV file and return its path."""
+        return write_csv(path, self.rows())
+
+    def pareto_to_csv(self, path: str | Path) -> Path:
+        """Write every Pareto solution to a CSV file and return its path."""
+        return write_csv(path, self.pareto_rows())
+
+    def report(self) -> str:
+        """A human-readable summary table of the whole study."""
+        header = (
+            f"Study {self.name!r}: {len(self.results)} scenarios, "
+            f"{self.total_runtime_seconds:.2f}s total runtime"
+        )
+        return header + "\n" + format_table(self.rows())
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-compatible dictionary of the full result set."""
+        return {
+            "name": self.name,
+            "results": [result.to_dict() for result in self.results],
+        }

@@ -2,9 +2,13 @@
 
 from __future__ import annotations
 
+import argparse
+import json
+
 import pytest
 
-from repro.cli import build_parser, main
+from repro.cli import _genetic_parameters, build_parser, main
+from repro.errors import ReproError
 
 
 def run_cli(capsys, *argv: str) -> str:
@@ -110,6 +114,108 @@ class TestExplore:
         assert "(time, energy)" in output
         assert target.exists()
         assert target.read_text().startswith("wavelength_count")
+
+
+class TestGeneticFlagFallback:
+    @staticmethod
+    def args(population=None, generations=None, seed=2017):
+        return argparse.Namespace(population=population, generations=generations, seed=seed)
+
+    def test_none_falls_back_to_defaults(self):
+        parameters = _genetic_parameters(self.args())
+        assert parameters.population_size == 120
+        assert parameters.generations == 80
+
+    def test_explicit_values_are_kept(self):
+        parameters = _genetic_parameters(self.args(population=16, generations=6))
+        assert parameters.population_size == 16
+        assert parameters.generations == 6
+
+    def test_zero_population_is_rejected_not_replaced(self):
+        with pytest.raises(ReproError, match="--population"):
+            _genetic_parameters(self.args(population=0))
+
+    def test_negative_generations_rejected(self):
+        with pytest.raises(ReproError, match="--generations"):
+            _genetic_parameters(self.args(generations=-5))
+
+    def test_cli_reports_zero_population_cleanly(self, capsys):
+        exit_code = main(["explore", "--population", "0"])
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert "--population" in captured.err
+
+
+def fast_scenario_dict(name="cli-scenario", wavelength_count=8):
+    return {
+        "name": name,
+        "wavelength_count": wavelength_count,
+        "genetic": {"population_size": 16, "generations": 4},
+    }
+
+
+class TestRunCommand:
+    def test_template_prints_valid_scenario(self, capsys):
+        from repro.scenarios import Scenario
+
+        output = run_cli(capsys, "run", "--template")
+        scenario = Scenario.from_json(output)
+        assert scenario.optimizer == "nsga2"
+
+    def test_run_executes_scenario_file(self, capsys, tmp_path):
+        path = tmp_path / "scenario.json"
+        path.write_text(json.dumps(fast_scenario_dict()))
+        output = run_cli(capsys, "run", str(path))
+        assert "cli-scenario" in output
+        assert "Pareto front" in output
+
+    def test_run_writes_pareto_csv(self, capsys, tmp_path):
+        path = tmp_path / "scenario.json"
+        path.write_text(json.dumps(fast_scenario_dict()))
+        target = tmp_path / "front.csv"
+        run_cli(capsys, "run", str(path), "--csv", str(target))
+        assert target.read_text().startswith("wavelength_count")
+
+    def test_missing_scenario_argument_is_a_clean_error(self, capsys):
+        exit_code = main(["run"])
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert "error:" in captured.err
+
+    def test_unreadable_file_is_a_clean_error(self, capsys, tmp_path):
+        exit_code = main(["run", str(tmp_path / "missing.json")])
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert "error:" in captured.err
+
+
+class TestStudyCommand:
+    def test_study_runs_batch_and_writes_csv(self, capsys, tmp_path):
+        document = {
+            "schema": "repro.study/1",
+            "name": "cli-study",
+            "scenarios": [
+                fast_scenario_dict(name=f"nw{count}", wavelength_count=count)
+                for count in (4, 8)
+            ],
+        }
+        path = tmp_path / "study.json"
+        path.write_text(json.dumps(document))
+        target = tmp_path / "summary.csv"
+        output = run_cli(capsys, "study", str(path), "--csv", str(target))
+        assert "[1/2]" in output and "[2/2]" in output
+        assert "cli-study" in output
+        assert target.read_text().startswith("name,")
+
+    def test_study_parallel_flag(self, capsys, tmp_path):
+        document = [
+            fast_scenario_dict(name=f"nw{count}", wavelength_count=count)
+            for count in (4, 8)
+        ]
+        path = tmp_path / "plain.json"
+        path.write_text(json.dumps(document))
+        output = run_cli(capsys, "study", str(path), "--parallel", "2")
+        assert "2 scenarios" in output
 
 
 class TestPaperArtefacts:

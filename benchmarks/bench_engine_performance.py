@@ -1,17 +1,29 @@
 """Core-engine micro-benchmarks.
 
 These are not paper figures; they track the raw performance of the pieces the
-exploration is built on, so regressions in the hot path (the per-chromosome
-objective evaluation) are caught early:
+exploration is built on, so regressions in the hot path (the objective
+evaluation) are caught early:
 
-* single-chromosome evaluation (the GA executes this ~10^5 times per run),
+* single-chromosome evaluation through the scalar reference path,
+* whole-population evaluation through the vectorized batch engine,
 * validity checking alone,
 * the analytical scheduler,
 * one discrete-event simulation,
 * a small end-to-end NSGA-II run.
+
+Run as a script to produce ``BENCH_engine.json`` — the scalar-vs-batch
+evaluations/sec comparison the CI smoke job checks::
+
+    PYTHONPATH=src python benchmarks/bench_engine_performance.py \
+        --output BENCH_engine.json --population 64
 """
 
 from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
 
 import numpy as np
 import pytest
@@ -21,6 +33,71 @@ from repro.application import ListScheduler, paper_mapping, paper_task_graph
 from repro.config import GeneticParameters
 from repro.simulation import OnocSimulator
 from repro.topology import RingOnocArchitecture
+
+#: The engine-comparison population size the acceptance criterion uses.
+DEFAULT_POPULATION = 64
+
+#: Minimum batch/scalar throughput ratio the smoke check enforces.
+MIN_SPEEDUP = 5.0
+
+
+def _paper_evaluator() -> AllocationEvaluator:
+    architecture = RingOnocArchitecture.grid(4, 4, wavelength_count=8)
+    return AllocationEvaluator(
+        architecture, paper_task_graph(), paper_mapping(architecture)
+    )
+
+
+def _benchmark_population(evaluator: AllocationEvaluator, population: int):
+    """A reproducible mixed-density population plus its chromosome views."""
+    batch = evaluator.batch()
+    rng = np.random.default_rng(2017)
+    rows = [
+        batch.random_population(1, rng, reserve_probability=density)[0]
+        for density in np.linspace(0.1, 0.6, population)
+    ]
+    tensor = np.stack(rows)
+    evaluation = batch.evaluate_population(tensor)
+    chromosomes = [evaluation.chromosome(index) for index in range(population)]
+    return tensor, chromosomes
+
+
+def measure_engine_throughput(
+    population: int = DEFAULT_POPULATION, min_seconds: float = 0.5
+) -> dict:
+    """Time scalar vs batch evaluation and return the comparison as a dict."""
+    evaluator = _paper_evaluator()
+    batch = evaluator.batch()
+    tensor, chromosomes = _benchmark_population(evaluator, population)
+
+    # Warm-up (precomputation, numpy buffers).
+    batch.evaluate_population(tensor)
+    for chromosome in chromosomes[:4]:
+        evaluator.evaluate(chromosome)
+
+    started = time.perf_counter()
+    scalar_evaluations = 0
+    while time.perf_counter() - started < min_seconds:
+        for chromosome in chromosomes:
+            evaluator.evaluate(chromosome)
+        scalar_evaluations += population
+    scalar_rate = scalar_evaluations / (time.perf_counter() - started)
+
+    started = time.perf_counter()
+    batch_evaluations = 0
+    while time.perf_counter() - started < min_seconds:
+        batch.evaluate_population(tensor)
+        batch_evaluations += population
+    batch_rate = batch_evaluations / (time.perf_counter() - started)
+
+    return {
+        "population": population,
+        "wavelength_count": evaluator.wavelength_count,
+        "communication_count": evaluator.communication_count,
+        "scalar_evaluations_per_second": scalar_rate,
+        "batch_evaluations_per_second": batch_rate,
+        "speedup": batch_rate / scalar_rate,
+    }
 
 
 @pytest.fixture(scope="module")
@@ -33,11 +110,26 @@ def setup():
 
 
 def test_single_chromosome_evaluation(benchmark, setup):
-    """Objective evaluation of one valid chromosome (the GA hot path)."""
+    """Objective evaluation of one valid chromosome (the scalar reference path)."""
     _, _, _, evaluator = setup
     allocation = [(0, 1), (2, 3), (4, 5), (6, 7), (0, 1), (2, 3)]
     solution = benchmark(evaluator.evaluate_allocation, allocation)
     assert solution.is_valid
+
+
+def test_batch_population_evaluation(benchmark, setup):
+    """Whole-population evaluation through the vectorized batch engine."""
+    _, _, _, evaluator = setup
+    tensor, _ = _benchmark_population(evaluator, DEFAULT_POPULATION)
+    batch = evaluator.batch()
+    evaluation = benchmark(batch.evaluate_population, tensor)
+    assert len(evaluation) == DEFAULT_POPULATION
+
+
+def test_batch_speedup_meets_target(setup):
+    """The acceptance criterion: >= 5x evaluations/sec for a 64-row population."""
+    report = measure_engine_throughput(min_seconds=0.3)
+    assert report["speedup"] >= MIN_SPEEDUP, report
 
 
 def test_validity_check_only(benchmark, setup):
@@ -75,3 +167,50 @@ def test_small_nsga2_run(benchmark, setup):
 
     result = benchmark.pedantic(run, rounds=1, iterations=1)
     assert result.valid_solution_count > 0
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(
+        description="Compare scalar vs batch evaluation throughput."
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=Path("BENCH_engine.json"),
+        help="where to write the JSON report (default: BENCH_engine.json)",
+    )
+    parser.add_argument(
+        "--population",
+        type=int,
+        default=DEFAULT_POPULATION,
+        help=f"population size to evaluate per batch (default: {DEFAULT_POPULATION})",
+    )
+    parser.add_argument(
+        "--min-seconds",
+        type=float,
+        default=0.5,
+        help="minimum measurement window per engine (default: 0.5s)",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help=f"exit non-zero when the speedup falls below {MIN_SPEEDUP}x",
+    )
+    arguments = parser.parse_args()
+
+    report = measure_engine_throughput(arguments.population, arguments.min_seconds)
+    arguments.output.write_text(json.dumps(report, indent=2) + "\n")
+    print(
+        f"scalar {report['scalar_evaluations_per_second']:.0f} evals/s, "
+        f"batch {report['batch_evaluations_per_second']:.0f} evals/s "
+        f"({report['speedup']:.1f}x) -> {arguments.output}"
+    )
+    if arguments.check and report["speedup"] < MIN_SPEEDUP:
+        raise SystemExit(
+            f"batch engine speedup {report['speedup']:.2f}x is below the "
+            f"{MIN_SPEEDUP}x target"
+        )
+
+
+if __name__ == "__main__":
+    main()

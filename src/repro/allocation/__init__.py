@@ -3,7 +3,10 @@
 * :mod:`~repro.allocation.chromosome`  — the binary chromosome of Fig. 4 and its
   encoding/decoding helpers.
 * :mod:`~repro.allocation.objectives`  — validity rules and the three objective
-  functions (global execution time, average BER, bit energy).
+  functions (global execution time, average BER, bit energy); the *scalar
+  reference* implementation.
+* :mod:`~repro.allocation.batch`       — the vectorized population-level
+  evaluation engine every optimizer backend runs on.
 * :mod:`~repro.allocation.pareto`      — non-dominated sorting, crowding
   distance and Pareto-front containers.
 * :mod:`~repro.allocation.nsga2`       — the NSGA-II engine (Section III-D).
@@ -20,9 +23,11 @@ from .objectives import (
     AllocationEvaluator,
     AllocationSolution,
     CrosstalkScope,
+    EvaluatorArrays,
     ObjectiveVector,
     ValidityReport,
 )
+from .batch import BatchEvaluation, BatchEvaluator
 from .pareto import ParetoFront, crowding_distance, dominates, non_dominated_sort
 from .nsga2 import Nsga2Optimizer, Nsga2Result
 from .heuristics import (
@@ -39,7 +44,10 @@ __all__ = [
     "Chromosome",
     "AllocationEvaluator",
     "AllocationSolution",
+    "BatchEvaluation",
+    "BatchEvaluator",
     "CrosstalkScope",
+    "EvaluatorArrays",
     "ObjectiveVector",
     "ValidityReport",
     "ParetoFront",

@@ -51,6 +51,11 @@ class ExplorationResult:
     solutions: Optional[Dict[Tuple[int, ...], AllocationSolution]] = None
     valid_count: Optional[int] = None
     backend: str = "nsga2"
+    #: Distinct chromosomes actually evaluated (memo misses for the GA, whole
+    #: space for the exhaustive search; ``None`` when the backend keeps no count).
+    evaluations: Optional[int] = None
+    #: Evaluations skipped thanks to the duplicate-aware memo (GA runs).
+    memo_hits: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.nsga2 is None and self.front is None:
@@ -58,6 +63,21 @@ class ExplorationResult:
                 "an ExplorationResult needs either an NSGA-II result or an "
                 "explicit Pareto front"
             )
+        if self.nsga2 is not None:
+            if self.evaluations is None:
+                self.evaluations = self.nsga2.evaluations
+            if self.memo_hits is None:
+                self.memo_hits = self.nsga2.memo_hits
+
+    @property
+    def evaluation_count(self) -> int:
+        """Evaluations performed during the run (0 when the backend kept no count)."""
+        return self.evaluations or 0
+
+    @property
+    def memo_hit_count(self) -> int:
+        """Memo hits recorded during the run (0 when the backend kept no count)."""
+        return self.memo_hits or 0
 
     @classmethod
     def from_solutions(
@@ -67,6 +87,7 @@ class ExplorationResult:
         solutions: Sequence[AllocationSolution],
         valid_count: Optional[int] = None,
         backend: str = "custom",
+        evaluations: Optional[int] = None,
     ) -> "ExplorationResult":
         """Build a result from an explicit pool of evaluated solutions.
 
@@ -88,6 +109,7 @@ class ExplorationResult:
             solutions=unique,
             valid_count=valid_count if valid_count is not None else len(unique),
             backend=backend,
+            evaluations=evaluations,
         )
 
     @property

@@ -55,6 +55,11 @@ class Chromosome:
             )
         if any(gene not in (0, 1) for gene in genes):
             raise AllocationError("genes must be 0 or 1")
+        array = np.asarray(genes, dtype=np.uint8).reshape(
+            self.communication_count, self.wavelength_count
+        )
+        array.setflags(write=False)
+        object.__setattr__(self, "_array", array)
 
     # -------------------------------------------------------------- factories
     @classmethod
@@ -103,6 +108,17 @@ class Chromosome:
         return cls.from_array(genes.astype(int), communication_count, wavelength_count)
 
     @classmethod
+    def from_numpy(
+        cls, genes: np.ndarray, communication_count: int, wavelength_count: int
+    ) -> "Chromosome":
+        """Build a chromosome from a binary NumPy array (flat or ``(Nl, NW)``).
+
+        This is the bridge the batch engine uses to materialise individual
+        population rows back into first-class chromosomes.
+        """
+        return cls.from_array(genes, communication_count, wavelength_count)
+
+    @classmethod
     def from_paper_string(cls, text: str, wavelength_count: int | None = None) -> "Chromosome":
         """Parse the paper's ``[1000/0001/...]`` notation."""
         body = text.strip().strip("[]")
@@ -121,10 +137,18 @@ class Chromosome:
 
     # ------------------------------------------------------------------ views
     def as_array(self) -> np.ndarray:
-        """The genes as a ``(communication_count, wavelength_count)`` int array."""
-        return np.asarray(self.genes, dtype=int).reshape(
-            self.communication_count, self.wavelength_count
-        )
+        """The genes as a read-only ``(communication_count, wavelength_count)`` array.
+
+        The array is computed once at construction time and shared by every
+        caller (zero-copy), so batch code can stack population rows without
+        re-materialising the genes.
+        """
+        return self._array  # type: ignore[attr-defined]
+
+    @property
+    def gene_bytes(self) -> bytes:
+        """The raw genes as bytes — a compact fingerprint for memo tables."""
+        return self._array.tobytes()  # type: ignore[attr-defined]
 
     def channels_of(self, communication_index: int) -> Tuple[int, ...]:
         """Channel indices reserved for communication ``communication_index``."""

@@ -6,22 +6,91 @@ Pareto front.  The test-suite uses this to check that NSGA-II converges to (a
 superset of a sample of) the optimal front, and the complexity discussion of
 the paper (Section IV, ``O(Nl^2 NW^2)`` per evaluation, exponential space) can
 be illustrated with it.
+
+The enumeration works in **bounded-size batches**: candidates are generated as
+``(batch, Nl, NW)`` uint8 tensors straight from a mixed-radix counter over the
+non-empty per-communication channel patterns, evaluated through the
+:class:`~repro.allocation.batch.BatchEvaluator`, and discarded before the next
+batch is produced.  Peak memory is therefore ``O(batch_size * Nl * NW)``
+regardless of the size of the space — no per-candidate tuples or chromosome
+objects are materialised on the hot path.
 """
 
 from __future__ import annotations
 
 import itertools
-from typing import Iterator, List, Optional, Sequence, Tuple
+from typing import Iterator, Optional, Sequence, Tuple
+
+import numpy as np
 
 from ..errors import AllocationError
 from .chromosome import Chromosome
 from .objectives import AllocationEvaluator, AllocationSolution, ObjectiveVector
 from .pareto import ParetoFront
 
-__all__ = ["enumerate_chromosomes", "exhaustive_pareto_front"]
+__all__ = [
+    "DEFAULT_BATCH_SIZE",
+    "enumerate_chromosomes",
+    "iter_gene_batches",
+    "exhaustive_pareto_front",
+]
 
 #: Refuse to enumerate more than this many chromosomes (2^24 is already ~16.7M).
 _MAX_SPACE = 2 ** 22
+
+#: Default number of candidate allocations evaluated per batch.
+DEFAULT_BATCH_SIZE = 4096
+
+
+def _row_patterns(wavelength_count: int) -> np.ndarray:
+    """Every non-empty channel subset of one communication, as a bit matrix.
+
+    Rows are ordered by subset size then lexicographically — the historical
+    enumeration order, which :func:`enumerate_chromosomes` preserves.
+    """
+    patterns = []
+    for size in range(1, wavelength_count + 1):
+        for combo in itertools.combinations(range(wavelength_count), size):
+            row = np.zeros(wavelength_count, dtype=np.uint8)
+            row[list(combo)] = 1
+            patterns.append(row)
+    return np.stack(patterns)
+
+
+def _check_space(communication_count: int, wavelength_count: int) -> None:
+    gene_count = communication_count * wavelength_count
+    if 2 ** gene_count > _MAX_SPACE:
+        raise AllocationError(
+            f"the chromosome space 2^{gene_count} is too large to enumerate exhaustively"
+        )
+
+
+def iter_gene_batches(
+    communication_count: int,
+    wavelength_count: int,
+    batch_size: int = DEFAULT_BATCH_SIZE,
+) -> Iterator[np.ndarray]:
+    """Yield the candidate space as ``(<=batch_size, Nl, NW)`` gene tensors.
+
+    Chromosomes with an empty communication can never be valid, so only
+    non-empty per-communication patterns are generated.  Candidate ``i`` of the
+    space is decoded from a mixed-radix counter, which keeps memory bounded by
+    ``batch_size`` however large the space is.
+    """
+    if batch_size < 1:
+        raise AllocationError("the enumeration batch size must be at least 1")
+    _check_space(communication_count, wavelength_count)
+    patterns = _row_patterns(wavelength_count)
+    base = len(patterns)
+    total = base ** communication_count
+    for start in range(0, total, batch_size):
+        indices = np.arange(start, min(start + batch_size, total), dtype=np.int64)
+        digits = np.empty((len(indices), communication_count), dtype=np.int64)
+        remainder = indices.copy()
+        for communication in range(communication_count - 1, -1, -1):
+            digits[:, communication] = remainder % base
+            remainder //= base
+        yield patterns[digits]
 
 
 def enumerate_chromosomes(
@@ -31,38 +100,37 @@ def enumerate_chromosomes(
 
     Chromosomes whose communications all have at least one wavelength are the
     only ones that can be valid, so empty-communication chromosomes are skipped
-    at generation time to keep the enumeration tractable.
+    at generation time to keep the enumeration tractable.  Kept as the
+    chromosome-object view of :func:`iter_gene_batches` for callers that want
+    individual chromosomes; bulk consumers should use the batches directly.
     """
-    gene_count = communication_count * wavelength_count
-    if 2 ** gene_count > _MAX_SPACE:
-        raise AllocationError(
-            f"the chromosome space 2^{gene_count} is too large to enumerate exhaustively"
-        )
-    per_communication = [
-        [
-            combo
-            for size in range(1, wavelength_count + 1)
-            for combo in itertools.combinations(range(wavelength_count), size)
-        ]
-        for _ in range(communication_count)
-    ]
-    for allocation in itertools.product(*per_communication):
-        yield Chromosome.from_allocation(list(allocation), wavelength_count)
+    for batch in iter_gene_batches(communication_count, wavelength_count):
+        for row in batch:
+            yield Chromosome.from_numpy(row, communication_count, wavelength_count)
 
 
 def exhaustive_pareto_front(
     evaluator: AllocationEvaluator,
     objective_keys: Sequence[str] = ObjectiveVector.KEYS,
+    batch_size: Optional[int] = None,
 ) -> Tuple[ParetoFront[AllocationSolution], int]:
-    """Enumerate every chromosome and return (true Pareto front, #valid solutions)."""
+    """Enumerate every chromosome and return (true Pareto front, #valid solutions).
+
+    The space is evaluated in bounded batches through the evaluator's
+    :class:`~repro.allocation.batch.BatchEvaluator`; only the current batch and
+    the front survivors are ever held in memory.
+    """
     front: ParetoFront[AllocationSolution] = ParetoFront()
     valid_count = 0
-    for chromosome in enumerate_chromosomes(
-        evaluator.communication_count, evaluator.wavelength_count
+    batch_evaluator = evaluator.batch()
+    for batch in iter_gene_batches(
+        evaluator.communication_count,
+        evaluator.wavelength_count,
+        DEFAULT_BATCH_SIZE if batch_size is None else batch_size,
     ):
-        solution = evaluator.evaluate(chromosome)
-        if not solution.is_valid:
-            continue
-        valid_count += 1
-        front.add(solution, solution.objective_tuple(objective_keys))
+        evaluation = batch_evaluator.evaluate_population(batch)
+        for index in np.flatnonzero(evaluation.valid):
+            solution = evaluation.solution(int(index))
+            front.add(solution, solution.objective_tuple(objective_keys))
+        valid_count += evaluation.valid_count
     return front, valid_count

@@ -20,6 +20,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 import numpy as np
 
 from ..errors import AllocationError
+from .batch import BatchEvaluation
 from .objectives import AllocationEvaluator, AllocationSolution
 
 __all__ = [
@@ -79,6 +80,10 @@ def _greedy_assignment(
     ``channel_priority(communication_index, usage)`` returns the channel indices
     ordered from most to least preferred; ``usage`` maps channels to how many
     communications already reserved them.
+
+    The assignment is evaluated through the evaluator's batch engine so that
+    heuristic baselines carry exactly the same objective values as identical
+    chromosomes discovered by the batch-powered searches.
     """
     conflicts = evaluator.conflict_pairs(counts)
     usage: Dict[int, int] = {channel: 0 for channel in range(evaluator.wavelength_count)}
@@ -98,7 +103,7 @@ def _greedy_assignment(
         for channel in chosen:
             usage[channel] += 1
     allocation = [assigned[index] for index in range(evaluator.communication_count)]
-    return evaluator.evaluate_allocation(allocation)
+    return evaluator.batch().evaluate_allocations([allocation]).solution(0)
 
 
 def first_fit_allocation(
@@ -150,13 +155,23 @@ def random_allocation(
     target_counts: Sequence[int] | int = 1,
     seed: Optional[int] = None,
     max_attempts: int = 200,
+    batch_size: int = 32,
 ) -> AllocationSolution:
-    """Random assignment: draw channel sets uniformly until a valid one appears."""
+    """Random assignment: draw channel sets uniformly until a valid one appears.
+
+    Candidates are screened in batches of ``batch_size`` through the
+    evaluator's vectorized batch engine (whose validity verdicts are exact),
+    and the returned solution is the first valid draw — identical to the one
+    the historical attempt-by-attempt loop would have found.
+    """
     counts = _normalise_counts(evaluator, target_counts)
+    if batch_size < 1:
+        raise AllocationError("the screening batch size must be at least 1")
     rng = np.random.default_rng(seed)
-    last_solution: Optional[AllocationSolution] = None
-    for _ in range(max_attempts):
-        allocation = [
+    batch_evaluator = evaluator.batch()
+
+    def draw() -> List[Tuple[int, ...]]:
+        return [
             tuple(
                 sorted(
                     rng.choice(
@@ -166,13 +181,20 @@ def random_allocation(
             )
             for index in range(evaluator.communication_count)
         ]
-        solution = evaluator.evaluate_allocation(allocation)
-        last_solution = solution
-        if solution.is_valid:
-            return solution
-    if last_solution is None:
+
+    last_evaluation: Optional[BatchEvaluation] = None
+    attempted = 0
+    while attempted < max_attempts:
+        pending = [draw() for _ in range(min(batch_size, max_attempts - attempted))]
+        attempted += len(pending)
+        evaluation = batch_evaluator.evaluate_allocations(pending)
+        valid_rows = np.flatnonzero(evaluation.valid)
+        if valid_rows.size:
+            return evaluation.solution(int(valid_rows[0]))
+        last_evaluation = evaluation
+    if last_evaluation is None:
         raise AllocationError("random allocation produced no candidate")
-    return last_solution
+    return last_evaluation.solution(len(last_evaluation) - 1)
 
 
 def uniform_allocation(

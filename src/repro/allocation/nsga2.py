@@ -15,6 +15,16 @@ Invalid chromosomes receive infinite fitness, exactly as in the paper, so they
 are dominated by every valid solution but still recombine — which keeps the
 search alive in tightly constrained instances (few wavelengths).
 
+The engine is *vectorized*: the population lives as one ``(population,
+genome)`` uint8 matrix, the genetic operators act on whole matrices, and
+objective evaluation runs through the
+:class:`~repro.allocation.batch.BatchEvaluator` with a byte-fingerprint memo
+that skips chromosomes already evaluated earlier in the run.  Setting
+``engine="scalar"`` keeps the identical operators and random stream but routes
+evaluation through the readable scalar
+:class:`~repro.allocation.objectives.AllocationEvaluator` — the
+test-suite uses this to pin down batch/scalar determinism.
+
 The optimiser also keeps the run-wide books the paper reports in Table II:
 every *unique valid* chromosome ever evaluated, and the Pareto front across all
 of them.
@@ -22,6 +32,7 @@ of them.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -35,10 +46,13 @@ from .pareto import ParetoFront, crowding_distance, non_dominated_sort
 
 __all__ = ["GenerationRecord", "Nsga2Result", "Nsga2Optimizer"]
 
+#: Evaluation engines accepted by :class:`Nsga2Optimizer`.
+_ENGINES = ("batch", "scalar")
+
 
 @dataclass(frozen=True)
 class GenerationRecord:
-    """Summary statistics of one generation."""
+    """Summary statistics and telemetry of one generation."""
 
     generation: int
     valid_count: int
@@ -46,6 +60,12 @@ class GenerationRecord:
     best_energy_fj: float
     best_ber: float
     front_size: int
+    #: Chromosomes actually evaluated this generation (memo misses).
+    evaluations: int = 0
+    #: Chromosomes served from the byte-fingerprint memo this generation.
+    memo_hits: int = 0
+    #: Wall-clock time of the generation (operators + evaluation), seconds.
+    wall_clock_seconds: float = 0.0
 
 
 @dataclass
@@ -58,11 +78,21 @@ class Nsga2Result:
     unique_valid_solutions: Dict[Tuple[int, ...], AllocationSolution]
     history: List[GenerationRecord] = field(default_factory=list)
     evaluations: int = 0
+    memo_hits: int = 0
+    wall_clock_seconds: float = 0.0
+    engine: str = "batch"
 
     @property
     def valid_solution_count(self) -> int:
         """Number of distinct valid chromosomes discovered during the run."""
         return len(self.unique_valid_solutions)
+
+    @property
+    def evaluations_per_second(self) -> float:
+        """Throughput of the run (memo misses over total wall clock)."""
+        if self.wall_clock_seconds <= 0.0:
+            return 0.0
+        return self.evaluations / self.wall_clock_seconds
 
     @property
     def pareto_solutions(self) -> List[AllocationSolution]:
@@ -84,19 +114,35 @@ class Nsga2Result:
         return item
 
 
+@dataclass(frozen=True)
+class _EvalRecord:
+    """Memoised outcome of one unique chromosome."""
+
+    objectives: Tuple[float, float, float]
+    valid: bool
+    solution: Optional[AllocationSolution]
+
+
 class Nsga2Optimizer:
     """Multi-objective wavelength allocation with NSGA-II.
 
     Parameters
     ----------
     evaluator:
-        The per-chromosome objective evaluator.
+        The scalar reference evaluator describing the scenario; the optimiser
+        derives its batch engine from it.
     parameters:
         Population size, generation count, operator probabilities and seed.
     objective_keys:
         Which objectives to optimise (subset of ``("time", "ber", "energy")``).
         The paper draws its Fig. 6a front on (time, energy) and its Fig. 6b /
         Fig. 7 fronts on (time, ber); the default optimises all three at once.
+    engine:
+        ``"batch"`` (default) evaluates whole populations through the
+        vectorized :class:`~repro.allocation.batch.BatchEvaluator`;
+        ``"scalar"`` evaluates row by row through the reference evaluator with
+        the same operators and random stream (slow — used by equivalence and
+        determinism tests).
     """
 
     def __init__(
@@ -104,6 +150,7 @@ class Nsga2Optimizer:
         evaluator: AllocationEvaluator,
         parameters: Optional[GeneticParameters] = None,
         objective_keys: Sequence[str] = ObjectiveVector.KEYS,
+        engine: str = "batch",
     ) -> None:
         self._evaluator = evaluator
         self._parameters = parameters or GeneticParameters()
@@ -113,10 +160,19 @@ class Nsga2Optimizer:
         for key in keys:
             if key not in ObjectiveVector.KEYS:
                 raise AllocationError(f"unknown objective key {key!r}")
+        if engine not in _ENGINES:
+            raise AllocationError(
+                f"unknown evaluation engine {engine!r}; choose from {_ENGINES}"
+            )
         self._objective_keys = keys
+        self._engine = engine
+        self._batch = evaluator.batch()
         self._rng = np.random.default_rng(self._parameters.seed)
-        self._evaluation_cache: Dict[Tuple[int, ...], AllocationSolution] = {}
+        self._memo: Dict[bytes, _EvalRecord] = {}
         self._evaluations = 0
+        self._memo_hits = 0
+        self._genome = evaluator.communication_count * evaluator.wavelength_count
+        self._objective_columns = [ObjectiveVector.KEYS.index(key) for key in keys]
 
     # ----------------------------------------------------------------- public
     @property
@@ -131,42 +187,73 @@ class Nsga2Optimizer:
 
     @property
     def evaluator(self) -> AllocationEvaluator:
-        """The chromosome evaluator in use."""
+        """The scalar reference evaluator describing the scenario."""
         return self._evaluator
+
+    @property
+    def engine(self) -> str:
+        """The evaluation engine in use (``"batch"`` or ``"scalar"``)."""
+        return self._engine
 
     def run(self) -> Nsga2Result:
         """Execute the configured number of generations and collect the results."""
         parameters = self._parameters
-        population = self._initial_population()
-        solutions = [self._evaluate(chromosome) for chromosome in population]
-
+        run_started = time.perf_counter()
         unique_valid: Dict[Tuple[int, ...], AllocationSolution] = {}
         front: ParetoFront[AllocationSolution] = ParetoFront()
         history: List[GenerationRecord] = []
-        self._absorb(solutions, unique_valid, front)
-        history.append(self._record(0, solutions, front))
+
+        generation_started = run_started
+        population = self._initial_population_matrix()
+        objectives = self._evaluate_matrix(population, unique_valid, front)
+        history.append(
+            self._record(0, objectives, front, generation_started, 0, 0)
+        )
 
         for generation in range(1, parameters.generations + 1):
-            offspring = self._make_offspring(solutions)
-            offspring_solutions = [self._evaluate(chromosome) for chromosome in offspring]
-            self._absorb(offspring_solutions, unique_valid, front)
-            solutions = self._environmental_selection(solutions + offspring_solutions)
-            history.append(self._record(generation, solutions, front))
+            generation_started = time.perf_counter()
+            evaluations_before = self._evaluations
+            memo_hits_before = self._memo_hits
+            offspring = self._make_offspring(population, objectives)
+            offspring_objectives = self._evaluate_matrix(
+                offspring, unique_valid, front
+            )
+            combined = np.concatenate([population, offspring])
+            combined_objectives = np.concatenate(
+                [objectives, offspring_objectives]
+            )
+            selected = self._environmental_selection(combined_objectives)
+            population = combined[selected]
+            objectives = combined_objectives[selected]
+            history.append(
+                self._record(
+                    generation,
+                    objectives,
+                    front,
+                    generation_started,
+                    evaluations_before,
+                    memo_hits_before,
+                )
+            )
 
+        final_population = [self._materialize(row) for row in population]
         return Nsga2Result(
             objective_keys=self._objective_keys,
-            final_population=solutions,
+            final_population=final_population,
             pareto_front=front,
             unique_valid_solutions=unique_valid,
             history=history,
             evaluations=self._evaluations,
+            memo_hits=self._memo_hits,
+            wall_clock_seconds=time.perf_counter() - run_started,
+            engine=self._engine,
         )
 
     # ------------------------------------------------------------ inner steps
-    def _initial_population(self) -> List[Chromosome]:
+    def _initial_population_matrix(self) -> np.ndarray:
         from . import heuristics  # local import to avoid a module cycle at package load
 
-        population: List[Chromosome] = []
+        rows: List[np.ndarray] = []
         nl = self._evaluator.communication_count
         nw = self._evaluator.wavelength_count
         # Seed the population with the uniform first-fit allocations (1, 2, ...
@@ -178,96 +265,195 @@ class Nsga2Optimizer:
             except AllocationError:
                 continue
             if seeded.is_valid:
-                population.append(seeded.chromosome)
-        while len(population) < self._parameters.population_size:
+                rows.append(seeded.chromosome.as_array().reshape(-1))
+        while len(rows) < self._parameters.population_size:
             # Mix sparse and dense random individuals so both extremes of the
             # time/energy trade-off are represented from the start.
             density = self._rng.uniform(0.5 / nw, 0.8)
-            population.append(
-                Chromosome.random(nl, nw, self._rng, reserve_probability=density)
+            rows.append(
+                (self._rng.random(self._genome) < density).astype(np.uint8)
             )
-        return population[: self._parameters.population_size]
+        matrix = np.stack(rows[: self._parameters.population_size])
+        return np.ascontiguousarray(matrix, dtype=np.uint8)
 
-    def _evaluate(self, chromosome: Chromosome) -> AllocationSolution:
-        key = chromosome.genes
-        cached = self._evaluation_cache.get(key)
-        if cached is not None:
-            return cached
-        solution = self._evaluator.evaluate(chromosome)
-        self._evaluation_cache[key] = solution
-        self._evaluations += 1
-        return solution
-
-    def _absorb(
+    def _evaluate_matrix(
         self,
-        solutions: Sequence[AllocationSolution],
+        matrix: np.ndarray,
+        unique_valid: Dict[Tuple[int, ...], AllocationSolution],
+        front: ParetoFront[AllocationSolution],
+    ) -> np.ndarray:
+        """Evaluate a population matrix with memoisation and book-keeping.
+
+        Returns the full three-objective matrix (``inf`` rows for invalid
+        chromosomes).  Newly discovered valid chromosomes are materialised once
+        and absorbed into the run-wide books.
+        """
+        keys = [row.tobytes() for row in matrix]
+        fresh: Dict[bytes, int] = {}
+        for index, key in enumerate(keys):
+            if key in self._memo or key in fresh:
+                self._memo_hits += 1
+            else:
+                fresh[key] = index
+
+        if fresh:
+            fresh_indices = list(fresh.values())
+            if self._engine == "batch":
+                evaluation = self._batch.evaluate_population(matrix[fresh_indices])
+                for position, key in enumerate(fresh):
+                    valid = bool(evaluation.valid[position])
+                    solution = evaluation.solution(position) if valid else None
+                    record = _EvalRecord(
+                        objectives=(
+                            float(evaluation.execution_time_kcycles[position]),
+                            float(evaluation.mean_bit_error_rate[position]),
+                            float(evaluation.bit_energy_fj[position]),
+                        ),
+                        valid=valid,
+                        solution=solution,
+                    )
+                    self._store(key, record, unique_valid, front)
+            else:
+                nl = self._evaluator.communication_count
+                nw = self._evaluator.wavelength_count
+                for key, index in fresh.items():
+                    solution = self._evaluator.evaluate(
+                        Chromosome.from_numpy(matrix[index], nl, nw)
+                    )
+                    record = _EvalRecord(
+                        objectives=solution.objectives.as_tuple(),
+                        valid=solution.is_valid,
+                        solution=solution if solution.is_valid else None,
+                    )
+                    self._store(key, record, unique_valid, front)
+
+        objectives = np.empty((matrix.shape[0], 3))
+        for index, key in enumerate(keys):
+            objectives[index] = self._memo[key].objectives
+        return objectives
+
+    def _store(
+        self,
+        key: bytes,
+        record: _EvalRecord,
         unique_valid: Dict[Tuple[int, ...], AllocationSolution],
         front: ParetoFront[AllocationSolution],
     ) -> None:
-        for solution in solutions:
-            if not solution.is_valid:
-                continue
-            key = solution.chromosome.genes
-            if key in unique_valid:
-                continue
-            unique_valid[key] = solution
-            front.add(solution, solution.objective_tuple(self._objective_keys))
+        self._memo[key] = record
+        self._evaluations += 1
+        if record.valid and record.solution is not None:
+            genes = record.solution.chromosome.genes
+            if genes not in unique_valid:
+                unique_valid[genes] = record.solution
+                front.add(
+                    record.solution,
+                    record.solution.objective_tuple(self._objective_keys),
+                )
 
-    def _objective_matrix(
-        self, solutions: Sequence[AllocationSolution]
-    ) -> List[Tuple[float, ...]]:
-        return [solution.objective_tuple(self._objective_keys) for solution in solutions]
+    def _materialize(self, row: np.ndarray) -> AllocationSolution:
+        """Full :class:`AllocationSolution` of one (already evaluated) row."""
+        record = self._memo[row.tobytes()]
+        if record.solution is not None:
+            return record.solution
+        chromosome = Chromosome.from_numpy(
+            row, self._evaluator.communication_count, self._evaluator.wavelength_count
+        )
+        return AllocationSolution(
+            chromosome=chromosome,
+            objectives=ObjectiveVector.infinite(),
+            validity=self._evaluator.check_validity(chromosome),
+            wavelength_counts=chromosome.wavelength_counts(),
+        )
 
-    def _environmental_selection(
-        self, solutions: List[AllocationSolution]
-    ) -> List[AllocationSolution]:
-        target = self._parameters.population_size
-        objectives = self._objective_matrix(solutions)
-        fronts = non_dominated_sort(objectives)
-        selected: List[AllocationSolution] = []
-        for front_indices in fronts:
-            if len(selected) + len(front_indices) <= target:
-                selected.extend(solutions[index] for index in front_indices)
-                continue
-            remaining = target - len(selected)
-            if remaining <= 0:
-                break
-            front_objectives = [objectives[index] for index in front_indices]
-            distances = crowding_distance(front_objectives)
-            order = np.argsort(-distances, kind="stable")
-            selected.extend(solutions[front_indices[position]] for position in order[:remaining])
-            break
-        return selected
+    def _keyed(self, objectives: np.ndarray) -> List[Tuple[float, ...]]:
+        """Objective rows projected onto the optimised keys, as plain tuples."""
+        projected = objectives[:, self._objective_columns]
+        return [tuple(row) for row in projected]
 
-    def _make_offspring(
-        self, solutions: Sequence[AllocationSolution]
-    ) -> List[Chromosome]:
-        parameters = self._parameters
-        objectives = self._objective_matrix(solutions)
-        fronts = non_dominated_sort(objectives)
-        rank = np.zeros(len(solutions), dtype=int)
-        distance = np.zeros(len(solutions))
+    def _rank_and_distance(
+        self, objectives: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        keyed = self._keyed(objectives)
+        fronts = non_dominated_sort(keyed)
+        rank = np.zeros(len(keyed), dtype=int)
+        distance = np.zeros(len(keyed))
         for front_position, front_indices in enumerate(fronts):
-            front_objectives = [objectives[index] for index in front_indices]
+            front_objectives = [keyed[index] for index in front_indices]
             front_distances = crowding_distance(front_objectives)
             for local, index in enumerate(front_indices):
                 rank[index] = front_position
                 distance[index] = front_distances[local]
+        return rank, distance
 
-        offspring: List[Chromosome] = []
-        while len(offspring) < parameters.population_size:
-            first = self._tournament(rank, distance)
-            second = self._tournament(rank, distance)
-            child_a, child_b = self._crossover(
-                solutions[first].chromosome, solutions[second].chromosome
-            )
-            offspring.append(self._mutate(child_a))
-            if len(offspring) < parameters.population_size:
-                offspring.append(self._mutate(child_b))
-        return offspring
+    def _environmental_selection(self, objectives: np.ndarray) -> np.ndarray:
+        """Indices of the survivors among the merged parent+offspring pool."""
+        target = self._parameters.population_size
+        keyed = self._keyed(objectives)
+        fronts = non_dominated_sort(keyed)
+        selected: List[int] = []
+        for front_indices in fronts:
+            if len(selected) + len(front_indices) <= target:
+                selected.extend(front_indices)
+                continue
+            remaining = target - len(selected)
+            if remaining <= 0:
+                break
+            front_objectives = [keyed[index] for index in front_indices]
+            distances = crowding_distance(front_objectives)
+            order = np.argsort(-distances, kind="stable")
+            selected.extend(front_indices[position] for position in order[:remaining])
+            break
+        return np.asarray(selected, dtype=int)
+
+    def _make_offspring(
+        self, population: np.ndarray, objectives: np.ndarray
+    ) -> np.ndarray:
+        """One generation of offspring on population matrices.
+
+        The random draws happen pair by pair in exactly the sequence the
+        historical chromosome-at-a-time implementation used, so a fixed seed
+        reproduces the same populations it produced; the gene work itself
+        (segment swaps, bit flips) is applied to whole matrices at once.
+        """
+        rank, distance = self._rank_and_distance(objectives)
+        target = self._parameters.population_size
+        pair_count = (target + 1) // 2
+        winners = np.empty(2 * pair_count, dtype=int)
+        swap_bounds = np.zeros((pair_count, 2), dtype=int)
+        flip_rows: List[np.ndarray] = []
+        probability = self._parameters.mutation_probability
+
+        produced = 0
+        for pair in range(pair_count):
+            winners[2 * pair] = self._tournament(rank, distance)
+            winners[2 * pair + 1] = self._tournament(rank, distance)
+            if self._rng.random() < self._parameters.crossover_probability:
+                lower, upper = sorted(
+                    self._rng.integers(0, self._genome, size=2)
+                )
+                swap_bounds[pair] = (lower, upper)
+            for _ in range(min(2, target - produced)):
+                flip_rows.append(self._draw_flips(probability))
+                produced += 1
+
+        parents_a = population[winners[0::2]]
+        parents_b = population[winners[1::2]]
+        positions = np.arange(self._genome)[None, :]
+        swap = (positions >= swap_bounds[:, 0:1]) & (positions < swap_bounds[:, 1:2])
+        offspring = np.empty((2 * pair_count, self._genome), dtype=np.uint8)
+        offspring[0::2] = np.where(swap, parents_b, parents_a)
+        offspring[1::2] = np.where(swap, parents_a, parents_b)
+        offspring = offspring[:target]
+        if flip_rows and probability > 0.0:
+            flips = np.stack(flip_rows)
+            offspring = np.where(flips, 1 - offspring, offspring).astype(np.uint8)
+        return np.ascontiguousarray(offspring)
 
     def _tournament(self, rank: np.ndarray, distance: np.ndarray) -> int:
-        contenders = self._rng.integers(0, len(rank), size=self._parameters.tournament_size)
+        """Binary (or larger) tournament on (rank, crowding distance)."""
+        contenders = self._rng.integers(
+            0, len(rank), size=self._parameters.tournament_size
+        )
         best = int(contenders[0])
         for contender in contenders[1:]:
             contender = int(contender)
@@ -277,56 +463,73 @@ class Nsga2Optimizer:
                 best = contender
         return best
 
+    def _draw_flips(self, probability: float) -> np.ndarray:
+        """Mutation mask of one offspring row (always at least one flip)."""
+        if probability <= 0.0:
+            return np.zeros(self._genome, dtype=bool)
+        flips = self._rng.random(self._genome) < probability
+        if not flips.any():
+            # The paper's mutation always inverts one randomly chosen point.
+            flips[self._rng.integers(0, self._genome)] = True
+        return flips
+
+    # ----------------------------------------- chromosome-level operator views
     def _crossover(
         self, parent_a: Chromosome, parent_b: Chromosome
     ) -> Tuple[Chromosome, Chromosome]:
+        """Two-point crossover of one chromosome pair (single-pair matrix path)."""
         if self._rng.random() >= self._parameters.crossover_probability:
             return parent_a, parent_b
-        length = len(parent_a)
-        x, y = sorted(self._rng.integers(0, length, size=2))
-        if x == y:
+        lower, upper = sorted(self._rng.integers(0, len(parent_a), size=2))
+        if lower == upper:
             return parent_a, parent_b
-        genes_a = list(parent_a.genes)
-        genes_b = list(parent_b.genes)
-        genes_a[x:y], genes_b[x:y] = genes_b[x:y], genes_a[x:y]
+        genes_a = parent_a.as_array().reshape(-1).copy()
+        genes_b = parent_b.as_array().reshape(-1).copy()
+        genes_a[lower:upper], genes_b[lower:upper] = (
+            genes_b[lower:upper].copy(),
+            genes_a[lower:upper].copy(),
+        )
         nl, nw = parent_a.communication_count, parent_a.wavelength_count
         return (
-            Chromosome.from_array(genes_a, nl, nw),
-            Chromosome.from_array(genes_b, nl, nw),
+            Chromosome.from_numpy(genes_a, nl, nw),
+            Chromosome.from_numpy(genes_b, nl, nw),
         )
 
     def _mutate(self, chromosome: Chromosome) -> Chromosome:
+        """Bit-flip mutation of one chromosome (single-row matrix path)."""
         probability = self._parameters.mutation_probability
         if probability <= 0.0:
             return chromosome
-        genes = np.asarray(chromosome.genes, dtype=int)
-        flips = self._rng.random(genes.size) < probability
-        if not flips.any():
-            # The paper's mutation always inverts one randomly chosen point.
-            flips[self._rng.integers(0, genes.size)] = True
-        genes = np.where(flips, 1 - genes, genes)
-        return Chromosome.from_array(
+        flips = self._draw_flips(probability)
+        genes = np.where(flips, 1 - chromosome.as_array().reshape(-1), chromosome.as_array().reshape(-1))
+        return Chromosome.from_numpy(
             genes, chromosome.communication_count, chromosome.wavelength_count
         )
 
     def _record(
         self,
         generation: int,
-        solutions: Sequence[AllocationSolution],
+        objectives: np.ndarray,
         front: ParetoFront[AllocationSolution],
+        started: float,
+        evaluations_before: int,
+        memo_hits_before: int,
     ) -> GenerationRecord:
-        valid = [solution for solution in solutions if solution.is_valid]
-        if valid:
-            best_time = min(s.objectives.execution_time_kcycles for s in valid)
-            best_energy = min(s.objectives.bit_energy_fj for s in valid)
-            best_ber = min(s.objectives.mean_bit_error_rate for s in valid)
+        valid = np.isfinite(objectives).all(axis=1)
+        if valid.any():
+            best_time = float(objectives[valid, 0].min())
+            best_ber = float(objectives[valid, 1].min())
+            best_energy = float(objectives[valid, 2].min())
         else:
             best_time = best_energy = best_ber = float("inf")
         return GenerationRecord(
             generation=generation,
-            valid_count=len(valid),
+            valid_count=int(np.count_nonzero(valid)),
             best_time_kcycles=best_time,
             best_energy_fj=best_energy,
             best_ber=best_ber,
             front_size=len(front),
+            evaluations=self._evaluations - evaluations_before,
+            memo_hits=self._memo_hits - memo_hits_before,
+            wall_clock_seconds=time.perf_counter() - started,
         )

@@ -59,6 +59,7 @@ __all__ = [
     "ObjectiveVector",
     "ValidityReport",
     "AllocationSolution",
+    "EvaluatorArrays",
     "AllocationEvaluator",
 ]
 
@@ -183,6 +184,39 @@ class AllocationSolution:
         return self.objectives.as_tuple(keys)
 
 
+@dataclass(frozen=True)
+class EvaluatorArrays:
+    """The per-scenario matrices an evaluator precomputes, exposed read-only.
+
+    These arrays only depend on the architecture, the task graph and the
+    mapping — never on a chromosome — so they are computed once and shared
+    between the scalar reference evaluator and the vectorized
+    :class:`~repro.allocation.batch.BatchEvaluator`.
+    """
+
+    #: Lorentzian leak (dB) of an aggressor on channel ``i`` into the drop ring
+    #: of channel ``m`` (Eq. 1): ``phi_db[m, i]``.
+    phi_db: np.ndarray
+    #: Per-communication base path loss (dB, every crossed ring OFF).
+    victim_base_loss_db: np.ndarray
+    #: Number of rings each communication's signal crosses non-resonantly.
+    victim_crossed_ring_count: np.ndarray
+    #: ``[j, k]``: communications ``cj``/``ck`` share a directed segment.
+    shares_segment: np.ndarray
+    #: ``[j, k]``: aggressor ``cj`` reaches the destination ONI of victim ``ck``.
+    aggressor_reaches: np.ndarray
+    #: ``[j, k]``: path loss (dB) from ``cj``'s source to ``ck``'s destination.
+    aggressor_path_loss_db: np.ndarray
+    #: ``[j, k]``: ``cj``'s destination ONI lies on ``ck``'s path.
+    destination_on_path: np.ndarray
+    #: Extra loss (dB) per ON-state ring crossed, relative to an OFF ring.
+    on_ring_delta_db: float
+    #: Laser power of a logical '1' (dBm).
+    laser_one_dbm: float
+    #: Laser power of a logical '0' (mW) — the noise floor of Eq. (8).
+    laser_zero_mw: float
+
+
 class AllocationEvaluator:
     """Fast evaluator of chromosomes for a fixed application, mapping and architecture.
 
@@ -223,6 +257,7 @@ class AllocationEvaluator:
         self._energy_model = BitEnergyModel(
             self._configuration.energy, self._configuration.timing
         )
+        self._batch_evaluator = None
         self._precompute()
 
     # ----------------------------------------------------------------- public
@@ -270,6 +305,44 @@ class AllocationEvaluator:
     def scheduler(self) -> ListScheduler:
         """The execution-time model used for Eq. (11)."""
         return self._scheduler
+
+    @property
+    def ber_model(self) -> BerModel:
+        """The BER convention in use."""
+        return self._ber_model
+
+    @property
+    def energy_model(self) -> BitEnergyModel:
+        """The bit-energy model in use."""
+        return self._energy_model
+
+    @property
+    def precomputed(self) -> EvaluatorArrays:
+        """The chromosome-independent matrices, for batch engines to reuse."""
+        return EvaluatorArrays(
+            phi_db=self._phi_db,
+            victim_base_loss_db=self._victim_base_loss_db,
+            victim_crossed_ring_count=self._victim_crossed_ring_count,
+            shares_segment=self._shares_segment,
+            aggressor_reaches=self._aggressor_reaches,
+            aggressor_path_loss_db=self._aggressor_path_loss_db,
+            destination_on_path=self._destination_on_path,
+            on_ring_delta_db=self._on_ring_delta_db,
+            laser_one_dbm=self._laser_one_dbm,
+            laser_zero_mw=self._laser_zero_mw,
+        )
+
+    def batch(self) -> "BatchEvaluator":  # noqa: F821 - forward reference
+        """The population-level engine sharing this evaluator's precomputation.
+
+        Built lazily and cached, so heuristics, NSGA-II and the exhaustive
+        search all reuse one :class:`~repro.allocation.batch.BatchEvaluator`.
+        """
+        if self._batch_evaluator is None:
+            from .batch import BatchEvaluator  # deferred to avoid a module cycle
+
+            self._batch_evaluator = BatchEvaluator(self)
+        return self._batch_evaluator
 
     def random_chromosome(self, rng: np.random.Generator) -> Chromosome:
         """A random chromosome with the right shape for this evaluator."""
@@ -364,6 +437,19 @@ class AllocationEvaluator:
         self._on_ring_delta_db = photonic.mr_on_loss_db - photonic.mr_off_pass_loss_db
         self._laser_one_dbm = photonic.laser_power_one_dbm
         self._laser_zero_mw = dbm_to_mw(photonic.laser_power_zero_dbm)
+
+        # The matrices are shared with the batch engine through `precomputed`;
+        # freeze them so no consumer can corrupt another's view.
+        for array in (
+            self._phi_db,
+            self._victim_base_loss_db,
+            self._victim_crossed_ring_count,
+            self._shares_segment,
+            self._aggressor_reaches,
+            self._aggressor_path_loss_db,
+            self._destination_on_path,
+        ):
+            array.setflags(write=False)
 
     # --------------------------------------------------------------- validity
     def check_validity(

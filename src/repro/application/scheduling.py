@@ -24,12 +24,20 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping as TypingMapping, Optional, Sequence, Tuple
 
+import numpy as np
+
 from ..config import TimingParameters
 from ..errors import SchedulingError
 from .mapping import Mapping
 from .task_graph import TaskGraph
 
-__all__ = ["ScheduleEntry", "CommunicationInterval", "Schedule", "ListScheduler"]
+__all__ = [
+    "ScheduleEntry",
+    "CommunicationInterval",
+    "Schedule",
+    "BatchSchedule",
+    "ListScheduler",
+]
 
 
 @dataclass(frozen=True)
@@ -122,6 +130,43 @@ class Schedule:
         return matrix
 
 
+@dataclass(frozen=True)
+class BatchSchedule:
+    """Schedules of a whole population, one row per wavelength-count vector.
+
+    All arrays are indexed ``[population_row, ...]``; communication columns
+    follow the chromosome edge order and task columns follow the topological
+    order used by :meth:`ListScheduler.schedule_batch`.  The float arithmetic
+    mirrors the scalar :class:`Schedule` construction operation-for-operation,
+    so the two paths produce bit-identical cycle counts.
+    """
+
+    start_cycles: np.ndarray
+    end_cycles: np.ndarray
+    duration_cycles: np.ndarray
+    makespan_cycles: np.ndarray
+
+    @property
+    def makespan_kilocycles(self) -> np.ndarray:
+        """Global execution times in kilo-clock-cycles (the paper's unit)."""
+        return self.makespan_cycles / 1000.0
+
+    def overlap_tensor(self) -> np.ndarray:
+        """Boolean tensor ``T[p, j, k]``: transfers ``cj``/``ck`` overlap in row ``p``.
+
+        Matches :meth:`Schedule.overlap_matrix`: zero-length or back-to-back
+        intervals do not overlap and the diagonal is always ``False``.
+        """
+        starts = self.start_cycles
+        ends = self.end_cycles
+        overlap = (starts[:, :, None] < ends[:, None, :]) & (
+            starts[:, None, :] < ends[:, :, None]
+        )
+        count = starts.shape[1]
+        overlap[:, np.arange(count), np.arange(count)] = False
+        return overlap
+
+
 class ListScheduler:
     """Compute the schedule of Eqs. (10)-(12) for a given wavelength allocation.
 
@@ -144,6 +189,9 @@ class ListScheduler:
         self._task_graph = task_graph
         self._mapping = mapping
         self._timing = timing or TimingParameters()
+        self._batch_tables: Optional[
+            Tuple[List[List[Tuple[int, int]]], np.ndarray, np.ndarray]
+        ] = None
 
     @property
     def task_graph(self) -> TaskGraph:
@@ -219,6 +267,83 @@ class ListScheduler:
         }
         intervals.sort(key=lambda interval: interval.edge_index)
         return Schedule(entries=entries, communication_intervals=tuple(intervals))
+
+    # -------------------------------------------------------------- batch path
+    def _tables(self) -> Tuple[List[List[Tuple[int, int]]], np.ndarray, np.ndarray]:
+        """Static per-application tables the batch schedule reuses across calls.
+
+        Returns ``(steps, execution_cycles, volumes_bits)`` where ``steps[t]``
+        lists the ``(edge_index, predecessor_position)`` pairs feeding the
+        ``t``-th task of the topological order.
+        """
+        if self._batch_tables is None:
+            graph = self._task_graph
+            order = graph.topological_order()
+            position = {name: index for index, name in enumerate(order)}
+            steps: List[List[Tuple[int, int]]] = []
+            for name in order:
+                entries: List[Tuple[int, int]] = []
+                for predecessor in graph.predecessors(name):
+                    edge = graph.communication_between(predecessor, name)
+                    entries.append((edge.index, position[predecessor]))
+                steps.append(entries)
+            execution = np.array(
+                [graph.task(name).execution_cycles for name in order], dtype=float
+            )
+            volumes = np.zeros(graph.communication_count, dtype=float)
+            for edge in graph.communications():
+                volumes[edge.index] = edge.volume_bits
+            self._batch_tables = (steps, execution, volumes)
+        return self._batch_tables
+
+    def schedule_batch(self, wavelength_counts: np.ndarray) -> BatchSchedule:
+        """Build the schedules of a whole population in one vectorized pass.
+
+        Parameters
+        ----------
+        wavelength_counts:
+            Integer matrix of shape ``(population, communication_count)``; every
+            entry must be at least 1 (callers clamp invalid rows beforehand and
+            discard their objectives).
+
+        The per-row results are bit-identical to :meth:`schedule` because the
+        float operations run in the same order, just across the population axis.
+        """
+        counts = np.asarray(wavelength_counts)
+        steps, execution, volumes = self._tables()
+        if counts.ndim != 2 or counts.shape[1] != len(volumes):
+            raise SchedulingError(
+                f"expected a (population, {len(volumes)}) wavelength-count matrix, "
+                f"got shape {counts.shape}"
+            )
+        if counts.size and counts.min() < 1:
+            raise SchedulingError("every communication needs at least one wavelength")
+
+        population = counts.shape[0]
+        durations = volumes[None, :] / (
+            counts * self._timing.data_rate_bits_per_cycle
+        )
+        completion = np.zeros((population, len(steps)))
+        starts = np.zeros((population, len(volumes)))
+        ends = np.zeros((population, len(volumes)))
+        for task_position, entries in enumerate(steps):
+            ready = np.zeros(population)
+            for edge_index, predecessor_position in entries:
+                transfer_start = completion[:, predecessor_position]
+                transfer_end = transfer_start + durations[:, edge_index]
+                starts[:, edge_index] = transfer_start
+                ends[:, edge_index] = transfer_end
+                ready = np.maximum(ready, transfer_end)
+            completion[:, task_position] = ready + execution[task_position]
+        makespan = (
+            completion.max(axis=1) if len(steps) else np.zeros(population)
+        )
+        return BatchSchedule(
+            start_cycles=starts,
+            end_cycles=ends,
+            duration_cycles=durations,
+            makespan_cycles=makespan,
+        )
 
     def makespan_cycles(self, wavelengths_per_communication: Sequence[int]) -> float:
         """Global execution time (Eq. 11) for a wavelength count vector."""

@@ -36,6 +36,10 @@ class ExperimentRecord:
     best_log10_ber: float
     runtime_seconds: float
     result: ExplorationResult = field(repr=False)
+    #: Distinct chromosomes evaluated by the backend (0 when not tracked).
+    evaluations: int = 0
+    #: Evaluations the GA's duplicate-aware memo skipped.
+    memo_hits: int = 0
 
     def pareto_rows(self) -> List[Dict[str, float]]:
         """Pareto-front rows for reporting (one dictionary per solution)."""
@@ -176,4 +180,6 @@ def make_record(result: ExplorationResult, elapsed: float) -> ExperimentRecord:
         best_log10_ber=best_ber,
         runtime_seconds=elapsed,
         result=result,
+        evaluations=result.evaluation_count,
+        memo_hits=result.memo_hit_count,
     )

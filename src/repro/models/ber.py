@@ -25,7 +25,7 @@ import numpy as np
 from ..units import linear_to_db
 from .snr import SnrResult
 
-__all__ = ["SnrConvention", "ber_from_snr", "BerModel"]
+__all__ = ["SnrConvention", "ber_from_snr", "ber_from_snr_array", "BerModel"]
 
 
 class SnrConvention(enum.Enum):
@@ -49,6 +49,21 @@ def ber_from_snr(snr_value: float) -> float:
     return min(max(ber, 0.0), 0.5)
 
 
+def ber_from_snr_array(snr_values: np.ndarray) -> np.ndarray:
+    """Element-wise Eq. (9), matching :func:`ber_from_snr` value-for-value.
+
+    The batch evaluation engine uses this on whole ``(population,
+    communications, wavelengths)`` tensors; the scalar function remains the
+    readable reference it is equivalence-tested against.
+    """
+    values = np.asarray(snr_values, dtype=float)
+    with np.errstate(over="ignore", invalid="ignore"):
+        ber = 0.5 * np.exp(-values / 2.0) * (1.0 + values / 4.0)
+    ber = np.clip(ber, 0.0, 0.5)
+    ber = np.where(np.isnan(values) | (values <= 0.0), 0.5, ber)
+    return np.where(np.isposinf(values), 0.0, ber)
+
+
 @dataclass(frozen=True)
 class BerModel:
     """BER evaluation with a configurable SNR convention."""
@@ -60,6 +75,15 @@ class BerModel:
         if self.convention is SnrConvention.DECIBEL:
             return ber_from_snr(linear_to_db(snr_linear))
         return ber_from_snr(snr_linear)
+
+    def from_snr_linear_array(self, snr_linear: np.ndarray) -> np.ndarray:
+        """Element-wise :meth:`from_snr_linear` for whole SNR tensors."""
+        values = np.asarray(snr_linear, dtype=float)
+        if self.convention is SnrConvention.DECIBEL:
+            with np.errstate(divide="ignore", invalid="ignore"):
+                converted = np.where(values > 0.0, 10.0 * np.log10(values), -np.inf)
+            return ber_from_snr_array(converted)
+        return ber_from_snr_array(values)
 
     def from_snr_result(self, result: SnrResult) -> float:
         """BER from an :class:`~repro.models.snr.SnrResult`."""

@@ -32,6 +32,8 @@ import math
 from dataclasses import dataclass
 from typing import Sequence
 
+import numpy as np
+
 from ..config import EnergyParameters, TimingParameters
 from ..errors import ConfigurationError
 from ..units import dbm_to_mw, femtojoules_to_joules, joules_to_femtojoules
@@ -134,6 +136,31 @@ class BitEnergyModel:
             self.required_laser_power_dbm(path_loss_db, noise_to_signal_ratio)
         )
         return optical_mw / self._energy.laser_efficiency
+
+    def crosstalk_penalty_db_array(self, noise_to_signal_ratios: np.ndarray) -> np.ndarray:
+        """Element-wise :meth:`crosstalk_penalty_db` for whole ratio tensors.
+
+        Callers guarantee non-negative ratios (the batch engine clamps them to
+        ``[0, 1]`` before calling), so the scalar method's negativity check is
+        not repeated here.
+        """
+        ratios = np.asarray(noise_to_signal_ratios, dtype=float)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            penalty = -10.0 * np.log10(1.0 - ratios)
+        penalty = np.minimum(penalty, self.MAX_PENALTY_DB)
+        return np.where(ratios >= 1.0, self.MAX_PENALTY_DB, penalty)
+
+    def laser_electrical_power_mw_array(
+        self, path_loss_db: np.ndarray, noise_to_signal_ratios: np.ndarray
+    ) -> np.ndarray:
+        """Element-wise :meth:`laser_electrical_power_mw` for loss/ratio tensors."""
+        penalty = self.crosstalk_penalty_db_array(noise_to_signal_ratios)
+        required_dbm = (
+            self._energy.photodetector_sensitivity_dbm
+            - np.asarray(path_loss_db, dtype=float)
+            + penalty
+        )
+        return 10.0 ** (required_dbm / 10.0) / self._energy.laser_efficiency
 
     # ----------------------------------------------------------- communication
     def communication_energy(

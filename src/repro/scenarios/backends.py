@@ -134,17 +134,32 @@ def build_mapping(
 # ------------------------------------------------------------------ optimizers
 @OPTIMIZERS.register("nsga2")
 class Nsga2Backend:
-    """The paper's NSGA-II exploration behind the uniform backend interface."""
+    """The paper's NSGA-II exploration behind the uniform backend interface.
+
+    Options (all optional):
+
+    ``engine``
+        ``"batch"`` (default) runs the vectorized population engine;
+        ``"scalar"`` evaluates chromosome by chromosome through the readable
+        reference path (slow — determinism/equivalence checks only).
+    """
 
     name = "nsga2"
 
     def run(
         self, evaluator: AllocationEvaluator, parameters: OptimizerParameters
     ) -> ExplorationResult:
+        options = dict(parameters.options)
+        engine = options.pop("engine", "batch")
+        if options:
+            raise ScenarioError(
+                f"unknown options for optimizer {self.name!r}: {sorted(options)}"
+            )
         optimizer = Nsga2Optimizer(
             evaluator=evaluator,
             parameters=parameters.genetic,
             objective_keys=parameters.objective_keys,
+            engine=str(engine),
         )
         return ExplorationResult(
             wavelength_count=evaluator.wavelength_count,
@@ -162,6 +177,13 @@ class ExhaustiveBackend:
     the front members only (keeping every enumerated solution would defeat the
     point of summarising an exponential space), while ``valid_solution_count``
     reports the true number of valid chromosomes encountered.
+
+    Options (all optional):
+
+    ``batch_size``
+        Candidates evaluated per vectorized batch (default
+        :data:`~repro.allocation.exhaustive.DEFAULT_BATCH_SIZE`); bounds the
+        enumeration's peak memory.
     """
 
     name = "exhaustive"
@@ -169,13 +191,25 @@ class ExhaustiveBackend:
     def run(
         self, evaluator: AllocationEvaluator, parameters: OptimizerParameters
     ) -> ExplorationResult:
-        front, valid_count = exhaustive_pareto_front(evaluator, parameters.objective_keys)
+        options = dict(parameters.options)
+        batch_size = options.pop("batch_size", None)
+        if options:
+            raise ScenarioError(
+                f"unknown options for optimizer {self.name!r}: {sorted(options)}"
+            )
+        front, valid_count = exhaustive_pareto_front(
+            evaluator,
+            parameters.objective_keys,
+            batch_size=None if batch_size is None else int(batch_size),
+        )
+        space = (2 ** evaluator.wavelength_count - 1) ** evaluator.communication_count
         result = ExplorationResult.from_solutions(
             wavelength_count=evaluator.wavelength_count,
             objective_keys=parameters.objective_keys,
             solutions=[item for item, _ in front],
             valid_count=valid_count,
             backend=self.name,
+            evaluations=space,
         )
         return result
 
@@ -228,6 +262,9 @@ class _HeuristicBackend:
                 )
         else:
             solutions.append(self._assign(evaluator, target_counts, parameters.seed))
+        # No evaluation count is reported: the heuristics do not track how many
+        # candidates they screened (e.g. `random` may batch-evaluate hundreds),
+        # and a misleading number would corrupt throughput comparisons.
         return ExplorationResult.from_solutions(
             wavelength_count=evaluator.wavelength_count,
             objective_keys=parameters.objective_keys,

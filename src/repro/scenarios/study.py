@@ -122,6 +122,8 @@ class ScenarioOutcome:
             runtime_seconds=self.runtime_seconds,
             pareto_rows=tuple(self.pareto_rows()),
             scenario=self.scenario.to_dict(),
+            evaluations=self.result.evaluation_count,
+            memo_hits=self.result.memo_hit_count,
         )
 
 
@@ -150,6 +152,17 @@ class ScenarioResult:
     runtime_seconds: float
     pareto_rows: Tuple[Dict[str, float], ...]
     scenario: Dict[str, Any]
+    #: Distinct chromosomes the backend evaluated (0 when it kept no count).
+    evaluations: int = 0
+    #: Evaluations skipped by the GA's duplicate-aware memo.
+    memo_hits: int = 0
+
+    @property
+    def evaluations_per_second(self) -> float:
+        """Evaluation throughput of the run (the scaling metric studies track)."""
+        if self.runtime_seconds <= 0.0:
+            return 0.0
+        return self.evaluations / self.runtime_seconds
 
     def summary_row(self) -> Dict[str, object]:
         """One flat row for tables and CSV export."""
@@ -164,6 +177,8 @@ class ScenarioResult:
             "best_time_kcycles": self.best_time_kcycles,
             "best_energy_fj": self.best_energy_fj,
             "best_log10_ber": self.best_log10_ber,
+            "evaluations": self.evaluations,
+            "memo_hits": self.memo_hits,
             "runtime_seconds": self.runtime_seconds,
         }
 
@@ -182,6 +197,8 @@ class ScenarioResult:
             "best_time_kcycles": self.best_time_kcycles,
             "best_energy_fj": self.best_energy_fj,
             "best_log10_ber": self.best_log10_ber,
+            "evaluations": self.evaluations,
+            "memo_hits": self.memo_hits,
             "runtime_seconds": self.runtime_seconds,
             "pareto_rows": [dict(row) for row in self.pareto_rows],
             "scenario": dict(self.scenario),
@@ -206,6 +223,8 @@ class ScenarioResult:
             runtime_seconds=float(payload["runtime_seconds"]),
             pareto_rows=tuple(dict(row) for row in payload["pareto_rows"]),
             scenario=dict(payload["scenario"]),
+            evaluations=int(payload.get("evaluations", 0)),
+            memo_hits=int(payload.get("memo_hits", 0)),
         )
 
     def comparable_dict(self) -> Dict[str, Any]:

@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Simulation-in-the-loop verification of optimizer output.
+
+The execution-time objective the optimizers minimise is an *analytical*
+schedule; the discrete-event simulator replays allocations with explicit
+segment/wavelength occupancy and runtime conflict detection.  Enabling a
+scenario's ``verification`` block makes every Study run cross-check the two:
+each reported Pareto solution is replayed, must finish conflict-free and must
+reproduce the analytical makespan.  This example
+
+1. runs the paper instance through NSGA-II and two classical heuristics with
+   verification enabled and prints the replay columns of the study report,
+2. prints the divergence report (empty in a healthy build), and
+3. hands an *intentionally conflicting* allocation to the verifier directly to
+   show what a divergence looks like.
+
+Run it with::
+
+    python examples/simulation_verification.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis import divergence_report
+from repro.scenarios import ScenarioBuilder, Study
+from repro.scenarios.study import build_scenario_evaluator
+from repro.simulation import SimulationVerifier
+
+
+def main() -> None:
+    base = (
+        ScenarioBuilder()
+        .named("nsga2-verified")
+        .grid(4, 4)
+        .wavelengths(8)
+        .workload("paper")
+        .mapping("paper")
+        .genetic(population_size=32, generations=12)
+        .seed(2017)
+        .verify(simulate=True)  # <- the verification block
+        .build()
+    )
+    scenarios = [
+        base,
+        base.derive(name="first_fit-verified", optimizer="first_fit",
+                    optimizer_options={"sweep": [1, 2, 3]}),
+        base.derive(name="most_used-verified", optimizer="most_used"),
+    ]
+
+    study = Study(scenarios, name="verified-paper-instance")
+    result = study.run()
+    print(result.report())
+    print()
+
+    # Any solution whose replay conflicted or missed the analytical makespan
+    # would be listed here; an empty report is the expected steady state.
+    print(divergence_report(result.verification_rows()))
+    print()
+
+    # What a real divergence looks like: both communications leaving T0 on the
+    # same wavelength share the first ring segment, so the replay records
+    # runtime conflicts and the verifier flags the solution.
+    verifier = SimulationVerifier.from_evaluator(build_scenario_evaluator(base))
+    conflicting = [(0,), (0,), (1,), (2,), (3,), (4,)]
+    verification = verifier.verify_allocation(conflicting, analytical_kcycles=38.0)
+    print(
+        f"intentionally conflicting allocation {verification.allocation}: "
+        f"{verification.conflict_count} conflict(s), "
+        f"simulated {verification.simulated_kcycles:.1f} kcc vs "
+        f"analytical {verification.analytical_kcycles:.1f} kcc -> "
+        f"{'PASS' if verification.passed else 'FLAGGED'}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -68,7 +68,14 @@ from .allocation import (
     WavelengthAllocator,
 )
 from .models import BerModel, BitEnergyModel, LinkBudget, PowerLossModel, SnrModel
-from .simulation import OnocSimulator, SimulationReport
+from .simulation import (
+    ConflictRecord,
+    OnocSimulator,
+    SimulationReport,
+    SimulationVerifier,
+    SolutionVerification,
+    VerificationReport,
+)
 from .exploration import WavelengthExplorationExperiment
 from .scenarios import (
     Scenario,
@@ -76,6 +83,7 @@ from .scenarios import (
     ScenarioResult,
     Study,
     StudyResult,
+    VerificationSettings,
     execute_scenario,
 )
 
@@ -134,6 +142,10 @@ __all__ = [
     # simulation
     "OnocSimulator",
     "SimulationReport",
+    "ConflictRecord",
+    "SimulationVerifier",
+    "SolutionVerification",
+    "VerificationReport",
     # exploration
     "WavelengthExplorationExperiment",
     # scenarios
@@ -142,5 +154,6 @@ __all__ = [
     "ScenarioResult",
     "Study",
     "StudyResult",
+    "VerificationSettings",
     "execute_scenario",
 ]

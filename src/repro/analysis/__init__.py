@@ -1,8 +1,10 @@
-"""Analysis helpers: Pareto quality metrics, text plotting, CSV output."""
+"""Analysis helpers: Pareto quality metrics, text plotting, CSV output,
+simulated-vs-analytical divergence reporting."""
 
 from .pareto_metrics import hypervolume_2d, front_spread, front_extent, coverage
 from .plotting import ascii_scatter, format_table
 from .csvout import write_csv, rows_to_csv_text
+from .divergence import divergence_report, divergence_rows
 
 __all__ = [
     "hypervolume_2d",
@@ -13,4 +15,6 @@ __all__ = [
     "format_table",
     "write_csv",
     "rows_to_csv_text",
+    "divergence_report",
+    "divergence_rows",
 ]

@@ -1,0 +1,99 @@
+"""Simulated-vs-analytical divergence reporting.
+
+The verification stage (:mod:`repro.simulation.verify`) replays optimizer
+output through the discrete-event simulator; this module condenses its outcome
+into the report users actually read: *which* solutions disagreed with the
+analytical schedule, and by how much.  A divergence is a correctness signal —
+either the allocation conflicts at runtime (the static validity rules missed a
+clash) or the two execution-time models no longer implement the same
+semantics — so an empty report is the expected steady state.
+
+The helpers are duck-typed so every carrier of verification data works:
+a :class:`~repro.simulation.verify.VerificationReport`, a
+:class:`~repro.scenarios.study.ScenarioResult` / ``StudyResult`` (whose rows
+are tagged with their scenario name), or plain row dictionaries.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from .plotting import format_table
+
+__all__ = ["divergence_rows", "divergence_report"]
+
+#: Relative makespan threshold used for rows that carry no ``passed`` verdict
+#: (mirrors :data:`repro.simulation.verify.DEFAULT_TOLERANCE` without forcing
+#: the import of the simulation stack for a pure-row analysis).
+_FALLBACK_TOLERANCE = 1.0e-9
+
+
+def _as_rows(source: Any) -> List[Dict[str, object]]:
+    """Normalise any verification-data carrier to flat per-solution rows."""
+    # StudyResult / ScenarioResult: per-solution rows under `verification_rows`.
+    rows = getattr(source, "verification_rows", None)
+    if rows is not None:
+        return [dict(row) for row in (rows() if callable(rows) else rows)]
+    # VerificationReport (and anything else exposing row dictionaries).
+    rows = getattr(source, "rows", None)
+    if callable(rows):
+        return [dict(row) for row in rows()]
+    normalised: List[Dict[str, object]] = []
+    for item in source:
+        row = getattr(item, "row", None)  # a bare SolutionVerification
+        normalised.append(dict(row()) if callable(row) else dict(item))
+    return normalised
+
+
+def _failed(row: Dict[str, object]) -> bool:
+    if "passed" in row:
+        return not row["passed"]
+    # Rows without a verdict column (e.g. verified Pareto rows): fall back to
+    # the raw signals.  The divergence column is named 'divergence_kcycles' in
+    # verification rows and 'makespan_divergence_kcycles' in Pareto rows; it
+    # is compared relative to the analytical makespan so float noise in rows
+    # that carry no verdict is not flagged as a failure.
+    conflicts = row.get("sim_conflicts", row.get("conflicts", 0))
+    if conflicts:
+        return True
+    divergence = row.get(
+        "divergence_kcycles", row.get("makespan_divergence_kcycles", 0.0)
+    )
+    analytical = row.get("analytical_kcycles", row.get("execution_time_kcycles"))
+    scale = 1.0 if analytical is None else max(abs(float(analytical)), 1.0e-12)
+    return float(divergence) / scale > _FALLBACK_TOLERANCE
+
+
+def divergence_rows(source: Any) -> List[Dict[str, object]]:
+    """The rows of every solution whose replay failed verification.
+
+    ``source`` may be a ``VerificationReport``, a ``ScenarioResult``, a
+    ``StudyResult`` or any iterable of per-solution rows /
+    ``SolutionVerification`` objects.  A solution fails when its replay
+    observed a wavelength conflict or its simulated makespan disagreed with
+    the analytical execution time beyond the verifier's tolerance.
+    """
+    return [row for row in _as_rows(source) if _failed(row)]
+
+
+def divergence_report(source: Any) -> str:
+    """Human-readable listing of the diverging solutions (or an all-clear).
+
+    The table shows, per diverging solution, the allocation, both makespans,
+    the absolute difference and the replay's conflict count — everything
+    needed to decide whether the static model or the allocation is at fault.
+    """
+    all_rows = _as_rows(source)
+    failed = [row for row in all_rows if _failed(row)]
+    if not all_rows:
+        return "simulation divergence: no solutions were verified"
+    if not failed:
+        return (
+            f"simulation divergence: none — all {len(all_rows)} verified solution(s) "
+            "replay conflict-free with the analytical makespan"
+        )
+    header = (
+        f"simulation divergence: {len(failed)} of {len(all_rows)} verified "
+        "solution(s) disagree with the analytical schedule"
+    )
+    return header + "\n" + format_table(failed)

@@ -9,7 +9,8 @@ The CLI exposes the most common workflows without writing Python:
 ``python -m repro evaluate --allocation 1,1,1,1,1,1``
     Evaluate one explicit allocation (wavelength counts, first-fit placed).
 ``python -m repro simulate --allocation 2,1,1,2,1,1``
-    Replay an allocation in the discrete-event simulator.
+    Replay an allocation in the discrete-event simulator and check it against
+    the analytical schedule.
 ``python -m repro paper table2|fig6a|fig6b|fig7``
     Regenerate one artefact of the paper's evaluation section.
 ``python -m repro run scenario.json``
@@ -17,27 +18,42 @@ The CLI exposes the most common workflows without writing Python:
 ``python -m repro study study.json --parallel 4``
     Execute a batch of scenarios, optionally across worker processes.
 
-Every classic command accepts ``--wavelengths``, ``--rows``, ``--columns`` and
-the GA sizing flags; see ``python -m repro --help``.
+Every classic command accepts ``--wavelengths``, ``--rows``, ``--columns``,
+the GA sizing flags and ``--workload`` / ``--mapping`` registry names (with
+``--workload-options`` / ``--mapping-options`` JSON objects), so any
+registered application can be explored, evaluated or simulated — not just the
+paper's; see ``python -m repro --help``.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
-from typing import List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 from . import __version__
-from .analysis import ascii_scatter, format_table, write_csv
-from .application import paper_mapping, paper_task_graph
+from .analysis import ascii_scatter, divergence_report, format_table, write_csv
 from .allocation import WavelengthAllocator
 from .allocation.heuristics import first_fit_allocation
 from .config import GeneticParameters, OnocConfiguration
 from .errors import ReproError
 from .paper import PaperExperimentSuite, table1_rows
-from .scenarios import Scenario, Study, execute_scenario
-from .simulation import OnocSimulator
+from .scenarios import (
+    MAPPING_STRATEGIES,
+    OPTIMIZERS,
+    WORKLOADS,
+    OptimizerParameters,
+    Scenario,
+    Study,
+    VerificationSettings,
+    build_mapping,
+    build_workload,
+    create_optimizer,
+    execute_scenario,
+)
+from .simulation import SimulationVerifier
 from .topology import RingOnocArchitecture
 
 __all__ = ["build_parser", "main"]
@@ -64,18 +80,43 @@ def build_parser() -> argparse.ArgumentParser:
     common.add_argument("--generations", type=int, default=None, help="GA generation count")
     common.add_argument("--seed", type=int, default=2017, help="GA random seed")
     common.add_argument("--csv", type=str, default=None, help="write the result rows to a CSV file")
+    common.add_argument(
+        "--workload",
+        default="paper",
+        help=f"workload registry name (available: {', '.join(WORKLOADS.names())})",
+    )
+    common.add_argument(
+        "--workload-options",
+        default=None,
+        help='workload options as a JSON object, e.g. \'{"stage_count": 5}\'',
+    )
+    common.add_argument(
+        "--mapping",
+        default="paper",
+        help=f"mapping strategy registry name (available: {', '.join(MAPPING_STRATEGIES.names())})",
+    )
+    common.add_argument(
+        "--mapping-options",
+        default=None,
+        help='mapping options as a JSON object, e.g. \'{"stride": 2}\'',
+    )
 
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     subparsers.add_parser("info", parents=[common], help="describe the default setup")
 
     explore = subparsers.add_parser(
-        "explore", parents=[common], help="run the NSGA-II exploration"
+        "explore", parents=[common], help="run a wavelength-allocation exploration"
     )
     explore.add_argument(
         "--objectives",
         default="time,ber,energy",
         help="comma-separated objectives to minimise (time, ber, energy)",
+    )
+    explore.add_argument(
+        "--optimizer",
+        default="nsga2",
+        help=f"optimizer backend registry name (available: {', '.join(OPTIMIZERS.names())})",
     )
 
     evaluate = subparsers.add_parser(
@@ -117,6 +158,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="print a starter scenario JSON document and exit",
     )
     run.add_argument("--csv", type=str, default=None, help="write the Pareto rows to a CSV file")
+    run.add_argument(
+        "--verify",
+        action="store_true",
+        help="replay every Pareto solution in the discrete-event simulator "
+        "(overrides the scenario's verification block)",
+    )
+    run.add_argument(
+        "--tolerance",
+        type=float,
+        default=None,
+        help="relative simulated-vs-analytical makespan tolerance for --verify",
+    )
 
     study = subparsers.add_parser(
         "study", help="execute a batch of scenarios from a JSON file"
@@ -137,6 +190,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write every Pareto solution of every scenario to a CSV file",
     )
+    study.add_argument(
+        "--verification-csv",
+        type=str,
+        default=None,
+        help="write every per-solution simulation-replay row to a CSV file",
+    )
 
     return parser
 
@@ -156,13 +215,43 @@ def _genetic_parameters(args: argparse.Namespace) -> GeneticParameters:
     )
 
 
+def _parse_options(text: Optional[str], flag: str) -> Dict[str, Any]:
+    """Parse a ``--*-options`` JSON object flag."""
+    if text is None:
+        return {}
+    try:
+        options = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise ReproError(f"cannot parse {flag} {text!r}: {error}") from None
+    if not isinstance(options, dict):
+        raise ReproError(f"{flag} must be a JSON object, got {text!r}")
+    return options
+
+
 def _build_allocator(args: argparse.Namespace) -> WavelengthAllocator:
+    """The allocator for the workload/mapping the flags select.
+
+    Workload and mapping come from the scenario registries (``--workload`` /
+    ``--mapping``), so every classic command runs on any registered
+    application, not just the paper's; ``--seed`` keeps randomised workloads
+    and mappings deterministic.
+    """
     configuration = OnocConfiguration(genetic=_genetic_parameters(args))
     architecture = RingOnocArchitecture.grid(
         args.rows, args.columns, wavelength_count=args.wavelengths, configuration=configuration
     )
-    task_graph = paper_task_graph()
-    mapping = paper_mapping(architecture)
+    task_graph = build_workload(
+        args.workload,
+        _parse_options(args.workload_options, "--workload-options"),
+        seed=args.seed,
+    )
+    mapping = build_mapping(
+        args.mapping,
+        task_graph,
+        architecture,
+        _parse_options(args.mapping_options, "--mapping-options"),
+        seed=args.seed,
+    )
     return WavelengthAllocator(architecture, task_graph, mapping, configuration)
 
 
@@ -183,7 +272,7 @@ def _maybe_write_csv(args: argparse.Namespace, rows: Sequence[dict]) -> None:
 def _command_info(args: argparse.Namespace) -> int:
     allocator = _build_allocator(args)
     architecture = allocator.architecture
-    task_graph = paper_task_graph()
+    task_graph = allocator.evaluator.task_graph
     print(architecture.describe())
     print(
         f"Application: {task_graph.task_count} tasks, "
@@ -199,11 +288,16 @@ def _command_info(args: argparse.Namespace) -> int:
 def _command_explore(args: argparse.Namespace) -> int:
     allocator = _build_allocator(args)
     objective_keys = tuple(key.strip() for key in args.objectives.split(",") if key.strip())
-    result = allocator.explore(_genetic_parameters(args), objective_keys=objective_keys)
+    backend = create_optimizer(args.optimizer)
+    parameters = OptimizerParameters(
+        genetic=_genetic_parameters(args), objective_keys=objective_keys
+    )
+    result = backend.run(allocator.evaluator, parameters)
     rows = result.summary_rows()
     print(
-        f"{result.valid_solution_count} distinct valid allocations explored, "
-        f"{result.pareto_size} on the Pareto front ({', '.join(objective_keys)}):"
+        f"{result.valid_solution_count} distinct valid allocations explored "
+        f"({args.optimizer}), {result.pareto_size} on the Pareto front "
+        f"({', '.join(objective_keys)}):"
     )
     print(format_table(rows))
     _maybe_write_csv(args, rows)
@@ -237,24 +331,21 @@ def _command_simulate(args: argparse.Namespace) -> int:
     allocator = _build_allocator(args)
     counts = _parse_counts(args.allocation)
     solution = first_fit_allocation(allocator.evaluator, counts)
-    simulator = OnocSimulator(
-        allocator.architecture, paper_task_graph(), paper_mapping(allocator.architecture)
+    verifier = SimulationVerifier.from_evaluator(allocator.evaluator)
+    verification = verifier.verify_solution(solution)
+    print(
+        f"simulated allocation {solution.allocation_summary} "
+        f"(workload {args.workload!r}, mapping {args.mapping!r})"
     )
-    report = simulator.run(solution.chromosome.allocation())
-    print(f"simulated allocation {solution.allocation_summary}")
-    print(f"  makespan             : {report.makespan_kilocycles:.2f} kcc")
-    print(f"  wavelength conflicts : {len(report.conflicts)}")
-    print(f"  avg core utilisation : {report.statistics.average_core_utilisation:.1%}")
-    print(f"  avg wl utilisation   : {report.statistics.average_wavelength_utilisation:.1%}")
-    rows = [
-        {
-            "allocation": solution.allocation_summary,
-            "makespan_kcycles": report.makespan_kilocycles,
-            "conflicts": len(report.conflicts),
-        }
-    ]
-    _maybe_write_csv(args, rows)
-    return 0
+    print(f"  makespan             : {verification.simulated_kcycles:.2f} kcc")
+    print(f"  analytical schedule  : {verification.analytical_kcycles:.2f} kcc "
+          f"(divergence {verification.divergence_kcycles:.3g} kcc)")
+    print(f"  wavelength conflicts : {verification.conflict_count}")
+    print(f"  avg core utilisation : {verification.average_core_utilisation:.1%}")
+    print(f"  avg wl utilisation   : {verification.average_wavelength_utilisation:.1%}")
+    print(f"  verdict              : {'PASS' if verification.passed else 'DIVERGED'}")
+    _maybe_write_csv(args, [verification.row()])
+    return 0 if verification.passed else 1
 
 
 def _command_paper(args: argparse.Namespace) -> int:
@@ -307,6 +398,21 @@ def _command_run(args: argparse.Namespace) -> int:
     if args.scenario is None:
         raise ReproError("run needs a scenario JSON file (or --template)")
     scenario = Scenario.load(args.scenario)
+    if args.verify or args.tolerance is not None:
+        settings = scenario.verification
+        simulate = True if args.verify else settings.simulate
+        if not simulate:
+            raise ReproError(
+                "--tolerance has no effect without --verify "
+                "or a scenario verification block"
+            )
+        scenario = scenario.derive(
+            verification=VerificationSettings(
+                simulate=simulate,
+                tolerance=settings.tolerance if args.tolerance is None else args.tolerance,
+                parallel=settings.parallel,
+            )
+        )
     outcome = execute_scenario(scenario)
     summary = outcome.summary()
     print(
@@ -321,8 +427,10 @@ def _command_run(args: argparse.Namespace) -> int:
     )
     rows = outcome.pareto_rows()
     print(format_table(rows))
+    if summary.verified:
+        print(divergence_report(summary))
     _maybe_write_csv(args, rows)
-    return 0
+    return 0 if (not summary.verified or summary.verification_passed) else 1
 
 
 def _command_study(args: argparse.Namespace) -> int:
@@ -344,7 +452,10 @@ def _command_study(args: argparse.Namespace) -> int:
     if args.pareto_csv:
         path = result.pareto_to_csv(args.pareto_csv)
         print(f"wrote {len(result.pareto_rows())} rows to {path}")
-    return 0
+    if args.verification_csv:
+        path = result.verification_to_csv(args.verification_csv)
+        print(f"wrote {len(result.verification_rows())} rows to {path}")
+    return 0 if result.verification_passed else 1
 
 
 _COMMANDS = {

@@ -26,7 +26,7 @@ Quickstart::
 """
 
 from .registry import Registry
-from .scenario import SCENARIO_SCHEMA, Scenario, ScenarioBuilder
+from .scenario import SCENARIO_SCHEMA, Scenario, ScenarioBuilder, VerificationSettings
 from .backends import (
     MAPPING_STRATEGIES,
     OPTIMIZERS,
@@ -53,6 +53,7 @@ __all__ = [
     "STUDY_SCHEMA",
     "Scenario",
     "ScenarioBuilder",
+    "VerificationSettings",
     "OptimizerBackend",
     "OptimizerParameters",
     "OPTIMIZERS",

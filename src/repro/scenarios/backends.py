@@ -22,8 +22,9 @@ decorator.
 
 from __future__ import annotations
 
+import inspect
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Protocol, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Protocol, Sequence, Tuple
 
 from ..allocation import heuristics
 from ..allocation.allocator import ExplorationResult
@@ -108,11 +109,42 @@ def create_optimizer(name: str) -> OptimizerBackend:
     return OPTIMIZERS.get(name)()
 
 
-def build_workload(name: str, options: Dict[str, Any]) -> TaskGraph:
-    """Build the task graph of the workload registered under ``name``."""
+def _fold_seed(
+    factory: Callable[..., Any], options: Dict[str, Any], seed: Optional[int]
+) -> Dict[str, Any]:
+    """Inject ``seed`` into ``options`` when the factory is seedable but unseeded.
+
+    Randomised factories (``random_task_graph``, the ``random`` mapping ...)
+    fall back to their own defaults when no ``seed`` option is given — for the
+    workload that default is ``None``, i.e. a *different* graph on every call,
+    which would break the "same fingerprint ⇒ same run" promise of
+    :meth:`Scenario.fingerprint` and poison the study cache.  Folding the
+    scenario-level seed in keeps every materialisation deterministic; an
+    explicit ``seed`` option always wins.
+    """
+    if seed is None or "seed" in options:
+        return options
+    try:
+        parameters = inspect.signature(factory).parameters
+    except (TypeError, ValueError):  # builtins / C callables: nothing to inspect
+        return options
+    if "seed" not in parameters:
+        return options
+    return {**options, "seed": seed}
+
+
+def build_workload(
+    name: str, options: Dict[str, Any], seed: Optional[int] = None
+) -> TaskGraph:
+    """Build the task graph of the workload registered under ``name``.
+
+    ``seed`` (typically :attr:`Scenario.effective_seed`) is folded into the
+    options of seedable workloads that carry no explicit ``seed`` option, so
+    randomised workloads stay deterministic per scenario.
+    """
     factory = WORKLOADS.get(name)
     try:
-        return factory(**options)
+        return factory(**_fold_seed(factory, options, seed))
     except TypeError as error:
         raise ScenarioError(f"invalid options for workload {name!r}: {error}") from None
 
@@ -122,11 +154,16 @@ def build_mapping(
     task_graph: TaskGraph,
     architecture: RingOnocArchitecture,
     options: Dict[str, Any],
+    seed: Optional[int] = None,
 ) -> Mapping:
-    """Apply the mapping strategy registered under ``name``."""
+    """Apply the mapping strategy registered under ``name``.
+
+    ``seed`` plays the same role as in :func:`build_workload`: it seeds
+    randomised strategies whose options carry no explicit ``seed``.
+    """
     strategy = MAPPING_STRATEGIES.get(name)
     try:
-        return strategy(task_graph, architecture, **options)
+        return strategy(task_graph, architecture, **_fold_seed(strategy, options, seed))
     except TypeError as error:
         raise ScenarioError(f"invalid options for mapping {name!r}: {error}") from None
 

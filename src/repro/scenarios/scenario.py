@@ -44,7 +44,7 @@ from ..config import (
 )
 from ..errors import ScenarioError
 
-__all__ = ["SCENARIO_SCHEMA", "Scenario", "ScenarioBuilder"]
+__all__ = ["SCENARIO_SCHEMA", "Scenario", "ScenarioBuilder", "VerificationSettings"]
 
 #: Identifier embedded in every serialised scenario document.
 SCENARIO_SCHEMA = "repro.scenario/1"
@@ -65,6 +65,7 @@ _TOP_LEVEL_KEYS = {
     "optimizer",
     "overrides",
     "seed",
+    "verification",
 }
 
 #: Parameter groups that :attr:`Scenario.overrides` may tune.
@@ -90,6 +91,67 @@ def _as_int(payload: Dict[str, Any], key: str, default: Any) -> int:
 
 
 @dataclass(frozen=True)
+class VerificationSettings:
+    """Simulation-in-the-loop verification knobs of one scenario.
+
+    When ``simulate`` is on, every solution the optimizer reports is replayed
+    through the discrete-event
+    :class:`~repro.simulation.verify.SimulationVerifier` after the search:
+    the replay must be conflict-free and its makespan must agree with the
+    analytical execution time within ``tolerance`` (relative).  ``parallel``
+    worker processes fan out the replays of large fronts (0 = serial).
+    """
+
+    simulate: bool = False
+    tolerance: float = 1.0e-9
+    parallel: int = 0
+
+    def __post_init__(self) -> None:
+        _require(
+            isinstance(self.simulate, bool),
+            "verification 'simulate' must be a boolean",
+        )
+        _require(
+            float(self.tolerance) >= 0.0,
+            "verification 'tolerance' must be non-negative",
+        )
+        _require(
+            int(self.parallel) >= 0,
+            "verification 'parallel' must be a non-negative worker count",
+        )
+        object.__setattr__(self, "tolerance", float(self.tolerance))
+        object.__setattr__(self, "parallel", int(self.parallel))
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-compatible dictionary; inverse of :meth:`from_dict`."""
+        return {
+            "simulate": self.simulate,
+            "tolerance": self.tolerance,
+            "parallel": self.parallel,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Any) -> "VerificationSettings":
+        """Rebuild settings from :meth:`to_dict` output (or hand-written JSON)."""
+        if not isinstance(payload, dict):
+            raise ScenarioError("scenario 'verification' must be an object")
+        defaults = cls()
+        unknown = set(payload) - {"simulate", "tolerance", "parallel"}
+        _require(not unknown, f"unknown verification keys: {sorted(unknown)}")
+        try:
+            # 'simulate' is passed through unconverted: bool("false") is True,
+            # so coercion would silently enable simulation on junk input —
+            # __post_init__'s isinstance check rejects non-booleans instead.
+            return cls(
+                simulate=payload.get("simulate", defaults.simulate),
+                tolerance=float(payload.get("tolerance", defaults.tolerance)),
+                parallel=int(payload.get("parallel", defaults.parallel)),
+            )
+        except (TypeError, ValueError) as error:
+            raise ScenarioError(f"invalid verification settings: {error}") from None
+
+
+@dataclass(frozen=True)
 class Scenario:
     """One complete, reproducible exploration run, described declaratively."""
 
@@ -108,8 +170,17 @@ class Scenario:
     optimizer_options: Dict[str, Any] = field(default_factory=dict)
     overrides: Dict[str, Dict[str, Any]] = field(default_factory=dict)
     seed: Optional[int] = None
+    verification: VerificationSettings = field(default_factory=VerificationSettings)
 
     def __post_init__(self) -> None:
+        if isinstance(self.verification, dict):
+            object.__setattr__(
+                self, "verification", VerificationSettings.from_dict(self.verification)
+            )
+        _require(
+            isinstance(self.verification, VerificationSettings),
+            "scenario verification must be a VerificationSettings object",
+        )
         for attribute in ("workload_options", "mapping_options", "optimizer_options"):
             value = getattr(self, attribute)
             _require(
@@ -197,8 +268,13 @@ class Scenario:
 
     # ------------------------------------------------------------ serialisation
     def to_dict(self) -> Dict[str, Any]:
-        """JSON-compatible dictionary; inverse of :meth:`from_dict`."""
-        return {
+        """JSON-compatible dictionary; inverse of :meth:`from_dict`.
+
+        The ``verification`` block is only emitted when it differs from the
+        defaults, so documents written (and fingerprints computed) before the
+        verification stage existed stay byte-identical.
+        """
+        payload = {
             "schema": SCENARIO_SCHEMA,
             "name": self.name,
             "rows": self.rows,
@@ -215,6 +291,9 @@ class Scenario:
             },
             "seed": self.seed,
         }
+        if self.verification != VerificationSettings():
+            payload["verification"] = self.verification.to_dict()
+        return payload
 
     @classmethod
     def from_dict(cls, payload: Dict[str, Any]) -> "Scenario":
@@ -242,6 +321,12 @@ class Scenario:
         if isinstance(objectives, str) or not isinstance(objectives, (list, tuple)):
             raise ScenarioError("scenario 'objectives' must be an array of objective names")
         seed = payload.get("seed")
+        verification_payload = payload.get("verification")
+        verification = (
+            VerificationSettings()
+            if verification_payload is None
+            else VerificationSettings.from_dict(verification_payload)
+        )
         return cls(
             name=str(payload.get("name", "scenario")),
             rows=_as_int(payload, "rows", 4),
@@ -260,6 +345,7 @@ class Scenario:
             optimizer_options=optimizer_options,
             overrides=payload.get("overrides", {}),
             seed=None if seed is None else _as_int(payload, "seed", None),
+            verification=verification,
         )
 
     @staticmethod
@@ -386,6 +472,18 @@ class ScenarioBuilder:
     def seed(self, value: int) -> "ScenarioBuilder":
         """Set the scenario-level seed (overrides the GA seed)."""
         self._fields["seed"] = value
+        return self
+
+    def verify(
+        self,
+        simulate: bool = True,
+        tolerance: float = VerificationSettings.tolerance,
+        parallel: int = VerificationSettings.parallel,
+    ) -> "ScenarioBuilder":
+        """Enable simulation-in-the-loop verification of the optimizer output."""
+        self._fields["verification"] = VerificationSettings(
+            simulate=simulate, tolerance=tolerance, parallel=parallel
+        )
         return self
 
     def build(self) -> Scenario:

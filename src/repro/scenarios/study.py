@@ -33,6 +33,7 @@ from ..allocation.objectives import AllocationEvaluator
 from ..analysis.csvout import write_csv
 from ..analysis.plotting import format_table
 from ..errors import ScenarioError
+from ..simulation.verify import SimulationVerifier, VerificationReport
 from ..topology.architecture import RingOnocArchitecture
 from .backends import OptimizerParameters, build_mapping, build_workload, create_optimizer
 from .scenario import Scenario
@@ -63,9 +64,15 @@ def build_scenario_evaluator(scenario: Scenario) -> AllocationEvaluator:
         wavelength_count=scenario.wavelength_count,
         configuration=configuration,
     )
-    task_graph = build_workload(scenario.workload, scenario.workload_options)
+    task_graph = build_workload(
+        scenario.workload, scenario.workload_options, seed=scenario.effective_seed
+    )
     mapping = build_mapping(
-        scenario.mapping, task_graph, architecture, scenario.mapping_options
+        scenario.mapping,
+        task_graph,
+        architecture,
+        scenario.mapping_options,
+        seed=scenario.effective_seed,
     )
     return AllocationEvaluator(
         architecture=architecture,
@@ -77,7 +84,14 @@ def build_scenario_evaluator(scenario: Scenario) -> AllocationEvaluator:
 
 
 def execute_scenario(scenario: Scenario) -> "ScenarioOutcome":
-    """Run one scenario end to end and return the full outcome."""
+    """Run one scenario end to end and return the full outcome.
+
+    When the scenario's ``verification`` block enables simulation, every
+    Pareto solution the backend reports is replayed through the
+    discrete-event :class:`~repro.simulation.verify.SimulationVerifier`
+    afterwards; the replay outcome travels with the result (and the replay
+    time counts into ``runtime_seconds`` — it is part of the run).
+    """
     evaluator = build_scenario_evaluator(scenario)
     backend = create_optimizer(scenario.optimizer)
     parameters = OptimizerParameters(
@@ -87,8 +101,22 @@ def execute_scenario(scenario: Scenario) -> "ScenarioOutcome":
     )
     started = time.perf_counter()
     result = backend.run(evaluator, parameters)
+    verification: Optional[VerificationReport] = None
+    settings = scenario.verification
+    if settings.simulate:
+        verifier = SimulationVerifier.from_evaluator(
+            evaluator, tolerance=settings.tolerance
+        )
+        verification = verifier.verify_solutions(
+            result.pareto_solutions, parallel=settings.parallel
+        )
     elapsed = time.perf_counter() - started
-    return ScenarioOutcome(scenario=scenario, result=result, runtime_seconds=elapsed)
+    return ScenarioOutcome(
+        scenario=scenario,
+        result=result,
+        runtime_seconds=elapsed,
+        verification=verification,
+    )
 
 
 @dataclass
@@ -98,14 +126,28 @@ class ScenarioOutcome:
     scenario: Scenario
     result: ExplorationResult
     runtime_seconds: float
+    verification: Optional[VerificationReport] = None
 
     def pareto_rows(self) -> List[Dict[str, float]]:
-        """Pareto front as flat dictionaries (CSV-ready)."""
-        return self.result.summary_rows()
+        """Pareto front as flat dictionaries (CSV-ready).
+
+        When the run was verified, each row additionally carries the simulated
+        makespan, its divergence from the analytical value and the conflict
+        count of that solution's replay (the verifier walks the front in the
+        same order as the summary rows).
+        """
+        rows = self.result.summary_rows()
+        if self.verification is not None:
+            for row, verification in zip(rows, self.verification):
+                row["simulated_kcycles"] = verification.simulated_kcycles
+                row["makespan_divergence_kcycles"] = verification.divergence_kcycles
+                row["sim_conflicts"] = verification.conflict_count
+        return rows
 
     def summary(self) -> "ScenarioResult":
         """The picklable summary a :class:`Study` aggregates."""
         best_time, best_energy, best_ber = self.result.best_objective_values()
+        verification = self.verification
         return ScenarioResult(
             name=self.scenario.name,
             fingerprint=self.scenario.fingerprint(),
@@ -124,6 +166,15 @@ class ScenarioOutcome:
             scenario=self.scenario.to_dict(),
             evaluations=self.result.evaluation_count,
             memo_hits=self.result.memo_hit_count,
+            verified=verification is not None,
+            sim_conflicts=0 if verification is None else verification.conflict_count,
+            sim_divergences=0 if verification is None else verification.divergence_count,
+            sim_max_divergence_kcycles=(
+                0.0 if verification is None else verification.max_divergence_kcycles
+            ),
+            verification_rows=(
+                () if verification is None else tuple(verification.rows())
+            ),
         )
 
 
@@ -156,6 +207,21 @@ class ScenarioResult:
     evaluations: int = 0
     #: Evaluations skipped by the GA's duplicate-aware memo.
     memo_hits: int = 0
+    #: True when the Pareto front was replayed through the simulator.
+    verified: bool = False
+    #: Total wavelength conflicts observed across every replay.
+    sim_conflicts: int = 0
+    #: Solutions whose replay failed (conflict or makespan disagreement).
+    sim_divergences: int = 0
+    #: Largest simulated-vs-analytical makespan difference (kcc).
+    sim_max_divergence_kcycles: float = 0.0
+    #: Per-solution replay rows (allocation, both makespans, utilisations ...).
+    verification_rows: Tuple[Dict[str, float], ...] = ()
+
+    @property
+    def verification_passed(self) -> bool:
+        """True when the run was verified and every replay passed."""
+        return self.verified and self.sim_divergences == 0
 
     @property
     def evaluations_per_second(self) -> float:
@@ -180,6 +246,9 @@ class ScenarioResult:
             "evaluations": self.evaluations,
             "memo_hits": self.memo_hits,
             "runtime_seconds": self.runtime_seconds,
+            "verified": self.verified,
+            "sim_conflicts": self.sim_conflicts,
+            "sim_divergences": self.sim_divergences,
         }
 
     def to_dict(self) -> Dict[str, Any]:
@@ -202,6 +271,11 @@ class ScenarioResult:
             "runtime_seconds": self.runtime_seconds,
             "pareto_rows": [dict(row) for row in self.pareto_rows],
             "scenario": dict(self.scenario),
+            "verified": self.verified,
+            "sim_conflicts": self.sim_conflicts,
+            "sim_divergences": self.sim_divergences,
+            "sim_max_divergence_kcycles": self.sim_max_divergence_kcycles,
+            "verification_rows": [dict(row) for row in self.verification_rows],
         }
 
     @classmethod
@@ -225,6 +299,15 @@ class ScenarioResult:
             scenario=dict(payload["scenario"]),
             evaluations=int(payload.get("evaluations", 0)),
             memo_hits=int(payload.get("memo_hits", 0)),
+            verified=bool(payload.get("verified", False)),
+            sim_conflicts=int(payload.get("sim_conflicts", 0)),
+            sim_divergences=int(payload.get("sim_divergences", 0)),
+            sim_max_divergence_kcycles=float(
+                payload.get("sim_max_divergence_kcycles", 0.0)
+            ),
+            verification_rows=tuple(
+                dict(row) for row in payload.get("verification_rows", [])
+            ),
         )
 
     def comparable_dict(self) -> Dict[str, Any]:
@@ -445,6 +528,23 @@ class StudyResult:
                 rows.append(tagged)
         return rows
 
+    def verification_rows(self) -> List[Dict[str, object]]:
+        """Every per-solution replay row, tagged with its scenario name."""
+        rows: List[Dict[str, object]] = []
+        for result in self.results:
+            for row in result.verification_rows:
+                tagged: Dict[str, object] = {"scenario": result.name}
+                tagged.update(row)
+                rows.append(tagged)
+        return rows
+
+    @property
+    def verification_passed(self) -> bool:
+        """True when every verified scenario replayed without divergence."""
+        return all(
+            result.verification_passed for result in self.results if result.verified
+        )
+
     def to_csv(self, path: str | Path) -> Path:
         """Write the summary rows to a CSV file and return its path."""
         return write_csv(path, self.rows())
@@ -453,13 +553,31 @@ class StudyResult:
         """Write every Pareto solution to a CSV file and return its path."""
         return write_csv(path, self.pareto_rows())
 
+    def verification_to_csv(self, path: str | Path) -> Path:
+        """Write every per-solution replay row to a CSV file and return its path."""
+        return write_csv(path, self.verification_rows())
+
     def report(self) -> str:
         """A human-readable summary table of the whole study."""
         header = (
             f"Study {self.name!r}: {len(self.results)} scenarios, "
             f"{self.total_runtime_seconds:.2f}s total runtime"
         )
-        return header + "\n" + format_table(self.rows())
+        lines = [header, format_table(self.rows())]
+        verified = [result for result in self.results if result.verified]
+        if verified:
+            checked = sum(len(result.verification_rows) for result in verified)
+            failures = sum(result.sim_divergences for result in verified)
+            verdict = (
+                "all replays conflict-free and in agreement with the analytical schedule"
+                if failures == 0
+                else f"{failures} solution(s) DIVERGED from the analytical schedule"
+            )
+            lines.append(
+                f"Simulation verification: {checked} solution(s) replayed across "
+                f"{len(verified)} scenario(s); {verdict}."
+            )
+        return "\n".join(lines)
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-compatible dictionary of the full result set."""

@@ -10,12 +10,20 @@ workloads (resource contention, injection jitter) can be studied.
 * :mod:`~repro.simulation.onoc_sim`   — the ONoC-specific simulator: task
   execution, wavelength-parallel transfers, ring occupancy tracking.
 * :mod:`~repro.simulation.statistics` — collected counters and utilisation.
+* :mod:`~repro.simulation.verify`     — replay-based verification of optimizer
+  output (conflict-freeness + makespan agreement with the analytical model).
 """
 
 from .events import Event, EventQueue
 from .engine import DiscreteEventEngine
-from .onoc_sim import OnocSimulator, SimulationReport, TransferRecord
+from .onoc_sim import ConflictRecord, OnocSimulator, SimulationReport, TransferRecord
 from .statistics import SimulationStatistics, UtilisationTracker
+from .verify import (
+    DEFAULT_TOLERANCE,
+    SimulationVerifier,
+    SolutionVerification,
+    VerificationReport,
+)
 
 __all__ = [
     "Event",
@@ -24,6 +32,11 @@ __all__ = [
     "OnocSimulator",
     "SimulationReport",
     "TransferRecord",
+    "ConflictRecord",
     "SimulationStatistics",
     "UtilisationTracker",
+    "DEFAULT_TOLERANCE",
+    "SimulationVerifier",
+    "SolutionVerification",
+    "VerificationReport",
 ]

@@ -32,7 +32,7 @@ from ..topology.architecture import RingOnocArchitecture
 from .engine import DiscreteEventEngine
 from .statistics import SimulationStatistics, UtilisationTracker
 
-__all__ = ["TransferRecord", "SimulationReport", "OnocSimulator"]
+__all__ = ["TransferRecord", "ConflictRecord", "SimulationReport", "OnocSimulator"]
 
 
 @dataclass(frozen=True)

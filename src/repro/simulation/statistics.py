@@ -32,10 +32,21 @@ class UtilisationTracker:
         return self._activations.get(resource, 0)
 
     def utilisation(self, resource: Hashable, horizon: float) -> float:
-        """Busy fraction of one resource over ``horizon`` time units."""
+        """Busy fraction of one resource over ``horizon`` time units.
+
+        The raw fraction is reported: values above 1.0 mean the resource was
+        oversubscribed (overlapping busy intervals — e.g. one wavelength
+        carrying several simultaneous transfers on disjoint ring segments).
+        Clamping would silently hide exactly the contention the simulator
+        exists to expose.
+        """
         if horizon <= 0.0:
             return 0.0
-        return min(self.busy_time(resource) / horizon, 1.0)
+        return self.busy_time(resource) / horizon
+
+    def is_oversubscribed(self, resource: Hashable, horizon: float) -> bool:
+        """True when the resource accumulated more busy time than the horizon."""
+        return self.utilisation(resource, horizon) > 1.0
 
     def resources(self) -> List[Hashable]:
         """Every resource that recorded at least one interval."""

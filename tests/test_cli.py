@@ -93,12 +93,58 @@ class TestSimulate:
         assert "makespan             : 38.00 kcc" in output
         assert "wavelength conflicts : 0" in output
 
+    def test_simulation_checks_the_analytical_schedule(self, capsys):
+        output = run_cli(capsys, "simulate", "--allocation", "2,1,1,2,1,1")
+        assert "analytical schedule  : 35.00 kcc" in output
+        assert "verdict              : PASS" in output
+
+    def test_simulate_accepts_registry_workload_and_mapping(self, capsys):
+        output = run_cli(
+            capsys,
+            "simulate",
+            "--workload", "pipeline",
+            "--workload-options", '{"stage_count": 4}',
+            "--mapping", "default",
+            "--allocation", "1,1,1",
+        )
+        assert "workload 'pipeline', mapping 'default'" in output
+        assert "verdict              : PASS" in output
+
+    def test_unknown_workload_is_a_clean_error(self, capsys):
+        exit_code = main(["simulate", "--workload", "warp", "--allocation", "1"])
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert "unknown workload" in captured.err
+
+    def test_bad_options_json_is_a_clean_error(self, capsys):
+        exit_code = main(
+            ["simulate", "--workload-options", "{oops", "--allocation", "1"]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert "--workload-options" in captured.err
+
 
 class TestExplore:
     def test_explore_prints_pareto_table(self, capsys):
         output = run_cli(capsys, "explore", *FAST_GA)
         assert "Pareto front" in output
         assert "execution_time_kcycles" in output
+
+    def test_explore_with_registry_optimizer(self, capsys):
+        output = run_cli(capsys, "explore", "--optimizer", "first_fit")
+        assert "(first_fit)" in output
+        assert "1 on the Pareto front" in output
+
+    def test_explore_on_registry_workload(self, capsys):
+        output = run_cli(
+            capsys,
+            "explore",
+            *FAST_GA,
+            "--workload", "fork_join",
+            "--mapping", "default",
+        )
+        assert "Pareto front" in output
 
     def test_explore_with_objective_subset_and_csv(self, capsys, tmp_path):
         target = tmp_path / "front.csv"
@@ -188,6 +234,42 @@ class TestRunCommand:
         assert exit_code == 2
         assert "error:" in captured.err
 
+    def test_run_with_verify_flag_replays_the_front(self, capsys, tmp_path):
+        path = tmp_path / "scenario.json"
+        path.write_text(json.dumps(fast_scenario_dict()))
+        output = run_cli(capsys, "run", str(path), "--verify")
+        assert "simulation divergence: none" in output
+        assert "simulated_kcycles" in output
+
+    def test_run_honours_scenario_verification_block(self, capsys, tmp_path):
+        document = fast_scenario_dict()
+        document["verification"] = {"simulate": True}
+        path = tmp_path / "scenario.json"
+        path.write_text(json.dumps(document))
+        output = run_cli(capsys, "run", str(path))
+        assert "simulation divergence: none" in output
+
+    def test_run_tolerance_applies_to_scenario_verification_block(
+        self, capsys, tmp_path
+    ):
+        document = fast_scenario_dict()
+        document["verification"] = {"simulate": True, "tolerance": 0.5}
+        path = tmp_path / "scenario.json"
+        path.write_text(json.dumps(document))
+        # --tolerance must override the block's value even without --verify.
+        output = run_cli(capsys, "run", str(path), "--tolerance", "0.25")
+        assert "simulation divergence: none" in output
+
+    def test_run_tolerance_without_verification_is_a_clean_error(
+        self, capsys, tmp_path
+    ):
+        path = tmp_path / "scenario.json"
+        path.write_text(json.dumps(fast_scenario_dict()))
+        exit_code = main(["run", str(path), "--tolerance", "0.5"])
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert "--tolerance" in captured.err
+
 
 class TestStudyCommand:
     def test_study_runs_batch_and_writes_csv(self, capsys, tmp_path):
@@ -216,6 +298,20 @@ class TestStudyCommand:
         path.write_text(json.dumps(document))
         output = run_cli(capsys, "study", str(path), "--parallel", "2")
         assert "2 scenarios" in output
+
+    def test_study_with_verification_writes_replay_csv(self, capsys, tmp_path):
+        scenario = fast_scenario_dict()
+        scenario["verification"] = {"simulate": True}
+        path = tmp_path / "verified.json"
+        path.write_text(json.dumps([scenario]))
+        target = tmp_path / "verification.csv"
+        output = run_cli(
+            capsys, "study", str(path), "--verification-csv", str(target)
+        )
+        assert "Simulation verification" in output
+        assert "all replays conflict-free" in output
+        header = target.read_text().splitlines()[0]
+        assert "scenario" in header and "simulated_kcycles" in header
 
 
 class TestPaperArtefacts:

@@ -21,6 +21,7 @@ from repro.scenarios import (
     ScenarioResult,
     Study,
     build_scenario_evaluator,
+    build_workload,
     create_optimizer,
     execute_scenario,
 )
@@ -263,6 +264,71 @@ class TestBackends:
         evaluator = build_scenario_evaluator(scenario)
         assert evaluator.communication_count == 3
         assert evaluator.wavelength_count == 8
+
+
+# ----------------------------------------------------------- seed determinism
+def _graph_signature(task_graph):
+    """Everything that distinguishes two task graphs, as a comparable value."""
+    return (
+        [(task.name, task.execution_cycles) for task in task_graph.tasks()],
+        [
+            (edge.source, edge.destination, edge.volume_bits)
+            for edge in task_graph.communications()
+        ],
+    )
+
+
+class TestScenarioSeedDeterminism:
+    def test_unseeded_random_workload_is_deterministic_per_scenario(self):
+        """Regression: ``workload("random")`` without an explicit seed used to
+        call ``random_task_graph(seed=None)`` — a different graph on every
+        materialization under one stable fingerprint, which also poisoned the
+        study cache.  The scenario's effective seed must be folded in."""
+        scenario = smoke_scenario(
+            workload="random",
+            workload_options={"task_count": 6},
+            mapping="default",
+        )
+        first = build_scenario_evaluator(scenario).task_graph
+        second = build_scenario_evaluator(scenario).task_graph
+        assert _graph_signature(first) == _graph_signature(second)
+
+    def test_scenario_seed_changes_the_random_workload(self):
+        base = smoke_scenario(
+            workload="random", workload_options={"task_count": 6}, mapping="default"
+        )
+        graph_a = build_scenario_evaluator(base.derive(seed=1)).task_graph
+        graph_b = build_scenario_evaluator(base.derive(seed=2)).task_graph
+        assert _graph_signature(graph_a) != _graph_signature(graph_b)
+
+    def test_explicit_seed_option_wins(self):
+        scenario = smoke_scenario(
+            workload="random",
+            workload_options={"task_count": 6, "seed": 99},
+            mapping="default",
+        )
+        with_scenario_seed = build_scenario_evaluator(scenario.derive(seed=1))
+        direct = build_workload("random", {"task_count": 6, "seed": 99})
+        assert _graph_signature(with_scenario_seed.task_graph) == _graph_signature(direct)
+
+    def test_unseeded_random_mapping_follows_scenario_seed(self):
+        base = smoke_scenario(
+            workload="pipeline", workload_options={"stage_count": 5}, mapping="random"
+        )
+        placements = set()
+        for seed in (1, 2, 3):
+            evaluator = build_scenario_evaluator(base.derive(seed=seed))
+            again = build_scenario_evaluator(base.derive(seed=seed))
+            placement = tuple(
+                evaluator.mapping.core_of(name)
+                for name in evaluator.task_graph.task_names()
+            )
+            assert placement == tuple(
+                again.mapping.core_of(name)
+                for name in again.task_graph.task_names()
+            )
+            placements.add(placement)
+        assert len(placements) > 1
 
 
 # ------------------------------------------------------------------------ study

@@ -6,7 +6,13 @@ import pytest
 
 from repro.application import Mapping, paper_mapping, paper_task_graph, pipeline_task_graph
 from repro.errors import SimulationError
-from repro.simulation import DiscreteEventEngine, EventQueue, OnocSimulator, UtilisationTracker
+from repro.simulation import (
+    ConflictRecord,
+    DiscreteEventEngine,
+    EventQueue,
+    OnocSimulator,
+    UtilisationTracker,
+)
 from repro.topology import RingOnocArchitecture
 
 
@@ -127,10 +133,21 @@ class TestUtilisationTracker:
         with pytest.raises(ValueError):
             UtilisationTracker().add_busy_interval("x", 5.0, 1.0)
 
-    def test_utilisation_capped_at_one(self):
+    def test_oversubscription_is_reported_not_clamped(self):
+        # A resource busy 15 time units over a 10-unit horizon is
+        # oversubscribed; the raw fraction must surface it, not hide it at 1.0.
         tracker = UtilisationTracker()
-        tracker.add_busy_interval("x", 0.0, 50.0)
-        assert tracker.utilisation("x", 10.0) == 1.0
+        tracker.add_busy_interval("x", 0.0, 10.0)
+        tracker.add_busy_interval("x", 5.0, 10.0)
+        assert tracker.utilisation("x", 10.0) == pytest.approx(1.5)
+        assert tracker.is_oversubscribed("x", 10.0)
+        assert not tracker.is_oversubscribed("x", 20.0)
+
+    def test_fully_busy_resource_is_not_oversubscribed(self):
+        tracker = UtilisationTracker()
+        tracker.add_busy_interval("x", 0.0, 10.0)
+        assert tracker.utilisation("x", 10.0) == pytest.approx(1.0)
+        assert not tracker.is_oversubscribed("x", 10.0)
 
 
 class TestOnocSimulator:
@@ -163,6 +180,11 @@ class TestOnocSimulator:
         report = simulator.run([(0,), (0,), (2,), (3,), (4,), (5,)])
         assert not report.is_conflict_free
         assert report.statistics.conflicts_detected == len(report.conflicts)
+        # ConflictRecord is part of the public surface (it is what
+        # SimulationReport.conflicts holds), so it must be importable.
+        for conflict in report.conflicts:
+            assert isinstance(conflict, ConflictRecord)
+            assert conflict.channel == 0
 
     def test_transfer_records_cover_every_edge(self, architecture, task_graph, mapping):
         simulator = OnocSimulator(architecture, task_graph, mapping)

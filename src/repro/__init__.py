@@ -4,7 +4,8 @@ This package is an open-source reproduction of Luo et al., DATE 2017.  It
 provides:
 
 * device-level photonic models (micro-ring resonators, VCSELs, waveguides),
-* a ring-based WDM ONoC architecture model (the paper's 3D many-core target),
+* a pluggable topology subsystem (:data:`TOPOLOGIES`) with the paper's
+  serpentine ring, a multi-ring 3D stack and a Li-style optical crossbar,
 * the power-loss / crosstalk / SNR / BER models of Eqs. (1)-(9),
 * the task-graph execution-time model of Eqs. (10)-(12),
 * the NSGA-II wavelength-allocation exploration of Section III-D,
@@ -43,7 +44,16 @@ from .errors import (
     TaskGraphError,
     TopologyError,
 )
-from .topology import RingOnocArchitecture, TileLayout
+from .topology import (
+    TOPOLOGIES,
+    CrossbarOnocArchitecture,
+    MultiRingOnocArchitecture,
+    OnocTopology,
+    RingOnocArchitecture,
+    TileLayout,
+    build_topology,
+    worst_case_link_loss_db,
+)
 from .application import (
     ListScheduler,
     Mapping,
@@ -109,8 +119,14 @@ __all__ = [
     "SimulationError",
     "ExperimentError",
     "ScenarioError",
-    # architecture
+    # architecture / topologies
     "RingOnocArchitecture",
+    "MultiRingOnocArchitecture",
+    "CrossbarOnocArchitecture",
+    "OnocTopology",
+    "TOPOLOGIES",
+    "build_topology",
+    "worst_case_link_loss_db",
     "TileLayout",
     # application
     "TaskGraph",

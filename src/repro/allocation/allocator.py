@@ -17,7 +17,7 @@ from ..application.mapping import Mapping
 from ..application.task_graph import TaskGraph
 from ..config import GeneticParameters, OnocConfiguration
 from ..errors import AllocationError
-from ..topology.architecture import RingOnocArchitecture
+from ..topology.base import OnocTopology
 from .chromosome import Chromosome
 from .nsga2 import Nsga2Optimizer, Nsga2Result
 from .objectives import (
@@ -227,7 +227,7 @@ class WavelengthAllocator:
 
     def __init__(
         self,
-        architecture: RingOnocArchitecture,
+        architecture: OnocTopology,
         task_graph: TaskGraph,
         mapping: Mapping,
         configuration: Optional[OnocConfiguration] = None,
@@ -252,7 +252,7 @@ class WavelengthAllocator:
         return self._evaluator
 
     @property
-    def architecture(self) -> RingOnocArchitecture:
+    def architecture(self) -> OnocTopology:
         """The architecture being explored."""
         return self._architecture
 

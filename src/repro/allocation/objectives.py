@@ -50,7 +50,7 @@ from ..devices.microring import MicroRingResonator
 from ..errors import AllocationError
 from ..models.ber import BerModel
 from ..models.energy import BitEnergyModel
-from ..topology.architecture import RingOnocArchitecture
+from ..topology.base import OnocTopology
 from ..units import dbm_to_mw
 from .chromosome import Chromosome
 
@@ -223,7 +223,9 @@ class AllocationEvaluator:
     Parameters
     ----------
     architecture:
-        The ring ONoC.
+        Any :class:`~repro.topology.base.OnocTopology` (ring, multi-ring 3D,
+        crossbar ...); the evaluator reads every topology-dependent quantity
+        through the protocol, so the search backends work on all of them.
     task_graph:
         The application (its edge order defines the chromosome layout).
     mapping:
@@ -238,7 +240,7 @@ class AllocationEvaluator:
 
     def __init__(
         self,
-        architecture: RingOnocArchitecture,
+        architecture: OnocTopology,
         task_graph: TaskGraph,
         mapping: Mapping,
         configuration: Optional[OnocConfiguration] = None,
@@ -262,7 +264,7 @@ class AllocationEvaluator:
 
     # ----------------------------------------------------------------- public
     @property
-    def architecture(self) -> RingOnocArchitecture:
+    def architecture(self) -> OnocTopology:
         """The architecture under evaluation."""
         return self._architecture
 
@@ -390,19 +392,39 @@ class AllocationEvaluator:
         self._phi_db = phi_db
 
         # Per-communication base path loss (every crossed ring assumed OFF).
+        # Ring-crossing counts and the topology-specific extra terms (waveguide
+        # crossings, vertical couplers) come from the topology, so the same
+        # arithmetic serves the ring, the 3D multi-ring and the crossbar.
         self._victim_base_loss_db = np.zeros(nl)
         self._victim_crossed_ring_count = np.zeros(nl, dtype=int)
         for index, communication in enumerate(self._communications):
-            path = communication.path
-            waveguide_db = path.total_waveguide_loss_db(photonic)
-            crossed_rings = len(path.intermediate_onis) * nw + (nw - 1)
+            source = communication.source_core
+            destination = communication.destination_core
+            waveguide_db = communication.path.total_waveguide_loss_db(photonic)
+            crossed_rings = architecture.crossed_off_ring_count(source, destination)
             self._victim_crossed_ring_count[index] = crossed_rings
             self._victim_base_loss_db[index] = (
-                waveguide_db + crossed_rings * photonic.mr_off_pass_loss_db + photonic.mr_on_loss_db
+                waveguide_db
+                + crossed_rings * photonic.mr_off_pass_loss_db
+                + photonic.mr_on_loss_db
+                + architecture.extra_path_loss_db(source, destination, photonic)
             )
 
-        # Pairwise spatial relationships.
+        # Pairwise spatial relationships, through the topology's segment-usage
+        # and crosstalk-reach interfaces.
         self._shares_segment = np.zeros((nl, nl), dtype=bool)
+        usage = architecture.segment_usage(
+            [
+                (communication.source_core, communication.destination_core)
+                for communication in self._communications
+            ]
+        )
+        for indices in usage.values():
+            for j in indices:
+                for k in indices:
+                    if j != k:
+                        self._shares_segment[j, k] = True
+
         self._aggressor_reaches = np.zeros((nl, nl), dtype=bool)
         self._aggressor_path_loss_db = np.zeros((nl, nl))
         self._destination_on_path = np.zeros((nl, nl), dtype=bool)
@@ -410,24 +432,15 @@ class AllocationEvaluator:
             for k, victim in enumerate(self._communications):
                 if j == k:
                     continue
-                self._shares_segment[j, k] = aggressor.shares_waveguide_with(victim)
-                victim_destination = victim.destination_core
-                reaches = aggressor.crosses_oni(victim_destination) or (
-                    aggressor.source_core == victim_destination
+                reach_loss_db = architecture.crosstalk_path_loss_db(
+                    aggressor.source_core,
+                    aggressor.destination_core,
+                    victim.destination_core,
+                    photonic,
                 )
-                self._aggressor_reaches[j, k] = reaches
-                if reaches:
-                    if aggressor.source_core == victim_destination:
-                        self._aggressor_path_loss_db[j, k] = 0.0
-                    else:
-                        subpath = architecture.path(
-                            aggressor.source_core, victim_destination
-                        )
-                        crossed = len(subpath.intermediate_onis) * nw
-                        self._aggressor_path_loss_db[j, k] = (
-                            subpath.total_waveguide_loss_db(photonic)
-                            + crossed * photonic.mr_off_pass_loss_db
-                        )
+                self._aggressor_reaches[j, k] = reach_loss_db is not None
+                if reach_loss_db is not None:
+                    self._aggressor_path_loss_db[j, k] = reach_loss_db
                 # Is the aggressor's destination ONI on the victim's path?  Then
                 # the victim's signal crosses the aggressor's ON drop rings.
                 self._destination_on_path[j, k] = victim.crosses_oni(

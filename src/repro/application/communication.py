@@ -14,7 +14,7 @@ from typing import Dict, List, Sequence, Set, Tuple
 
 from ..devices.waveguide import WaveguidePath
 from ..errors import MappingError
-from ..topology.architecture import RingOnocArchitecture
+from ..topology.base import OnocTopology
 from .mapping import Mapping
 from .task_graph import CommunicationEdge, TaskGraph
 
@@ -78,7 +78,7 @@ class MappedCommunication:
 def build_communications(
     task_graph: TaskGraph,
     mapping: Mapping,
-    architecture: RingOnocArchitecture,
+    architecture: OnocTopology,
 ) -> List[MappedCommunication]:
     """Bind every task-graph edge to the architecture through the mapping.
 

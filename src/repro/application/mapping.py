@@ -16,7 +16,7 @@ from typing import Dict, Iterable, List, Mapping as TypingMapping, Optional, Seq
 import numpy as np
 
 from ..errors import MappingError
-from ..topology.architecture import RingOnocArchitecture
+from ..topology.base import OnocTopology
 from .task_graph import TaskGraph
 
 __all__ = ["Mapping"]
@@ -48,7 +48,7 @@ class Mapping:
     def round_robin(
         cls,
         task_graph: TaskGraph,
-        architecture: RingOnocArchitecture,
+        architecture: OnocTopology,
         stride: int = 1,
         start: int = 0,
     ) -> "Mapping":
@@ -81,7 +81,7 @@ class Mapping:
     def random(
         cls,
         task_graph: TaskGraph,
-        architecture: RingOnocArchitecture,
+        architecture: OnocTopology,
         seed: Optional[int] = None,
     ) -> "Mapping":
         """A uniformly random one-to-one mapping."""
@@ -122,7 +122,7 @@ class Mapping:
         return list(self.assignment.values())
 
     def validate_against(
-        self, task_graph: TaskGraph, architecture: RingOnocArchitecture
+        self, task_graph: TaskGraph, architecture: OnocTopology
     ) -> None:
         """Check the mapping covers the task graph and fits the architecture."""
         for name in task_graph.task_names():

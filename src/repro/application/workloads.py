@@ -23,7 +23,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..errors import TaskGraphError
-from ..topology.architecture import RingOnocArchitecture
+from ..topology.base import OnocTopology
 from .mapping import Mapping
 from .task_graph import TaskGraph
 
@@ -70,7 +70,7 @@ def paper_task_graph() -> TaskGraph:
     return graph
 
 
-def paper_mapping(architecture: RingOnocArchitecture) -> Mapping:
+def paper_mapping(architecture: OnocTopology) -> Mapping:
     """The placement of the six paper tasks on the 16-core ring (Fig. 5b).
 
     Tasks are spread along the serpentine so that successive communications
@@ -171,7 +171,7 @@ def random_task_graph(
 
 def default_mapping(
     task_graph: TaskGraph,
-    architecture: RingOnocArchitecture,
+    architecture: OnocTopology,
     stride: int = 2,
 ) -> Mapping:
     """A deterministic spread mapping suitable for any workload of this module."""

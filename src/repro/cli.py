@@ -17,12 +17,16 @@ The CLI exposes the most common workflows without writing Python:
     Execute one declarative scenario (``--template`` prints a starter file).
 ``python -m repro study study.json --parallel 4``
     Execute a batch of scenarios, optionally across worker processes.
+``python -m repro topologies``
+    List the registered ONoC topologies with their worst-case link losses.
 
 Every classic command accepts ``--wavelengths``, ``--rows``, ``--columns``,
-the GA sizing flags and ``--workload`` / ``--mapping`` registry names (with
-``--workload-options`` / ``--mapping-options`` JSON objects), so any
-registered application can be explored, evaluated or simulated — not just the
-paper's; see ``python -m repro --help``.
+the GA sizing flags and ``--topology`` / ``--workload`` / ``--mapping``
+registry names (with ``--topology-options`` / ``--workload-options`` /
+``--mapping-options`` JSON objects), so any registered application can be
+explored, evaluated or simulated on any registered topology — not just the
+paper's; ``run`` and ``study`` accept ``--topology`` as an override of the
+scenario documents.  See ``python -m repro --help``.
 """
 
 from __future__ import annotations
@@ -54,7 +58,7 @@ from .scenarios import (
     execute_scenario,
 )
 from .simulation import SimulationVerifier
-from .topology import RingOnocArchitecture
+from .topology import TOPOLOGIES, build_topology, topology_description, worst_case_link_loss_db
 
 __all__ = ["build_parser", "main"]
 
@@ -99,6 +103,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--mapping-options",
         default=None,
         help='mapping options as a JSON object, e.g. \'{"stride": 2}\'',
+    )
+    common.add_argument(
+        "--topology",
+        default="ring",
+        help=f"topology registry name (available: {', '.join(TOPOLOGIES.names())})",
+    )
+    common.add_argument(
+        "--topology-options",
+        default=None,
+        help='topology options as a JSON object, e.g. \'{"layers": 2}\'',
     )
 
     subparsers = parser.add_subparsers(dest="command", required=True)
@@ -146,6 +160,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="which artefact of the paper's evaluation to regenerate",
     )
 
+    topologies = subparsers.add_parser(
+        "topologies", help="list the registered ONoC topologies"
+    )
+    topologies.add_argument(
+        "--wavelengths", type=int, default=8, help="wavelength count for the loss column"
+    )
+    topologies.add_argument("--rows", type=int, default=4, help="rows of the tile grid")
+    topologies.add_argument(
+        "--columns", type=int, default=4, help="columns of the tile grid"
+    )
+    topologies.add_argument(
+        "--csv", type=str, default=None, help="write the topology rows to a CSV file"
+    )
+
     run = subparsers.add_parser(
         "run", help="execute one declarative scenario from a JSON file"
     )
@@ -169,6 +197,17 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=None,
         help="relative simulated-vs-analytical makespan tolerance for --verify",
+    )
+    run.add_argument(
+        "--topology",
+        default=None,
+        help="override the scenario's topology "
+        f"(available: {', '.join(TOPOLOGIES.names())})",
+    )
+    run.add_argument(
+        "--topology-options",
+        default=None,
+        help="override the scenario's topology options (JSON object)",
     )
 
     study = subparsers.add_parser(
@@ -195,6 +234,17 @@ def build_parser() -> argparse.ArgumentParser:
         type=str,
         default=None,
         help="write every per-solution simulation-replay row to a CSV file",
+    )
+    study.add_argument(
+        "--topology",
+        default=None,
+        help="run every scenario of the study on this topology instead of its own "
+        f"(available: {', '.join(TOPOLOGIES.names())})",
+    )
+    study.add_argument(
+        "--topology-options",
+        default=None,
+        help="topology options applied with --topology (JSON object)",
     )
 
     return parser
@@ -231,14 +281,19 @@ def _parse_options(text: Optional[str], flag: str) -> Dict[str, Any]:
 def _build_allocator(args: argparse.Namespace) -> WavelengthAllocator:
     """The allocator for the workload/mapping the flags select.
 
-    Workload and mapping come from the scenario registries (``--workload`` /
-    ``--mapping``), so every classic command runs on any registered
-    application, not just the paper's; ``--seed`` keeps randomised workloads
-    and mappings deterministic.
+    Topology, workload and mapping all come from the registries
+    (``--topology`` / ``--workload`` / ``--mapping``), so every classic
+    command runs on any registered architecture and application, not just the
+    paper's; ``--seed`` keeps randomised workloads and mappings deterministic.
     """
     configuration = OnocConfiguration(genetic=_genetic_parameters(args))
-    architecture = RingOnocArchitecture.grid(
-        args.rows, args.columns, wavelength_count=args.wavelengths, configuration=configuration
+    architecture = build_topology(
+        args.topology,
+        args.rows,
+        args.columns,
+        wavelength_count=args.wavelengths,
+        configuration=configuration,
+        options=_parse_options(args.topology_options, "--topology-options"),
     )
     task_graph = build_workload(
         args.workload,
@@ -268,7 +323,44 @@ def _maybe_write_csv(args: argparse.Namespace, rows: Sequence[dict]) -> None:
         print(f"wrote {len(rows)} rows to {path}")
 
 
+def _apply_topology_override(scenario: Scenario, args: argparse.Namespace) -> Scenario:
+    """Fold the ``--topology``/``--topology-options`` overrides into a scenario."""
+    if args.topology is None and args.topology_options is None:
+        return scenario
+    if args.topology is None:
+        raise ReproError("--topology-options has no effect without --topology")
+    return scenario.derive(
+        topology=args.topology,
+        topology_options=_parse_options(args.topology_options, "--topology-options"),
+    )
+
+
 # --------------------------------------------------------------------- commands
+def _command_topologies(args: argparse.Namespace) -> int:
+    """List every registered topology with its size and worst-case link loss."""
+    rows = []
+    for name in TOPOLOGIES.names():
+        topology = build_topology(
+            name, args.rows, args.columns, wavelength_count=args.wavelengths
+        )
+        rows.append(
+            {
+                "topology": name,
+                "cores": topology.core_count,
+                "wavelengths": topology.wavelength_count,
+                "worst_case_loss_db": round(worst_case_link_loss_db(topology), 4),
+                "description": topology_description(name),
+            }
+        )
+    print(
+        f"{len(rows)} registered topologies "
+        f"({args.rows}x{args.columns} tiles, {args.wavelengths} wavelengths):"
+    )
+    print(format_table(rows))
+    _maybe_write_csv(args, rows)
+    return 0
+
+
 def _command_info(args: argparse.Namespace) -> int:
     allocator = _build_allocator(args)
     architecture = allocator.architecture
@@ -349,6 +441,13 @@ def _command_simulate(args: argparse.Namespace) -> int:
 
 
 def _command_paper(args: argparse.Namespace) -> int:
+    if args.topology != "ring":
+        # The paper artefacts are definitionally ring results; silently
+        # printing them under another topology flag would mislabel the data.
+        raise ReproError(
+            "the paper artefacts are defined on the 'ring' topology; "
+            "use 'explore'/'run'/'study' to explore other topologies"
+        )
     if args.artefact == "table1":
         print(format_table(table1_rows()))
         _maybe_write_csv(args, table1_rows())
@@ -397,7 +496,7 @@ def _command_run(args: argparse.Namespace) -> int:
         return 0
     if args.scenario is None:
         raise ReproError("run needs a scenario JSON file (or --template)")
-    scenario = Scenario.load(args.scenario)
+    scenario = _apply_topology_override(Scenario.load(args.scenario), args)
     if args.verify or args.tolerance is not None:
         settings = scenario.verification
         simulate = True if args.verify else settings.simulate
@@ -416,7 +515,8 @@ def _command_run(args: argparse.Namespace) -> int:
     outcome = execute_scenario(scenario)
     summary = outcome.summary()
     print(
-        f"scenario {scenario.name!r}: optimizer {scenario.optimizer!r}, "
+        f"scenario {scenario.name!r}: topology {scenario.topology!r}, "
+        f"optimizer {scenario.optimizer!r}, "
         f"workload {scenario.workload!r}, mapping {scenario.mapping!r}, "
         f"{scenario.wavelength_count} wavelengths"
     )
@@ -435,6 +535,11 @@ def _command_run(args: argparse.Namespace) -> int:
 
 def _command_study(args: argparse.Namespace) -> int:
     study = Study.load(args.study)
+    if args.topology is not None or args.topology_options is not None:
+        study = Study(
+            [_apply_topology_override(scenario, args) for scenario in study.scenarios],
+            name=study.name,
+        )
 
     def progress(completed: int, total: int, result) -> None:
         print(
@@ -459,6 +564,7 @@ def _command_study(args: argparse.Namespace) -> int:
 
 
 _COMMANDS = {
+    "topologies": _command_topologies,
     "info": _command_info,
     "explore": _command_explore,
     "evaluate": _command_evaluate,

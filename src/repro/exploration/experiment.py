@@ -18,7 +18,8 @@ from ..application.mapping import Mapping
 from ..application.task_graph import TaskGraph
 from ..config import GeneticParameters, OnocConfiguration
 from ..errors import ExperimentError
-from ..topology.architecture import RingOnocArchitecture
+from ..topology.base import OnocTopology
+from ..topology.registry import build_topology
 
 __all__ = ["ExperimentRecord", "WavelengthExplorationExperiment", "make_record"]
 
@@ -80,6 +81,10 @@ class WavelengthExplorationExperiment:
         Shared photonic/timing/energy/GA configuration.
     crosstalk_scope:
         Aggressor scope of the crosstalk model.
+    topology, topology_options:
+        Name (and options) of the architecture in the
+        :data:`~repro.topology.registry.TOPOLOGIES` registry; defaults to the
+        paper's single ring.
     """
 
     def __init__(
@@ -90,6 +95,8 @@ class WavelengthExplorationExperiment:
         columns: int = 4,
         configuration: Optional[OnocConfiguration] = None,
         crosstalk_scope: CrosstalkScope = CrosstalkScope.TEMPORAL,
+        topology: str = "ring",
+        topology_options: Optional[Dict[str, object]] = None,
     ) -> None:
         self._task_graph = task_graph
         self._mapping_factory = mapping_factory
@@ -97,8 +104,10 @@ class WavelengthExplorationExperiment:
         self._columns = columns
         self._configuration = configuration or OnocConfiguration()
         self._crosstalk_scope = crosstalk_scope
+        self._topology = topology
+        self._topology_options = dict(topology_options or {})
 
-    def _mapping_for(self, architecture: RingOnocArchitecture) -> Mapping:
+    def _mapping_for(self, architecture: OnocTopology) -> Mapping:
         if isinstance(self._mapping_factory, Mapping):
             return self._mapping_factory
         return self._mapping_factory(architecture)
@@ -107,11 +116,13 @@ class WavelengthExplorationExperiment:
         """The allocator for one wavelength count (exposed for custom studies)."""
         if wavelength_count < 1:
             raise ExperimentError("the waveguide needs at least one wavelength")
-        architecture = RingOnocArchitecture.grid(
+        architecture = build_topology(
+            self._topology,
             self._rows,
             self._columns,
             wavelength_count=wavelength_count,
             configuration=self._configuration,
+            options=self._topology_options,
         )
         mapping = self._mapping_for(architecture)
         return WavelengthAllocator(

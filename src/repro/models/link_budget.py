@@ -13,7 +13,7 @@ from typing import Iterable, List, Sequence, Tuple
 
 from ..config import OnocConfiguration
 from ..devices.photodetector import Photodetector
-from ..topology.architecture import RingOnocArchitecture
+from ..topology.base import OnocTopology
 from .ber import BerModel
 from .power_loss import PowerLossModel, ReceivedSignal
 from .snr import SnrModel, SnrResult
@@ -41,7 +41,7 @@ class LinkBudget:
 
     def __init__(
         self,
-        architecture: RingOnocArchitecture,
+        architecture: OnocTopology,
         configuration: OnocConfiguration | None = None,
         ber_model: BerModel | None = None,
     ) -> None:
@@ -53,7 +53,7 @@ class LinkBudget:
         self._detector = Photodetector.from_energy_parameters(self._configuration.energy)
 
     @property
-    def architecture(self) -> RingOnocArchitecture:
+    def architecture(self) -> OnocTopology:
         """The architecture being analysed."""
         return self._architecture
 

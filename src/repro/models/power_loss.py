@@ -7,14 +7,21 @@ accumulates, per wavelength channel,
 * the pass-through loss of every OFF-state micro-ring crossed (``Lp0`` terms),
 * the loss of every ON-state micro-ring crossed non-resonantly (``Lp1`` terms),
 * the final drop loss ``Lp1`` of the destination ring (Eq. 6),
+* any topology-specific loss (waveguide crossings on a crossbar, vertical
+  couplers on a 3D multi-ring) reported by the topology's
+  :meth:`~repro.topology.base.OnocTopology.extra_path_loss_db`,
 
 and, for crosstalk (Eq. 7), the power of every *aggressor* signal present on
 the waveguide at the destination ONI attenuated by the Lorentzian leak
 ``Phi_dB(lambda_m, lambda_i)`` of the victim's drop ring.
 
-The ON/OFF state of the rings is read from the architecture's ONIs, so callers
-that want an allocation-dependent loss picture first configure the ONIs (see
-:meth:`repro.allocation.objectives.NetworkState.apply`).
+The set of ONIs a signal crosses (and therefore which micro-rings attenuate
+it) comes from the topology's
+:meth:`~repro.topology.base.OnocTopology.crossed_oni_ids` rather than from an
+assumption about ring routing, so the same model serves every registered
+topology.  The ON/OFF state of the rings is read from the architecture's ONIs,
+so callers that want an allocation-dependent loss picture first configure the
+ONIs (see :meth:`repro.allocation.objectives.NetworkState.apply`).
 """
 
 from __future__ import annotations
@@ -25,7 +32,7 @@ from typing import Iterable, List, Sequence, Tuple
 from ..config import PhotonicParameters
 from ..devices.microring import MicroRingState
 from ..errors import TopologyError
-from ..topology.architecture import RingOnocArchitecture
+from ..topology.base import OnocTopology
 
 __all__ = ["PathLossBreakdown", "ReceivedSignal", "PowerLossModel"]
 
@@ -39,6 +46,9 @@ class PathLossBreakdown:
     off_ring_db: float
     on_ring_through_db: float
     drop_db: float
+    #: Topology-specific terms (waveguide crossings, vertical couplers); zero
+    #: on the plain ring.
+    topology_db: float = 0.0
 
     @property
     def total_db(self) -> float:
@@ -49,6 +59,7 @@ class PathLossBreakdown:
             + self.off_ring_db
             + self.on_ring_through_db
             + self.drop_db
+            + self.topology_db
         )
 
 
@@ -69,21 +80,22 @@ class PowerLossModel:
     Parameters
     ----------
     architecture:
-        The ring ONoC; the ON/OFF state of its receiver rings is honoured.
+        Any :class:`~repro.topology.base.OnocTopology`; the ON/OFF state of
+        its receiver rings is honoured.
     parameters:
         Photonic parameters; defaults to the architecture's configuration.
     """
 
     def __init__(
         self,
-        architecture: RingOnocArchitecture,
+        architecture: OnocTopology,
         parameters: PhotonicParameters | None = None,
     ) -> None:
         self._architecture = architecture
         self._parameters = parameters or architecture.configuration.photonic
 
     @property
-    def architecture(self) -> RingOnocArchitecture:
+    def architecture(self) -> OnocTopology:
         """The architecture this model reads ring states from."""
         return self._architecture
 
@@ -112,7 +124,7 @@ class PowerLossModel:
         on_ring_through_db = 0.0
         signal_wavelength = architecture.grid_wavelengths.wavelength_nm(channel)
 
-        for oni_id in path.intermediate_onis:
+        for oni_id in architecture.crossed_oni_ids(source_core, destination_core):
             oni = architecture.oni(oni_id)
             for ring_channel in architecture.grid_wavelengths.indices():
                 state = oni.receiver_state(ring_channel)
@@ -147,6 +159,9 @@ class PowerLossModel:
             off_ring_db=off_ring_db,
             on_ring_through_db=on_ring_through_db,
             drop_db=drop_db,
+            topology_db=architecture.extra_path_loss_db(
+                source_core, destination_core, parameters
+            ),
         )
 
     def signal_power_dbm(
@@ -224,7 +239,7 @@ class PowerLossModel:
         off_ring_db = 0.0
         on_ring_through_db = 0.0
         wavelength = architecture.grid_wavelengths.wavelength_nm(channel)
-        for oni_id in path.intermediate_onis:
+        for oni_id in architecture.crossed_oni_ids(source_core, crossing_core):
             oni = architecture.oni(oni_id)
             for ring_channel in architecture.grid_wavelengths.indices():
                 state = oni.receiver_state(ring_channel)
@@ -244,6 +259,9 @@ class PowerLossModel:
             off_ring_db=off_ring_db,
             on_ring_through_db=on_ring_through_db,
             drop_db=0.0,
+            topology_db=architecture.extra_path_loss_db(
+                source_core, crossing_core, parameters
+            ),
         )
 
     def crosstalk_noise_terms_dbm(

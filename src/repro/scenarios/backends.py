@@ -48,7 +48,7 @@ from ..application.workloads import (
 )
 from ..config import GeneticParameters
 from ..errors import AllocationError, ScenarioError
-from ..topology.architecture import RingOnocArchitecture
+from ..topology.base import OnocTopology
 from .registry import Registry
 
 __all__ = [
@@ -152,7 +152,7 @@ def build_workload(
 def build_mapping(
     name: str,
     task_graph: TaskGraph,
-    architecture: RingOnocArchitecture,
+    architecture: OnocTopology,
     options: Dict[str, Any],
     seed: Optional[int] = None,
 ) -> Mapping:
@@ -366,7 +366,7 @@ WORKLOADS.register("gaussian_elimination")(gaussian_elimination_task_graph)
 # ---------------------------------------------------------- mapping strategies
 @MAPPING_STRATEGIES.register("paper")
 def _paper_mapping_strategy(
-    task_graph: TaskGraph, architecture: RingOnocArchitecture
+    task_graph: TaskGraph, architecture: OnocTopology
 ) -> Mapping:
     """The paper's fixed placement of the Fig. 5 application (Fig. 5b)."""
     return paper_mapping(architecture)
@@ -375,7 +375,7 @@ def _paper_mapping_strategy(
 @MAPPING_STRATEGIES.register("round_robin")
 def _round_robin_strategy(
     task_graph: TaskGraph,
-    architecture: RingOnocArchitecture,
+    architecture: OnocTopology,
     stride: int = 1,
     start: int = 0,
 ) -> Mapping:
@@ -386,7 +386,7 @@ def _round_robin_strategy(
 @MAPPING_STRATEGIES.register("random")
 def _random_mapping_strategy(
     task_graph: TaskGraph,
-    architecture: RingOnocArchitecture,
+    architecture: OnocTopology,
     seed: int = 2017,
 ) -> Mapping:
     """A uniformly random one-to-one placement."""
@@ -396,7 +396,7 @@ def _random_mapping_strategy(
 @MAPPING_STRATEGIES.register("default")
 def _default_mapping_strategy(
     task_graph: TaskGraph,
-    architecture: RingOnocArchitecture,
+    architecture: OnocTopology,
     stride: int = 2,
 ) -> Mapping:
     """The library's deterministic stride-2 spread (works for any workload)."""

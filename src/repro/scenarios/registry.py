@@ -1,90 +1,14 @@
-"""String-keyed registries backing the declarative scenario API.
+"""Backwards-compatible re-export of the shared registry primitive.
 
-A :class:`Registry` maps stable public names (``"nsga2"``, ``"paper"``,
-``"round_robin"`` ...) to the callables that implement them.  Scenarios refer
-to workloads, mappings and optimizer backends exclusively through these names,
-which is what makes them serialisable: a JSON document can say
-``"optimizer": "nsga2"`` and the registry turns it back into code.
-
-New entries register with a decorator::
-
-    @OPTIMIZERS.register("my_search")
-    class MySearchBackend:
-        ...
-
-so downstream projects can plug their own backends, workload generators or
-mapping strategies into :class:`~repro.scenarios.study.Study` without touching
-this package.
+The :class:`~repro.registry.Registry` class originally lived here; it moved to
+:mod:`repro.registry` when the topology registry joined the workload, mapping
+and optimizer registries (the topology package cannot import from
+``repro.scenarios`` without creating an import cycle).  Existing imports of
+``repro.scenarios.registry.Registry`` keep working through this module.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Generic, Iterator, List, Optional, TypeVar
-
-from ..errors import ScenarioError
+from ..registry import Registry
 
 __all__ = ["Registry"]
-
-T = TypeVar("T")
-
-_NAME_HINT = "names are lowercase identifiers such as 'nsga2' or 'round_robin'"
-
-
-class Registry(Generic[T]):
-    """A named collection of factories, addressed by stable string keys."""
-
-    def __init__(self, kind: str) -> None:
-        self._kind = kind
-        self._entries: Dict[str, T] = {}
-
-    @property
-    def kind(self) -> str:
-        """Human-readable description of what the registry holds."""
-        return self._kind
-
-    def register(self, name: str) -> Callable[[T], T]:
-        """Decorator registering ``entry`` under ``name``.
-
-        Registering the same name twice is an error — silent replacement would
-        make the behaviour of a scenario depend on import order.
-        """
-        key = self._normalise(name)
-
-        def decorator(entry: T) -> T:
-            if key in self._entries:
-                raise ScenarioError(
-                    f"{self._kind} {key!r} is already registered"
-                )
-            self._entries[key] = entry
-            return entry
-
-        return decorator
-
-    def get(self, name: str) -> T:
-        """The entry registered under ``name``; unknown names raise :class:`ScenarioError`."""
-        key = self._normalise(name)
-        try:
-            return self._entries[key]
-        except KeyError:
-            raise ScenarioError(
-                f"unknown {self._kind} {name!r}; available: {', '.join(self.names())}"
-            ) from None
-
-    def names(self) -> List[str]:
-        """Every registered name, sorted."""
-        return sorted(self._entries)
-
-    def __contains__(self, name: str) -> bool:
-        return self._normalise(name) in self._entries
-
-    def __iter__(self) -> Iterator[str]:
-        return iter(self.names())
-
-    def __len__(self) -> int:
-        return len(self._entries)
-
-    @staticmethod
-    def _normalise(name: str) -> str:
-        if not isinstance(name, str) or not name:
-            raise ScenarioError(f"registry names must be non-empty strings ({_NAME_HINT})")
-        return name.strip().lower()

@@ -1,11 +1,12 @@
 """Declarative description of one exploration run.
 
 A :class:`Scenario` captures *everything* needed to reproduce a single
-design-space-exploration point — architecture shape, wavelength count,
-workload, mapping strategy, objectives, crosstalk scope, GA sizing and the
-optimizer backend — as one serialisable value object.  Workloads, mappings and
-optimizers are referenced by registry name (see
-:mod:`repro.scenarios.backends`), which keeps the object a pure description:
+design-space-exploration point — topology, architecture shape, wavelength
+count, workload, mapping strategy, objectives, crosstalk scope, GA sizing and
+the optimizer backend — as one serialisable value object.  Topologies,
+workloads, mappings and optimizers are referenced by registry name (see
+:mod:`repro.topology.registry` and :mod:`repro.scenarios.backends`), which
+keeps the object a pure description:
 ``Scenario.from_dict(scenario.to_dict())`` round-trips exactly, and the JSON
 form is what ``python -m repro run`` consumes.
 
@@ -16,6 +17,7 @@ form is what ``python -m repro run`` consumes.
         .named("pipeline-12wl")
         .grid(4, 4)
         .wavelengths(12)
+        .topology("multi_ring", layers=2)
         .workload("pipeline", stage_count=6)
         .mapping("round_robin", stride=2)
         .objectives("time", "energy")
@@ -57,6 +59,7 @@ _TOP_LEVEL_KEYS = {
     "rows",
     "columns",
     "wavelength_count",
+    "topology",
     "workload",
     "mapping",
     "objectives",
@@ -159,6 +162,8 @@ class Scenario:
     rows: int = 4
     columns: int = 4
     wavelength_count: int = 8
+    topology: str = "ring"
+    topology_options: Dict[str, Any] = field(default_factory=dict)
     workload: str = "paper"
     workload_options: Dict[str, Any] = field(default_factory=dict)
     mapping: str = "paper"
@@ -181,7 +186,12 @@ class Scenario:
             isinstance(self.verification, VerificationSettings),
             "scenario verification must be a VerificationSettings object",
         )
-        for attribute in ("workload_options", "mapping_options", "optimizer_options"):
+        for attribute in (
+            "topology_options",
+            "workload_options",
+            "mapping_options",
+            "optimizer_options",
+        ):
             value = getattr(self, attribute)
             _require(
                 isinstance(value, dict), f"scenario {attribute} must be an object"
@@ -210,7 +220,7 @@ class Scenario:
         _require(bool(self.name), "a scenario needs a non-empty name")
         _require(self.rows >= 1 and self.columns >= 1, "the grid needs at least one core")
         _require(self.wavelength_count >= 1, "the waveguide needs at least one wavelength")
-        for key in ("workload", "mapping", "optimizer"):
+        for key in ("topology", "workload", "mapping", "optimizer"):
             _require(bool(getattr(self, key)), f"the scenario {key} name must be non-empty")
         _require(bool(self.objectives), "a scenario needs at least one objective")
         for objective in self.objectives:
@@ -270,9 +280,9 @@ class Scenario:
     def to_dict(self) -> Dict[str, Any]:
         """JSON-compatible dictionary; inverse of :meth:`from_dict`.
 
-        The ``verification`` block is only emitted when it differs from the
-        defaults, so documents written (and fingerprints computed) before the
-        verification stage existed stay byte-identical.
+        The ``verification`` and ``topology`` blocks are only emitted when
+        they differ from the defaults, so documents written (and fingerprints
+        computed) before those stages existed stay byte-identical.
         """
         payload = {
             "schema": SCENARIO_SCHEMA,
@@ -291,6 +301,11 @@ class Scenario:
             },
             "seed": self.seed,
         }
+        if self.topology != "ring" or self.topology_options:
+            payload["topology"] = {
+                "name": self.topology,
+                "options": dict(self.topology_options),
+            }
         if self.verification != VerificationSettings():
             payload["verification"] = self.verification.to_dict()
         return payload
@@ -307,6 +322,7 @@ class Scenario:
             schema == SCENARIO_SCHEMA,
             f"unsupported scenario schema {schema!r} (expected {SCENARIO_SCHEMA!r})",
         )
+        topology, topology_options = cls._named_section(payload.get("topology", "ring"))
         workload, workload_options = cls._named_section(payload.get("workload", "paper"))
         mapping, mapping_options = cls._named_section(payload.get("mapping", "paper"))
         optimizer, optimizer_options = cls._named_section(payload.get("optimizer", "nsga2"))
@@ -332,6 +348,8 @@ class Scenario:
             rows=_as_int(payload, "rows", 4),
             columns=_as_int(payload, "columns", 4),
             wavelength_count=_as_int(payload, "wavelength_count", 8),
+            topology=topology,
+            topology_options=topology_options,
             workload=workload,
             workload_options=workload_options,
             mapping=mapping,
@@ -427,6 +445,12 @@ class ScenarioBuilder:
     def wavelengths(self, count: int) -> "ScenarioBuilder":
         """Set the number of WDM wavelengths."""
         self._fields["wavelength_count"] = count
+        return self
+
+    def topology(self, name: str, **options: Any) -> "ScenarioBuilder":
+        """Select the ONoC topology by registry name (``ring``, ``multi_ring`` ...)."""
+        self._fields["topology"] = name
+        self._fields["topology_options"] = options
         return self
 
     def workload(self, name: str, **options: Any) -> "ScenarioBuilder":

@@ -34,7 +34,7 @@ from ..analysis.csvout import write_csv
 from ..analysis.plotting import format_table
 from ..errors import ScenarioError
 from ..simulation.verify import SimulationVerifier, VerificationReport
-from ..topology.architecture import RingOnocArchitecture
+from ..topology.registry import build_topology
 from .backends import OptimizerParameters, build_mapping, build_workload, create_optimizer
 from .scenario import Scenario
 
@@ -56,13 +56,20 @@ ProgressCallback = Callable[[int, int, "ScenarioResult"], None]
 
 
 def build_scenario_evaluator(scenario: Scenario) -> AllocationEvaluator:
-    """Resolve a scenario into a ready-to-search allocation evaluator."""
+    """Resolve a scenario into a ready-to-search allocation evaluator.
+
+    The architecture comes from the :data:`~repro.topology.registry.TOPOLOGIES`
+    registry, so the same scenario document explores the ring, the 3D
+    multi-ring stack or the crossbar purely through its ``topology`` field.
+    """
     configuration = scenario.onoc_configuration()
-    architecture = RingOnocArchitecture.grid(
+    architecture = build_topology(
+        scenario.topology,
         scenario.rows,
         scenario.columns,
         wavelength_count=scenario.wavelength_count,
         configuration=configuration,
+        options=scenario.topology_options,
     )
     task_graph = build_workload(
         scenario.workload, scenario.workload_options, seed=scenario.effective_seed
@@ -154,6 +161,7 @@ class ScenarioOutcome:
             optimizer=self.scenario.optimizer,
             workload=self.scenario.workload,
             mapping=self.scenario.mapping,
+            topology=self.scenario.topology,
             wavelength_count=self.scenario.wavelength_count,
             objective_keys=self.scenario.objectives,
             valid_solution_count=self.result.valid_solution_count,
@@ -203,6 +211,8 @@ class ScenarioResult:
     runtime_seconds: float
     pareto_rows: Tuple[Dict[str, float], ...]
     scenario: Dict[str, Any]
+    #: Registry name of the topology the scenario ran on.
+    topology: str = "ring"
     #: Distinct chromosomes the backend evaluated (0 when it kept no count).
     evaluations: int = 0
     #: Evaluations skipped by the GA's duplicate-aware memo.
@@ -234,6 +244,7 @@ class ScenarioResult:
         """One flat row for tables and CSV export."""
         return {
             "name": self.name,
+            "topology": self.topology,
             "optimizer": self.optimizer,
             "workload": self.workload,
             "mapping": self.mapping,
@@ -259,6 +270,7 @@ class ScenarioResult:
             "optimizer": self.optimizer,
             "workload": self.workload,
             "mapping": self.mapping,
+            "topology": self.topology,
             "wavelength_count": self.wavelength_count,
             "objective_keys": list(self.objective_keys),
             "valid_solution_count": self.valid_solution_count,
@@ -287,6 +299,7 @@ class ScenarioResult:
             optimizer=payload["optimizer"],
             workload=payload["workload"],
             mapping=payload["mapping"],
+            topology=str(payload.get("topology", "ring")),
             wavelength_count=int(payload["wavelength_count"]),
             objective_keys=tuple(payload["objective_keys"]),
             valid_solution_count=int(payload["valid_solution_count"]),

@@ -28,7 +28,7 @@ from ..application.mapping import Mapping
 from ..application.task_graph import TaskGraph
 from ..config import OnocConfiguration
 from ..errors import SimulationError
-from ..topology.architecture import RingOnocArchitecture
+from ..topology.base import OnocTopology
 from .engine import DiscreteEventEngine
 from .statistics import SimulationStatistics, UtilisationTracker
 
@@ -102,7 +102,7 @@ class OnocSimulator:
 
     def __init__(
         self,
-        architecture: RingOnocArchitecture,
+        architecture: OnocTopology,
         task_graph: TaskGraph,
         mapping: Mapping,
         configuration: Optional[OnocConfiguration] = None,

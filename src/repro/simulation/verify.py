@@ -31,7 +31,7 @@ from ..application.mapping import Mapping
 from ..application.task_graph import TaskGraph
 from ..config import OnocConfiguration
 from ..errors import SimulationError
-from ..topology.architecture import RingOnocArchitecture
+from ..topology.base import OnocTopology
 from .onoc_sim import OnocSimulator
 
 __all__ = [
@@ -227,7 +227,7 @@ class SimulationVerifier:
 
     def __init__(
         self,
-        architecture: RingOnocArchitecture,
+        architecture: OnocTopology,
         task_graph: TaskGraph,
         mapping: Mapping,
         configuration: Optional[OnocConfiguration] = None,

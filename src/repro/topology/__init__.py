@@ -1,10 +1,23 @@
-"""Ring-based 3D ONoC architecture model.
+"""Pluggable ONoC topology models.
 
-The architecture of the paper (Fig. 1a) stacks an electrical layer of ``n x n``
+The paper's architecture (Fig. 1a) stacks an electrical layer of ``n x n``
 IP cores under an optical layer carrying a single serpentine ring waveguide.
-Every core is attached to the waveguide through an Optical Network Interface
-(ONI, Fig. 1b) that contains one laser per wavelength on the transmit side and
-one micro-ring resonator per wavelength on the receive side.
+Every core is attached to the optical layer through an Optical Network
+Interface (ONI, Fig. 1b) that contains one laser per wavelength on the
+transmit side and one micro-ring resonator per wavelength on the receive side.
+
+Since the topology subsystem became pluggable, that ring is one of several
+interchangeable implementations of the :class:`~repro.topology.base.OnocTopology`
+protocol, addressed by name through :data:`~repro.topology.registry.TOPOLOGIES`:
+
+* ``ring``       — the paper's single serpentine ring
+  (:class:`~repro.topology.architecture.RingOnocArchitecture`);
+* ``multi_ring`` — a 3D stack of rings joined by a vertical coupler pillar
+  (:class:`~repro.topology.multi_ring.MultiRingOnocArchitecture`);
+* ``crossbar``   — a Li-style optical crossbar with worst-case-loss analysis
+  (:class:`~repro.topology.crossbar.CrossbarOnocArchitecture`).
+
+Module map:
 
 * :mod:`~repro.topology.layout`       — physical placement of the tiles and the
   serpentine visiting order of the ring.
@@ -14,12 +27,21 @@ one micro-ring resonator per wavelength on the receive side.
 * :mod:`~repro.topology.architecture` — the aggregate
   :class:`~repro.topology.architecture.RingOnocArchitecture` and its
   Architecture Characterization Graph (ACG).
+* :mod:`~repro.topology.base`         — the :class:`OnocTopology` protocol.
+* :mod:`~repro.topology.multi_ring`   — the 3D multi-ring stack.
+* :mod:`~repro.topology.crossbar`     — the optical crossbar.
+* :mod:`~repro.topology.registry`     — the :data:`TOPOLOGIES` registry and
+  :func:`build_topology`.
 """
 
 from .layout import TileLayout, TileCoordinate
 from .oni import OpticalNetworkInterface
 from .ring import RingWaveguide
 from .architecture import RingOnocArchitecture
+from .base import OnocTopology, worst_case_link_loss_db
+from .multi_ring import MultiRingOnocArchitecture
+from .crossbar import CrossbarOnocArchitecture
+from .registry import TOPOLOGIES, build_topology, topology_description
 
 __all__ = [
     "TileLayout",
@@ -27,4 +49,11 @@ __all__ = [
     "OpticalNetworkInterface",
     "RingWaveguide",
     "RingOnocArchitecture",
+    "OnocTopology",
+    "MultiRingOnocArchitecture",
+    "CrossbarOnocArchitecture",
+    "TOPOLOGIES",
+    "build_topology",
+    "topology_description",
+    "worst_case_link_loss_db",
 ]

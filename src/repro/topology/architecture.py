@@ -15,10 +15,11 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import networkx as nx
 
-from ..config import OnocConfiguration
+from ..config import OnocConfiguration, PhotonicParameters
 from ..devices.waveguide import WaveguidePath
 from ..devices.wavelength_grid import WavelengthGrid
 from ..errors import TopologyError
+from .base import ring_style_crosstalk_path_loss_db
 from .layout import TileLayout
 from .oni import OpticalNetworkInterface
 from .ring import RingWaveguide
@@ -142,6 +143,15 @@ class RingOnocArchitecture:
         """Number of intermediate ONIs crossed between two cores."""
         return len(self.path(source_core, destination_core).intermediate_onis)
 
+    def crossed_oni_ids(self, source_core: int, destination_core: int) -> List[int]:
+        """ONIs whose receiver rings the signal passes non-resonantly, in order.
+
+        On the ring these are exactly the path's intermediate ONIs: every ONI
+        between source and destination places its full receiver bank on the
+        waveguide.
+        """
+        return self.path(source_core, destination_core).intermediate_onis
+
     def crossed_off_ring_count(self, source_core: int, destination_core: int) -> int:
         """Micro-rings crossed in pass-through between source and destination.
 
@@ -152,6 +162,40 @@ class RingOnocArchitecture:
         """
         intermediate = self.crossed_oni_count(source_core, destination_core)
         return intermediate * self.wavelength_count + (self.wavelength_count - 1)
+
+    # ----------------------------------------------------------------- losses
+    def extra_path_loss_db(
+        self,
+        source_core: int,
+        destination_core: int,
+        parameters: Optional[PhotonicParameters] = None,
+    ) -> float:
+        """Topology-specific loss beyond waveguide and micro-ring terms.
+
+        The single serpentine ring has none: every loss mechanism of Eq. (6)
+        is already covered by propagation, bending and ring crossings, so this
+        is exactly ``0.0`` (keeping the ring's arithmetic bit-identical to the
+        pre-topology-subsystem implementation).
+        """
+        del source_core, destination_core, parameters
+        return 0.0
+
+    def crosstalk_path_loss_db(
+        self,
+        source_core: int,
+        destination_core: int,
+        victim_destination: int,
+        parameters: PhotonicParameters,
+    ) -> Optional[float]:
+        """Loss an aggressor ``source -> destination`` has accumulated at the victim ONI.
+
+        Delegates to the shared ring-routed reach model (the ring's extra
+        topology term is exactly ``0.0``, so the arithmetic is bit-identical
+        to the pre-topology-subsystem implementation).
+        """
+        return ring_style_crosstalk_path_loss_db(
+            self, source_core, destination_core, victim_destination, parameters
+        )
 
     # -------------------------------------------------------------------- ACG
     def characterization_graph(self) -> nx.Graph:

@@ -1,0 +1,122 @@
+"""The string-keyed topology registry mirroring ``OPTIMIZERS``/``WORKLOADS``.
+
+Scenarios (and the CLI) refer to topologies exclusively by their registered
+name — ``"ring"``, ``"multi_ring"``, ``"crossbar"`` — which keeps scenario
+documents serialisable and lets downstream projects plug their own
+architectures in::
+
+    @TOPOLOGIES.register("my_mesh")
+    def _my_mesh(rows, columns, wavelength_count, configuration=None, **options):
+        return MyMeshArchitecture(...)
+
+Factories take the scenario's grid shape, wavelength count and configuration,
+plus any topology-specific keyword options (``layers``, ``crossing_loss_db``
+...); :func:`build_topology` resolves a name + options pair into a live
+:class:`~repro.topology.base.OnocTopology`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional
+
+from ..config import OnocConfiguration
+from ..errors import TopologyError
+from ..registry import Registry
+from .architecture import RingOnocArchitecture
+from .base import OnocTopology
+from .crossbar import CrossbarOnocArchitecture
+from .multi_ring import MultiRingOnocArchitecture
+
+__all__ = ["TOPOLOGIES", "build_topology", "topology_description"]
+
+#: Topology factories by name (``ring``, ``multi_ring``, ``crossbar`` ...).
+TOPOLOGIES: Registry[Callable[..., OnocTopology]] = Registry("topology")
+
+
+def build_topology(
+    name: str,
+    rows: int,
+    columns: int,
+    wavelength_count: int,
+    configuration: Optional[OnocConfiguration] = None,
+    options: Optional[Dict[str, Any]] = None,
+) -> OnocTopology:
+    """Build the topology registered under ``name`` for one scenario shape.
+
+    ``options`` holds the topology-specific keyword arguments taken verbatim
+    from ``Scenario.topology_options`` (``layers``, ``pillar``,
+    ``crossing_loss_db`` ...); unknown names and mistyped values both raise a
+    clean :class:`~repro.errors.TopologyError` naming the offending topology.
+    """
+    factory = TOPOLOGIES.get(name)
+    try:
+        return factory(
+            rows,
+            columns,
+            wavelength_count=wavelength_count,
+            configuration=configuration,
+            **dict(options or {}),
+        )
+    except (TypeError, ValueError) as error:
+        raise TopologyError(f"invalid options for topology {name!r}: {error}") from None
+
+
+def topology_description(name: str) -> str:
+    """The first docstring line of a registered topology factory."""
+    factory = TOPOLOGIES.get(name)
+    doc = (factory.__doc__ or "").strip()
+    return doc.splitlines()[0] if doc else ""
+
+
+@TOPOLOGIES.register("ring")
+def _ring_topology(
+    rows: int,
+    columns: int,
+    wavelength_count: int,
+    configuration: Optional[OnocConfiguration] = None,
+    tile_pitch_cm: Optional[float] = None,
+) -> RingOnocArchitecture:
+    """Single serpentine ring of the source paper (the default)."""
+    return RingOnocArchitecture.grid(
+        rows,
+        columns,
+        wavelength_count=wavelength_count,
+        configuration=configuration,
+        tile_pitch_cm=tile_pitch_cm,
+    )
+
+
+@TOPOLOGIES.register("multi_ring")
+def _multi_ring_topology(
+    rows: int,
+    columns: int,
+    wavelength_count: int,
+    configuration: Optional[OnocConfiguration] = None,
+    **options: Any,
+) -> MultiRingOnocArchitecture:
+    """Stacked 3D rings (one serpentine ring per layer, vertical coupler pillar)."""
+    return MultiRingOnocArchitecture.grid(
+        rows,
+        columns,
+        wavelength_count=wavelength_count,
+        configuration=configuration,
+        **options,
+    )
+
+
+@TOPOLOGIES.register("crossbar")
+def _crossbar_topology(
+    rows: int,
+    columns: int,
+    wavelength_count: int,
+    configuration: Optional[OnocConfiguration] = None,
+    **options: Any,
+) -> CrossbarOnocArchitecture:
+    """Li-style optical crossbar (dedicated row/column waveguides, passive crossings)."""
+    return CrossbarOnocArchitecture.grid(
+        rows,
+        columns,
+        wavelength_count=wavelength_count,
+        configuration=configuration,
+        **options,
+    )

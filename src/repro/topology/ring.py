@@ -20,6 +20,7 @@ from typing import Dict, List, Sequence, Tuple
 
 from ..devices.waveguide import WaveguidePath, WaveguideSegment
 from ..errors import TopologyError
+from .base import generic_segment_usage
 from .layout import TileLayout
 
 __all__ = ["RingWaveguide"]
@@ -116,13 +117,11 @@ class RingWaveguide:
         ``endpoints`` is a sequence of (source, destination) ONI pairs; the
         result maps a segment key to the list of indices into ``endpoints``
         whose path traverses that segment.  This is the core primitive of the
-        wavelength-conflict detection used by the allocator.
+        wavelength-conflict detection used by the allocator; the actual walk
+        lives in :func:`~repro.topology.base.generic_segment_usage`, shared
+        with every other topology.
         """
-        usage: Dict[Tuple[int, int], List[int]] = {}
-        for index, (source, destination) in enumerate(endpoints):
-            for key in self.path(source, destination).segment_keys():
-                usage.setdefault(key, []).append(index)
-        return usage
+        return generic_segment_usage(self, endpoints)
 
     def _check_oni(self, oni_id: int) -> None:
         if not 0 <= oni_id < self.oni_count:

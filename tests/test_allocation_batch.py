@@ -21,7 +21,7 @@ from repro.allocation.exhaustive import (
 from repro.allocation.objectives import CrosstalkScope
 from repro.application import Mapping, paper_mapping, paper_task_graph, pipeline_task_graph
 from repro.errors import AllocationError
-from repro.topology import RingOnocArchitecture
+from repro.topology import RingOnocArchitecture, build_topology
 
 
 def _paper_evaluator(wavelength_count, scope=CrosstalkScope.TEMPORAL):
@@ -30,6 +30,25 @@ def _paper_evaluator(wavelength_count, scope=CrosstalkScope.TEMPORAL):
         architecture,
         paper_task_graph(),
         paper_mapping(architecture),
+        crosstalk_scope=scope,
+    )
+
+
+def _topology_evaluator(topology, wavelength_count, scope=CrosstalkScope.TEMPORAL):
+    """The paper workload on a registry-built topology.
+
+    The stride-5 spread pushes tasks onto both layers of the multi-ring stack,
+    so inter-layer paths (vertical couplers, pillar sharing) are exercised.
+    """
+    options = {"layers": 2} if topology == "multi_ring" else {}
+    architecture = build_topology(
+        topology, 4, 4, wavelength_count=wavelength_count, options=options
+    )
+    graph = paper_task_graph()
+    return AllocationEvaluator(
+        architecture,
+        graph,
+        Mapping.round_robin(graph, architecture, stride=5),
         crosstalk_scope=scope,
     )
 
@@ -147,6 +166,58 @@ class TestBatchScalarEquivalence:
         evaluation = evaluator.batch().evaluate_chromosomes(chromosomes)
         for index, chromosome in enumerate(chromosomes):
             assert bool(evaluation.valid[index]) == evaluator.evaluate(chromosome).is_valid
+
+
+class TestOffRingBatchScalarEquivalence:
+    """The 1e-9 rtol engine guarantees hold on every registered topology."""
+
+    @pytest.mark.parametrize("seed", [1, 2017])
+    @pytest.mark.parametrize("topology", ["multi_ring", "crossbar"])
+    def test_objectives_match_scalar_reference(self, topology, seed):
+        evaluator = _topology_evaluator(topology, wavelength_count=6)
+        batch = evaluator.batch()
+        chromosomes = _random_chromosomes(evaluator, seed)
+        evaluation = batch.evaluate_chromosomes(chromosomes)
+        checked_valid = 0
+        for index, chromosome in enumerate(chromosomes):
+            scalar = evaluator.evaluate(chromosome)
+            assert bool(evaluation.valid[index]) == scalar.is_valid
+            if not scalar.is_valid:
+                assert np.isinf(evaluation.execution_time_kcycles[index])
+                continue
+            checked_valid += 1
+            assert (
+                evaluation.execution_time_kcycles[index]
+                == scalar.objectives.execution_time_kcycles
+            )
+            assert evaluation.mean_bit_error_rate[index] == pytest.approx(
+                scalar.objectives.mean_bit_error_rate, rel=1e-9
+            )
+            assert evaluation.bit_energy_fj[index] == pytest.approx(
+                scalar.objectives.bit_energy_fj, rel=1e-9
+            )
+            assert evaluation.per_communication_ber[index] == pytest.approx(
+                scalar.per_communication_ber, rel=1e-9
+            )
+            assert evaluation.per_communication_energy_fj[index] == pytest.approx(
+                scalar.per_communication_energy_fj, rel=1e-9
+            )
+        assert checked_valid > 0  # the sample must exercise the full chain
+
+    @pytest.mark.parametrize("topology", ["multi_ring", "crossbar"])
+    @pytest.mark.parametrize("scope", list(CrosstalkScope))
+    def test_every_crosstalk_scope_matches_off_ring(self, topology, scope):
+        evaluator = _topology_evaluator(topology, wavelength_count=4, scope=scope)
+        batch = evaluator.batch()
+        chromosomes = _random_chromosomes(evaluator, seed=13, count=12)
+        evaluation = batch.evaluate_chromosomes(chromosomes)
+        for index, chromosome in enumerate(chromosomes):
+            scalar = evaluator.evaluate(chromosome)
+            assert bool(evaluation.valid[index]) == scalar.is_valid
+            if scalar.is_valid:
+                assert evaluation.objectives(index).as_tuple() == pytest.approx(
+                    scalar.objectives.as_tuple(), rel=1e-9
+                )
 
 
 class TestBatchApi:

@@ -314,6 +314,86 @@ class TestStudyCommand:
         assert "scenario" in header and "simulated_kcycles" in header
 
 
+class TestTopologiesCommand:
+    def test_lists_every_registered_topology(self, capsys):
+        from repro.topology import TOPOLOGIES
+
+        output = run_cli(capsys, "topologies")
+        for name in TOPOLOGIES.names():
+            assert name in output
+        assert "worst_case_loss_db" in output
+
+    def test_csv_export(self, capsys, tmp_path):
+        target = tmp_path / "topologies.csv"
+        run_cli(capsys, "topologies", "--csv", str(target))
+        lines = target.read_text().splitlines()
+        assert "topology" in lines[0]
+        assert len(lines) >= 4  # header + three topologies
+
+
+class TestTopologyFlags:
+    def test_explore_runs_on_a_crossbar(self, capsys):
+        output = run_cli(
+            capsys,
+            "explore",
+            *FAST_GA,
+            "--topology",
+            "crossbar",
+            "--mapping",
+            "default",
+        )
+        assert "Pareto front" in output
+
+    def test_simulate_on_multi_ring_passes(self, capsys):
+        output = run_cli(
+            capsys,
+            "simulate",
+            "--topology",
+            "multi_ring",
+            "--topology-options",
+            '{"layers": 2}',
+            "--mapping",
+            "default",
+            "--allocation",
+            "1,1,1,1,1,1",
+        )
+        assert "PASS" in output
+
+    def test_run_topology_override(self, capsys, tmp_path):
+        path = tmp_path / "scenario.json"
+        document = fast_scenario_dict()
+        document["mapping"] = "default"
+        path.write_text(json.dumps(document))
+        output = run_cli(
+            capsys, "run", str(path), "--topology", "crossbar"
+        )
+        assert "topology 'crossbar'" in output
+
+    def test_topology_options_without_topology_rejected(self, capsys, tmp_path):
+        path = tmp_path / "scenario.json"
+        path.write_text(json.dumps(fast_scenario_dict()))
+        exit_code = main(["run", str(path), "--topology-options", '{"layers": 2}'])
+        assert exit_code == 2
+        assert "--topology" in capsys.readouterr().err
+
+    def test_unknown_topology_rejected(self, capsys):
+        exit_code = main(["info", "--topology", "torus"])
+        assert exit_code == 2
+        assert "unknown topology" in capsys.readouterr().err
+
+    def test_mistyped_topology_option_value_rejected_cleanly(self, capsys):
+        exit_code = main(
+            ["info", "--topology", "multi_ring", "--topology-options", '{"layers": "two"}']
+        )
+        assert exit_code == 2
+        assert "invalid options for topology 'multi_ring'" in capsys.readouterr().err
+
+    def test_paper_artefacts_refuse_non_ring_topologies(self, capsys):
+        exit_code = main(["paper", "table1", "--topology", "crossbar"])
+        assert exit_code == 2
+        assert "'ring' topology" in capsys.readouterr().err
+
+
 class TestPaperArtefacts:
     def test_table1(self, capsys):
         output = run_cli(capsys, "paper", "table1")

@@ -1,0 +1,135 @@
+"""Result-store warm-start benchmark.
+
+Measures the point of the persistent store: a study re-run against a
+populated :class:`~repro.store.sqlite.ResultStore` must be dramatically
+faster than the cold run that populated it, because every scenario is served
+as a cached document instead of executing an optimizer backend.
+
+Run as a script to produce ``BENCH_store.json`` — the cold-vs-warm
+wall-clock comparison the CI smoke job checks::
+
+    PYTHONPATH=src python benchmarks/bench_store_performance.py \
+        --output BENCH_store.json --check
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import tempfile
+import time
+from pathlib import Path
+
+from repro.config import GeneticParameters
+from repro.scenarios import Scenario, Study
+from repro.store import ResultStore
+
+#: Minimum cold/warm wall-clock ratio the smoke check enforces.
+MIN_WARMUP_SPEEDUP = 10.0
+
+#: Wavelength counts of the benchmark sweep (the paper's Table II points).
+WAVELENGTH_COUNTS = (4, 8, 12)
+
+
+def _scenarios(population: int, generations: int) -> list:
+    return [
+        Scenario(
+            name=f"store-bench-nw{count}",
+            wavelength_count=count,
+            genetic=GeneticParameters(
+                population_size=population, generations=generations
+            ),
+        )
+        for count in WAVELENGTH_COUNTS
+    ]
+
+
+def measure_store_warmup(population: int = 32, generations: int = 12) -> dict:
+    """Time a cold study against a fresh store, then a warm re-run, as a dict.
+
+    The warm run opens the database through a *new* :class:`ResultStore`
+    instance, so the measurement covers the full persistence round-trip
+    (SQLite read + JSON decode), not an in-process object cache.
+    """
+    scenarios = _scenarios(population, generations)
+    with tempfile.TemporaryDirectory() as tempdir:
+        db_path = Path(tempdir) / "bench.sqlite"
+
+        with ResultStore(db_path) as store:
+            started = time.perf_counter()
+            cold = Study(scenarios, name="store-bench", store=store).run()
+            cold_seconds = time.perf_counter() - started
+
+        with ResultStore(db_path) as store:
+            started = time.perf_counter()
+            warm = Study(scenarios, name="store-bench", store=store).run()
+            warm_seconds = time.perf_counter() - started
+            entries = len(store)
+
+    if warm.store_misses != 0:
+        raise AssertionError(
+            f"warm run executed {warm.store_misses} scenario(s); expected 0"
+        )
+    if [r.to_dict() for r in warm] != [r.to_dict() for r in cold]:
+        raise AssertionError("warm run documents differ from the cold run")
+
+    return {
+        "scenario_count": len(scenarios),
+        "population": population,
+        "generations": generations,
+        "store_entries": entries,
+        "cold_seconds": cold_seconds,
+        "warm_seconds": warm_seconds,
+        "warm_store_hits": warm.store_hits,
+        "warm_store_misses": warm.store_misses,
+        "speedup": cold_seconds / warm_seconds if warm_seconds > 0 else float("inf"),
+    }
+
+
+def test_warm_study_meets_target():
+    """The acceptance criterion: a warm re-run is >= 10x faster than cold."""
+    report = measure_store_warmup(population=16, generations=6)
+    assert report["warm_store_misses"] == 0, report
+    assert report["speedup"] >= MIN_WARMUP_SPEEDUP, report
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(
+        description="Compare cold vs store-warmed study wall-clock time."
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=Path("BENCH_store.json"),
+        help="where to write the JSON report (default: BENCH_store.json)",
+    )
+    parser.add_argument(
+        "--population", type=int, default=32, help="GA population per scenario"
+    )
+    parser.add_argument(
+        "--generations", type=int, default=12, help="GA generations per scenario"
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help=f"exit non-zero when the warm-up speedup falls below "
+        f"{MIN_WARMUP_SPEEDUP}x",
+    )
+    arguments = parser.parse_args()
+
+    report = measure_store_warmup(arguments.population, arguments.generations)
+    arguments.output.write_text(json.dumps(report, indent=2) + "\n")
+    print(
+        f"cold {report['cold_seconds']:.3f}s, warm {report['warm_seconds']:.3f}s "
+        f"({report['speedup']:.0f}x, {report['warm_store_hits']} hits) "
+        f"-> {arguments.output}"
+    )
+    if arguments.check and report["speedup"] < MIN_WARMUP_SPEEDUP:
+        raise SystemExit(
+            f"store warm-up speedup {report['speedup']:.2f}x is below the "
+            f"{MIN_WARMUP_SPEEDUP}x target"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,111 @@
+#!/usr/bin/env python
+"""Populate a persistent result store and query it over HTTP.
+
+This example shows the service layer built on top of studies:
+
+1. a :class:`~repro.scenarios.study.Study` runs a small wavelength sweep
+   against a SQLite-backed :class:`~repro.store.sqlite.ResultStore`,
+2. the *same* study is re-run warm — every scenario is served from the store
+   and zero optimizer backends execute,
+3. the store is exposed through the stdlib HTTP JSON API (what
+   ``python -m repro serve`` runs) and queried with ``urllib``: submit a
+   scenario document to learn its fingerprint, then fetch the cached Pareto
+   front by that fingerprint.
+
+Run it with::
+
+    python examples/study_server.py
+"""
+
+from __future__ import annotations
+
+import json
+import tempfile
+import threading
+import time
+import urllib.request
+from pathlib import Path
+
+from repro.scenarios import ScenarioBuilder, Study
+from repro.store import ResultStore, create_server
+
+
+def build_scenarios():
+    return [
+        ScenarioBuilder()
+        .named(f"nsga2-nw{wavelength_count}")
+        .grid(4, 4)
+        .wavelengths(wavelength_count)
+        .genetic(population_size=32, generations=12)
+        .seed(2017)
+        .build()
+        for wavelength_count in (4, 8, 12)
+    ]
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as tempdir:
+        db_path = Path(tempdir) / "results.sqlite"
+
+        # 1. Cold run: executes every scenario and persists the documents.
+        with ResultStore(db_path) as store:
+            started = time.perf_counter()
+            Study(build_scenarios(), name="served-sweep", store=store).run()
+            print(f"cold study run: {time.perf_counter() - started:.2f}s")
+
+        # 2. Warm run: a fresh process would see exactly this — every result
+        #    is served from the store, no optimizer executes.
+        with ResultStore(db_path) as store:
+            started = time.perf_counter()
+            result = Study(build_scenarios(), name="served-sweep", store=store).run()
+            print(
+                f"warm study run: {time.perf_counter() - started:.3f}s "
+                f"({result.store_hits} hits, {result.store_misses} misses)"
+            )
+
+        # 3. Serve the store over HTTP and act as a client against it.
+        store = ResultStore(db_path)
+        server = create_server(store, host="127.0.0.1", port=0)
+        port = server.server_address[1]
+        threading.Thread(target=server.serve_forever, daemon=True).start()
+        base = f"http://127.0.0.1:{port}/api/v1"
+        print(f"serving {db_path.name} at {base}")
+
+        try:
+            # Submit a scenario document -> its fingerprint (content address).
+            scenario = build_scenarios()[1]
+            request = urllib.request.Request(
+                f"{base}/scenarios",
+                data=json.dumps(scenario.to_dict()).encode("utf-8"),
+                method="POST",
+            )
+            with urllib.request.urlopen(request) as response:
+                submitted = json.loads(response.read())
+            print(
+                f"submitted {scenario.name!r}: fingerprint "
+                f"{submitted['fingerprint']} cached={submitted['cached']}"
+            )
+
+            # Fetch the cached Pareto front by fingerprint — no re-optimisation.
+            pareto_url = f"http://127.0.0.1:{port}{submitted['pareto_url']}"
+            with urllib.request.urlopen(pareto_url) as response:
+                front = json.loads(response.read())
+            print(f"cached Pareto front: {len(front['pareto_rows'])} solutions")
+            for row in front["pareto_rows"][:3]:
+                print(
+                    f"  time {row['execution_time_kcycles']:.1f} kcc, "
+                    f"energy {row['bit_energy_fj']:.2f} fJ/bit"
+                )
+
+            # List the recorded studies.
+            with urllib.request.urlopen(f"{base}/studies") as response:
+                studies = json.loads(response.read())
+            print(f"recorded studies: {list(studies['studies'])}")
+        finally:
+            server.shutdown()
+            server.server_close()
+            store.close()
+
+
+if __name__ == "__main__":
+    main()

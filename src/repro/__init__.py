@@ -11,7 +11,10 @@ provides:
 * the NSGA-II wavelength-allocation exploration of Section III-D,
 * classical heuristic baselines, an exhaustive reference search, a
   discrete-event simulator, and the experiment drivers that regenerate the
-  paper's Table II and Figures 6a/6b/7.
+  paper's Table II and Figures 6a/6b/7,
+* a persistent, content-addressed result store (:mod:`repro.store`) that
+  makes studies resumable and serves cached Pareto fronts over HTTP
+  (``repro serve``).
 
 Quickstart
 ----------
@@ -41,6 +44,7 @@ from .errors import (
     ScenarioError,
     SchedulingError,
     SimulationError,
+    StoreError,
     TaskGraphError,
     TopologyError,
 )
@@ -95,7 +99,9 @@ from .scenarios import (
     StudyResult,
     VerificationSettings,
     execute_scenario,
+    fetch_or_execute,
 )
+from .store import MemoryStore, ResultStore, StoreBackend
 
 __version__ = "1.0.0"
 
@@ -119,6 +125,7 @@ __all__ = [
     "SimulationError",
     "ExperimentError",
     "ScenarioError",
+    "StoreError",
     # architecture / topologies
     "RingOnocArchitecture",
     "MultiRingOnocArchitecture",
@@ -172,4 +179,9 @@ __all__ = [
     "StudyResult",
     "VerificationSettings",
     "execute_scenario",
+    "fetch_or_execute",
+    # result store
+    "MemoryStore",
+    "ResultStore",
+    "StoreBackend",
 ]

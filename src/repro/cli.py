@@ -19,6 +19,16 @@ The CLI exposes the most common workflows without writing Python:
     Execute a batch of scenarios, optionally across worker processes.
 ``python -m repro topologies``
     List the registered ONoC topologies with their worst-case link losses.
+``python -m repro cache ls --store results.sqlite``
+    Inspect or maintain a persistent result store (``ls``/``stats``/``gc``/
+    ``export``).
+``python -m repro serve --store results.sqlite --port 8787``
+    Serve cached results (Pareto fronts, verification reports, study
+    listings) over a JSON HTTP API without re-running any optimizer.
+
+``run`` and ``study`` accept ``--store PATH``: results are then served from
+the store when present and persisted into it after execution, so repeated
+invocations warm-start instead of recomputing.
 
 Every classic command accepts ``--wavelengths``, ``--rows``, ``--columns``,
 the GA sizing flags and ``--topology`` / ``--workload`` / ``--mapping``
@@ -35,6 +45,8 @@ import argparse
 import json
 import os
 import sys
+import time
+from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence
 
 from . import __version__
@@ -55,9 +67,10 @@ from .scenarios import (
     build_mapping,
     build_workload,
     create_optimizer,
-    execute_scenario,
+    fetch_or_execute,
 )
 from .simulation import SimulationVerifier
+from .store import ResultStore, create_server
 from .topology import TOPOLOGIES, build_topology, topology_description, worst_case_link_loss_db
 
 __all__ = ["build_parser", "main"]
@@ -209,6 +222,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="override the scenario's topology options (JSON object)",
     )
+    run.add_argument(
+        "--store",
+        default=None,
+        help="SQLite result store: serve the scenario from it when cached, "
+        "persist the result into it otherwise",
+    )
 
     study = subparsers.add_parser(
         "study", help="execute a batch of scenarios from a JSON file"
@@ -245,6 +264,58 @@ def build_parser() -> argparse.ArgumentParser:
         "--topology-options",
         default=None,
         help="topology options applied with --topology (JSON object)",
+    )
+    study.add_argument(
+        "--store",
+        default=None,
+        help="SQLite result store shared across runs: cached scenarios are "
+        "served without executing any optimizer backend",
+    )
+
+    cache = subparsers.add_parser(
+        "cache", help="inspect or maintain a persistent result store"
+    )
+    cache.add_argument(
+        "action",
+        choices=["ls", "stats", "gc", "export"],
+        help="ls: list entries; stats: counters and size; gc: evict entries; "
+        "export: dump every stored document as JSON",
+    )
+    cache.add_argument(
+        "--store", required=True, help="path to the SQLite result store"
+    )
+    cache.add_argument(
+        "--csv", type=str, default=None, help="ls: also write the rows to a CSV file"
+    )
+    cache.add_argument(
+        "--max-entries",
+        type=int,
+        default=None,
+        help="gc: keep at most this many results (least-recently-used evicted)",
+    )
+    cache.add_argument(
+        "--max-age-days",
+        type=float,
+        default=None,
+        help="gc: evict results not accessed within this many days",
+    )
+    cache.add_argument(
+        "--output",
+        type=str,
+        default=None,
+        help="export: write the JSON document array here (default: stdout)",
+    )
+
+    serve = subparsers.add_parser(
+        "serve", help="serve a result store over a JSON HTTP API"
+    )
+    serve.add_argument(
+        "--store", required=True, help="path to the SQLite result store"
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument("--port", type=int, default=8787, help="TCP port (0 = ephemeral)")
+    serve.add_argument(
+        "--verbose", action="store_true", help="log each request to stderr"
     )
 
     return parser
@@ -512,20 +583,29 @@ def _command_run(args: argparse.Namespace) -> int:
                 parallel=settings.parallel,
             )
         )
-    outcome = execute_scenario(scenario)
-    summary = outcome.summary()
+    store = ResultStore(args.store) if args.store else None
+    try:
+        summary, served_from_store = fetch_or_execute(scenario, store=store)
+    finally:
+        if store is not None:
+            store.close()
     print(
         f"scenario {scenario.name!r}: topology {scenario.topology!r}, "
         f"optimizer {scenario.optimizer!r}, "
         f"workload {scenario.workload!r}, mapping {scenario.mapping!r}, "
         f"{scenario.wavelength_count} wavelengths"
     )
+    if served_from_store:
+        print(
+            f"served from result store {args.store} "
+            f"(fingerprint {summary.fingerprint}); no optimizer executed"
+        )
     print(
         f"{summary.valid_solution_count} distinct valid allocations explored, "
         f"{summary.pareto_size} on the Pareto front "
         f"({', '.join(scenario.objectives)}) in {summary.runtime_seconds:.2f}s:"
     )
-    rows = outcome.pareto_rows()
+    rows = [dict(row) for row in summary.pareto_rows]
     print(format_table(rows))
     if summary.verified:
         print(divergence_report(summary))
@@ -548,7 +628,17 @@ def _command_study(args: argparse.Namespace) -> int:
             f"{result.pareto_size} on the front ({result.runtime_seconds:.2f}s)"
         )
 
-    result = study.run(parallel=args.parallel, progress=progress)
+    store = ResultStore(args.store) if args.store else None
+    try:
+        runner = (
+            study
+            if store is None
+            else Study(study.scenarios, name=study.name, store=store)
+        )
+        result = runner.run(parallel=args.parallel, progress=progress)
+    finally:
+        if store is not None:
+            store.close()
     print()
     print(result.report())
     if args.csv:
@@ -563,6 +653,101 @@ def _command_study(args: argparse.Namespace) -> int:
     return 0 if result.verification_passed else 1
 
 
+def _format_age(seconds: float) -> str:
+    if seconds < 120:
+        return f"{seconds:.0f}s"
+    if seconds < 7200:
+        return f"{seconds / 60:.0f}m"
+    if seconds < 172800:
+        return f"{seconds / 3600:.1f}h"
+    return f"{seconds / 86400:.1f}d"
+
+
+def _command_cache(args: argparse.Namespace) -> int:
+    with ResultStore(args.store) as store:
+        if args.action == "ls":
+            now = time.time()
+            rows = []
+            for row in store.rows():
+                rows.append(
+                    {
+                        "fingerprint": row["fingerprint"],
+                        "name": row["name"],
+                        "topology": row["topology"],
+                        "optimizer": row["optimizer"],
+                        "workload": row["workload"],
+                        "wavelengths": row["wavelength_count"],
+                        "pareto_size": row["pareto_size"],
+                        "runtime_s": round(row["runtime_seconds"], 3),
+                        "accesses": row["access_count"],
+                        "version": row["repro_version"],
+                        "age": _format_age(now - row["created_at"]),
+                    }
+                )
+            print(f"{len(rows)} result(s) in {args.store}:")
+            if rows:
+                print(format_table(rows))
+            _maybe_write_csv(args, rows)
+            return 0
+        if args.action == "stats":
+            stats = store.stats()
+            width = max(len(key) for key in stats)
+            for key, value in stats.items():
+                print(f"{key:<{width}} : {value}")
+            studies = store.studies()
+            for name, fingerprints in studies.items():
+                print(f"study {name!r}: {len(fingerprints)} scenario(s)")
+            return 0
+        if args.action == "gc":
+            if args.max_entries is None and args.max_age_days is None:
+                raise ReproError(
+                    "cache gc needs --max-entries and/or --max-age-days"
+                )
+            max_age = (
+                None if args.max_age_days is None else args.max_age_days * 86400.0
+            )
+            removed = store.gc(max_entries=args.max_entries, max_age_seconds=max_age)
+            print(f"evicted {removed} result(s); {len(store)} remaining")
+            return 0
+        # export
+        documents = store.export_documents()
+        text = json.dumps(documents, indent=2) + "\n"
+        if args.output:
+            path = Path(args.output)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(text)
+            print(f"exported {len(documents)} document(s) to {path}")
+        else:
+            print(text, end="")
+        return 0
+
+
+def _command_serve(args: argparse.Namespace) -> int:
+    store = ResultStore(args.store)
+    try:
+        server = create_server(
+            store, host=args.host, port=args.port, quiet=not args.verbose
+        )
+    except OSError as error:
+        store.close()
+        raise ReproError(
+            f"cannot bind {args.host}:{args.port}: {error}"
+        ) from None
+    host, port = server.server_address[:2]
+    print(
+        f"serving result store {args.store} ({len(store)} result(s)) "
+        f"at http://{host}:{port}/api/v1 — Ctrl-C to stop"
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
+        pass
+    finally:
+        server.server_close()
+        store.close()
+    return 0
+
+
 _COMMANDS = {
     "topologies": _command_topologies,
     "info": _command_info,
@@ -572,6 +757,8 @@ _COMMANDS = {
     "paper": _command_paper,
     "run": _command_run,
     "study": _command_study,
+    "cache": _command_cache,
+    "serve": _command_serve,
 }
 
 

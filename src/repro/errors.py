@@ -19,6 +19,7 @@ __all__ = [
     "SimulationError",
     "ExperimentError",
     "ScenarioError",
+    "StoreError",
 ]
 
 
@@ -64,3 +65,7 @@ class ExperimentError(ReproError):
 
 class ScenarioError(ExperimentError):
     """A declarative scenario/study description cannot be resolved or executed."""
+
+
+class StoreError(ReproError):
+    """A persistent result store is unreadable, corrupt or inconsistent."""

@@ -45,6 +45,7 @@ from .study import (
     StudyResult,
     build_scenario_evaluator,
     execute_scenario,
+    fetch_or_execute,
 )
 
 __all__ = [
@@ -64,6 +65,7 @@ __all__ = [
     "build_mapping",
     "build_scenario_evaluator",
     "execute_scenario",
+    "fetch_or_execute",
     "ScenarioOutcome",
     "ScenarioResult",
     "Study",

@@ -6,13 +6,17 @@ workload, mapping and optimizer names through the registries, builds the
 architecture and evaluator, executes the backend and wraps the outcome.
 
 :class:`Study` batches many scenarios: it deduplicates identical scenarios by
-fingerprint, caches their results across ``run`` calls, executes the remainder
-serially or through a :class:`~concurrent.futures.ProcessPoolExecutor`, and
-reports progress through a callback.  Because every scenario carries its own
-seed, serial and parallel execution produce identical
-:class:`ScenarioResult` summaries — the test-suite asserts this.
+fingerprint, caches their results in a pluggable
+:class:`~repro.store.backend.StoreBackend` (an in-process
+:class:`~repro.store.backend.MemoryStore` by default; pass a
+:class:`~repro.store.sqlite.ResultStore` to make studies durable and
+warm-startable across processes), executes the remainder serially or through
+a :class:`~concurrent.futures.ProcessPoolExecutor`, and reports progress
+through a callback.  Because every scenario carries its own seed, serial and
+parallel execution produce identical :class:`ScenarioResult` summaries — the
+test-suite asserts this.
 
-    study = Study([scenario_a, scenario_b, scenario_c])
+    study = Study([scenario_a, scenario_b, scenario_c], store=ResultStore("s.sqlite"))
     result = study.run(parallel=4, progress=lambda done, total, r: print(done, total))
     result.to_csv("study.csv")
     print(result.report())
@@ -21,8 +25,9 @@ seed, serial and parallel execution produce identical
 from __future__ import annotations
 
 import time
+from collections import Counter
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -34,6 +39,7 @@ from ..analysis.csvout import write_csv
 from ..analysis.plotting import format_table
 from ..errors import ScenarioError
 from ..simulation.verify import SimulationVerifier, VerificationReport
+from ..store.backend import MemoryStore, StoreBackend
 from ..topology.registry import build_topology
 from .backends import OptimizerParameters, build_mapping, build_workload, create_optimizer
 from .scenario import Scenario
@@ -43,9 +49,11 @@ __all__ = [
     "ScenarioOutcome",
     "ScenarioResult",
     "Study",
+    "StudyCache",
     "StudyResult",
     "build_scenario_evaluator",
     "execute_scenario",
+    "fetch_or_execute",
 ]
 
 #: Identifier embedded in every serialised study document.
@@ -90,7 +98,9 @@ def build_scenario_evaluator(scenario: Scenario) -> AllocationEvaluator:
     )
 
 
-def execute_scenario(scenario: Scenario) -> "ScenarioOutcome":
+def execute_scenario(
+    scenario: Scenario, store: Optional[StoreBackend] = None
+) -> "ScenarioOutcome":
     """Run one scenario end to end and return the full outcome.
 
     When the scenario's ``verification`` block enables simulation, every
@@ -98,6 +108,11 @@ def execute_scenario(scenario: Scenario) -> "ScenarioOutcome":
     discrete-event :class:`~repro.simulation.verify.SimulationVerifier`
     afterwards; the replay outcome travels with the result (and the replay
     time counts into ``runtime_seconds`` — it is part of the run).
+
+    ``execute_scenario`` always executes — it is the execution primitive.
+    When ``store`` is given the resulting summary is written through to it,
+    so later :func:`fetch_or_execute` / :class:`Study` calls can serve the
+    run from the store instead of repeating it.
     """
     evaluator = build_scenario_evaluator(scenario)
     backend = create_optimizer(scenario.optimizer)
@@ -118,12 +133,31 @@ def execute_scenario(scenario: Scenario) -> "ScenarioOutcome":
             result.pareto_solutions, parallel=settings.parallel
         )
     elapsed = time.perf_counter() - started
-    return ScenarioOutcome(
+    outcome = ScenarioOutcome(
         scenario=scenario,
         result=result,
         runtime_seconds=elapsed,
         verification=verification,
     )
+    if store is not None:
+        store.put(outcome.summary())
+    return outcome
+
+
+def fetch_or_execute(
+    scenario: Scenario, store: Optional[StoreBackend] = None
+) -> Tuple["ScenarioResult", bool]:
+    """Serve a scenario's summary from the store, executing only on a miss.
+
+    Returns ``(result, hit)``: ``hit`` is True when the result came out of
+    the store without running any optimizer backend.  With ``store=None``
+    this degenerates to a plain execution.
+    """
+    if store is not None:
+        cached = store.get(scenario.fingerprint())
+        if cached is not None:
+            return cached, True
+    return execute_scenario(scenario, store=store).summary(), False
 
 
 @dataclass
@@ -134,6 +168,9 @@ class ScenarioOutcome:
     result: ExplorationResult
     runtime_seconds: float
     verification: Optional[VerificationReport] = None
+    _summary: Optional["ScenarioResult"] = field(
+        default=None, repr=False, compare=False
+    )
 
     def pareto_rows(self) -> List[Dict[str, float]]:
         """Pareto front as flat dictionaries (CSV-ready).
@@ -152,7 +189,12 @@ class ScenarioOutcome:
         return rows
 
     def summary(self) -> "ScenarioResult":
-        """The picklable summary a :class:`Study` aggregates."""
+        """The picklable summary a :class:`Study` aggregates (computed once)."""
+        if self._summary is None:
+            self._summary = self._build_summary()
+        return self._summary
+
+    def _build_summary(self) -> "ScenarioResult":
         best_time, best_energy, best_ber = self.result.best_objective_values()
         verification = self.verification
         return ScenarioResult(
@@ -336,6 +378,67 @@ def _execute_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
     return execute_scenario(scenario).summary().to_dict()
 
 
+class StudyCache:
+    """Dict-like, live view of a study's store backend.
+
+    This preserves the historical ``Study.cache`` contract (a mutable
+    fingerprint-keyed mapping shared across ``run`` calls) on top of any
+    :class:`~repro.store.backend.StoreBackend`: lookups use the side-effect
+    free ``peek`` so inspecting the cache never skews hit/miss telemetry,
+    assignments write through to the store, and ``len``/``in`` map to the
+    backend's native (cheap) operations.  Entries cannot be deleted per key —
+    eviction is the store's ``gc()`` policy.
+    """
+
+    def __init__(self, store: StoreBackend) -> None:
+        self._store = store
+
+    def __getitem__(self, fingerprint: str) -> "ScenarioResult":
+        result = self._store.peek(fingerprint)
+        if result is None:
+            raise KeyError(fingerprint)
+        return result
+
+    def __setitem__(self, fingerprint: str, result: "ScenarioResult") -> None:
+        if fingerprint != result.fingerprint:
+            raise ScenarioError(
+                f"cache key {fingerprint!r} does not match the result's "
+                f"fingerprint {result.fingerprint!r}"
+            )
+        self._store.put(result)
+
+    def __contains__(self, fingerprint: object) -> bool:
+        return fingerprint in self._store
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def __iter__(self):
+        return iter(self._store.fingerprints())
+
+    def get(
+        self, fingerprint: str, default: Optional["ScenarioResult"] = None
+    ) -> Optional["ScenarioResult"]:
+        """The cached result, or ``default`` when absent."""
+        result = self._store.peek(fingerprint)
+        return default if result is None else result
+
+    def keys(self) -> List[str]:
+        """Every cached fingerprint."""
+        return self._store.fingerprints()
+
+    def items(self) -> List[Tuple[str, "ScenarioResult"]]:
+        """``(fingerprint, result)`` pairs."""
+        return list(self._store.items())
+
+    def values(self) -> List["ScenarioResult"]:
+        """Every cached result."""
+        return [result for _, result in self._store.items()]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"StudyCache({self._store.backend_name}, {len(self)} entries)"
+
+
 class Study:
     """A batch of scenarios executed together, serially or in parallel.
 
@@ -346,9 +449,20 @@ class Study:
         and their result is shared.
     name:
         Label used in reports and serialised documents.
+    store:
+        Result-store backend consulted before any scenario executes and
+        written through after each execution.  Defaults to a fresh in-process
+        :class:`~repro.store.backend.MemoryStore` (the historical dict-cache
+        behaviour); pass a :class:`~repro.store.sqlite.ResultStore` to make
+        the study resumable and warm-startable across processes.
     """
 
-    def __init__(self, scenarios: Sequence[Scenario], name: str = "study") -> None:
+    def __init__(
+        self,
+        scenarios: Sequence[Scenario],
+        name: str = "study",
+        store: Optional[StoreBackend] = None,
+    ) -> None:
         scenarios = list(scenarios)
         if not scenarios:
             raise ScenarioError("a study needs at least one scenario")
@@ -359,7 +473,7 @@ class Study:
                 )
         self._scenarios = scenarios
         self._name = name
-        self._cache: Dict[str, ScenarioResult] = {}
+        self._store: StoreBackend = MemoryStore() if store is None else store
 
     # ----------------------------------------------------------------- access
     @property
@@ -373,9 +487,19 @@ class Study:
         return list(self._scenarios)
 
     @property
-    def cache(self) -> Dict[str, ScenarioResult]:
-        """Fingerprint-keyed result cache (shared across ``run`` calls)."""
-        return self._cache
+    def store(self) -> StoreBackend:
+        """The result-store backend this study reads and writes."""
+        return self._store
+
+    @property
+    def cache(self) -> "StudyCache":
+        """Live fingerprint-keyed view of the backing store's results.
+
+        Reads and writes go straight through to the store, so pre-seeding
+        (``study.cache[fp] = result``) still short-circuits :meth:`run` and
+        ``len(study.cache)`` stays cheap even on SQLite backends.
+        """
+        return StudyCache(self._store)
 
     def __len__(self) -> int:
         return len(self._scenarios)
@@ -444,45 +568,65 @@ class Study:
         progress:
             Optional callback invoked live, as each scenario finishes, with
             ``(completed_count, total_count, result)``.  Scenarios served from
-            the cache (duplicates, earlier runs) are reported as finished too,
-            so the count always reaches the total.
+            the store (duplicates, earlier runs, warm starts) are reported as
+            finished too, so the count always reaches the total.
         """
         fingerprints = [scenario.fingerprint() for scenario in self._scenarios]
+        occurrences = Counter(fingerprints)
         total = len(fingerprints)
         completed = 0
+        session: Dict[str, ScenarioResult] = {}
 
         def notify(fingerprint: str) -> None:
             nonlocal completed
-            result = self._cache[fingerprint]
-            occurrences = sum(1 for other in fingerprints if other == fingerprint)
-            for _ in range(occurrences):
+            result = session[fingerprint]
+            for _ in range(occurrences[fingerprint]):
                 completed += 1
                 if progress is not None:
                     progress(completed, total, result)
 
         pending: Dict[str, Scenario] = {}
+        hits: List[str] = []
         for scenario, fingerprint in zip(self._scenarios, fingerprints):
-            if fingerprint not in self._cache and fingerprint not in pending:
+            if fingerprint in session or fingerprint in pending:
+                continue
+            cached = self._store.get(fingerprint)
+            if cached is None:
                 pending[fingerprint] = scenario
+            else:
+                session[fingerprint] = cached
+                hits.append(fingerprint)
         for fingerprint in dict.fromkeys(fingerprints):
-            if fingerprint not in pending:
+            if fingerprint in session:
                 notify(fingerprint)
 
         workers = 0 if parallel is None else int(parallel)
         if workers > 1 and pending:
-            self._run_parallel(pending, min(workers, len(pending)), notify)
+            self._run_parallel(pending, min(workers, len(pending)), session, notify)
         else:
             for fingerprint, scenario in pending.items():
-                self._cache[fingerprint] = execute_scenario(scenario).summary()
+                session[fingerprint] = execute_scenario(
+                    scenario, store=self._store
+                ).summary()
                 notify(fingerprint)
 
-        results = tuple(self._cache[fingerprint] for fingerprint in fingerprints)
-        return StudyResult(name=self._name, results=results)
+        self._store.record_study(self._name, list(dict.fromkeys(fingerprints)))
+        results = tuple(session[fingerprint] for fingerprint in fingerprints)
+        return StudyResult(
+            name=self._name,
+            results=results,
+            store_backend=self._store.backend_name,
+            store_path=self._store.location,
+            store_hits=len(hits),
+            store_misses=len(pending),
+            served_from_store=tuple(hits),
+        )
 
     def _run_parallel(
         self,
         pending: Dict[str, Scenario],
         workers: int,
+        session: Dict[str, "ScenarioResult"],
         notify: Callable[[str], None],
     ) -> None:
         payloads = {
@@ -498,7 +642,9 @@ class Study:
                 done, outstanding = wait(outstanding, return_when=FIRST_COMPLETED)
                 for future in done:
                     fingerprint = futures[future]
-                    self._cache[fingerprint] = ScenarioResult.from_dict(future.result())
+                    result = ScenarioResult.from_dict(future.result())
+                    self._store.put(result)
+                    session[fingerprint] = result
                     notify(fingerprint)
 
 
@@ -508,6 +654,16 @@ class StudyResult:
 
     name: str
     results: Tuple[ScenarioResult, ...]
+    #: Registry-style name of the store backend the run used ("memory", "sqlite").
+    store_backend: str = "memory"
+    #: Filesystem location of the store, or ``None`` for in-process backends.
+    store_path: Optional[str] = None
+    #: Unique scenarios served straight from the store (no backend executed).
+    store_hits: int = 0
+    #: Unique scenarios that had to execute (and were written to the store).
+    store_misses: int = 0
+    #: Fingerprints of the scenarios served from the store.
+    served_from_store: Tuple[str, ...] = ()
 
     def __len__(self) -> int:
         return len(self.results)
@@ -528,8 +684,18 @@ class StudyResult:
         raise ScenarioError(f"no scenario named {name!r} in study {self.name!r}")
 
     def rows(self) -> List[Dict[str, object]]:
-        """One summary row per scenario (CSV/report-ready)."""
-        return [result.summary_row() for result in self.results]
+        """One summary row per scenario (CSV/report-ready).
+
+        ``store_hit`` flags scenarios whose result was served from the result
+        store instead of executing an optimizer backend.
+        """
+        served = set(self.served_from_store)
+        rows = []
+        for result in self.results:
+            row = result.summary_row()
+            row["store_hit"] = result.fingerprint in served
+            rows.append(row)
+        return rows
 
     def pareto_rows(self) -> List[Dict[str, object]]:
         """Every Pareto solution of every scenario, tagged with its scenario name."""
@@ -577,6 +743,11 @@ class StudyResult:
             f"{self.total_runtime_seconds:.2f}s total runtime"
         )
         lines = [header, format_table(self.rows())]
+        location = "" if self.store_path is None else f" at {self.store_path}"
+        lines.append(
+            f"Result store: {self.store_backend}{location} — "
+            f"{self.store_hits} hit(s), {self.store_misses} miss(es)."
+        )
         verified = [result for result in self.results if result.verified]
         if verified:
             checked = sum(len(result.verification_rows) for result in verified)
@@ -597,4 +768,11 @@ class StudyResult:
         return {
             "name": self.name,
             "results": [result.to_dict() for result in self.results],
+            "store": {
+                "backend": self.store_backend,
+                "path": self.store_path,
+                "hits": self.store_hits,
+                "misses": self.store_misses,
+                "served_from_store": list(self.served_from_store),
+            },
         }

@@ -1,0 +1,66 @@
+"""Persistent result store and study service.
+
+This subpackage turns the in-process study cache into a long-lived service
+layer:
+
+* :mod:`~repro.store.backend` — the :class:`StoreBackend` protocol and the
+  in-memory reference backend (:class:`MemoryStore`, the
+  :class:`~repro.scenarios.study.Study` default).
+* :mod:`~repro.store.sqlite` — :class:`ResultStore`, the content-addressed,
+  SQLite/WAL-backed durable backend with schema versioning, upserts, stats
+  and LRU/max-age garbage collection.
+* :mod:`~repro.store.server` — a stdlib :mod:`http.server` JSON API that
+  serves cached Pareto fronts and verification reports by fingerprint
+  (``repro serve``).
+
+Quickstart::
+
+    from repro import ResultStore, Study
+
+    store = ResultStore("results.sqlite")
+    Study(scenarios, store=store).run()      # cold: executes + persists
+    Study(scenarios, store=store).run()      # warm: zero optimizer runs
+"""
+
+from typing import Any
+
+from ..errors import StoreError
+from .backend import MemoryStore, StoreBackend
+
+# The SQLite store and the HTTP server persist/serve ScenarioResult documents,
+# so their modules import repro.scenarios.study — which itself imports the
+# backend above for its default store.  Resolving them lazily (PEP 562) keeps
+# `from repro.store import ResultStore` working without an import cycle.
+_LAZY = {
+    "ResultStore": ("repro.store.sqlite", "ResultStore"),
+    "STORE_SCHEMA": ("repro.store.sqlite", "STORE_SCHEMA"),
+    "StoreHTTPServer": ("repro.store.server", "StoreHTTPServer"),
+    "create_server": ("repro.store.server", "create_server"),
+    "serve": ("repro.store.server", "serve"),
+}
+
+
+def __getattr__(name: str) -> Any:
+    try:
+        module_name, attribute = _LAZY[name]
+    except KeyError:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}") from None
+    import importlib
+
+    return getattr(importlib.import_module(module_name), attribute)
+
+
+def __dir__() -> list:
+    return sorted(set(globals()) | set(_LAZY))
+
+
+__all__ = [
+    "MemoryStore",
+    "ResultStore",
+    "STORE_SCHEMA",
+    "StoreBackend",
+    "StoreError",
+    "StoreHTTPServer",
+    "create_server",
+    "serve",
+]

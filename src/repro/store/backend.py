@@ -1,0 +1,209 @@
+"""Result-store backend protocol and the in-memory reference backend.
+
+A store backend is a fingerprint-keyed mapping of
+:class:`~repro.scenarios.study.ScenarioResult` documents.  The fingerprint is
+the content address: :meth:`~repro.scenarios.scenario.Scenario.fingerprint`
+hashes the canonical scenario document, so two entries with the same key are
+guaranteed to describe the same run and a cached result can be served without
+re-executing the optimizer.
+
+:class:`MemoryStore` is the in-process reference implementation — it is what
+a :class:`~repro.scenarios.study.Study` uses when no explicit store is given,
+and it preserves the historical behaviour of the study's plain dict cache
+(results are shared by object identity across ``run`` calls).  The SQLite
+implementation in :mod:`repro.store.sqlite` adds durability and cross-process
+sharing behind the same protocol.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import TYPE_CHECKING, Any, Dict, Iterator, List, Optional, Protocol, Sequence, Tuple, runtime_checkable
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (study imports us)
+    from ..scenarios.study import ScenarioResult
+
+__all__ = ["MemoryStore", "StoreBackend"]
+
+
+@runtime_checkable
+class StoreBackend(Protocol):
+    """What a :class:`~repro.scenarios.study.Study` needs from a result store.
+
+    Implementations are fingerprint-keyed document stores with hit/miss/evict
+    accounting.  ``get`` counts a hit or a miss; ``peek`` is the side-effect
+    free read used for listings.
+    """
+
+    #: Short registry-style name of the backend ("memory", "sqlite" ...).
+    backend_name: str
+
+    @property
+    def location(self) -> Optional[str]:
+        """Where the store lives (a filesystem path), or ``None`` if in-process."""
+
+    def get(self, fingerprint: str) -> Optional["ScenarioResult"]:
+        """The stored result for ``fingerprint`` (counts a hit or a miss)."""
+
+    def peek(self, fingerprint: str) -> Optional["ScenarioResult"]:
+        """Like :meth:`get` but without touching the hit/miss/recency stats."""
+
+    def touch(self, fingerprint: str) -> None:
+        """Mark an entry as used (hit + recency) without reading or policy.
+
+        The HTTP service pairs this with :meth:`peek`: archived entries are
+        served regardless of :meth:`get`'s freshness policy, yet still count
+        as usage so LRU gc never evicts what is actively being answered.
+        """
+
+    def put(self, result: "ScenarioResult") -> None:
+        """Insert or replace the document stored under ``result.fingerprint``."""
+
+    def fingerprints(self) -> List[str]:
+        """Every stored fingerprint, oldest entry first."""
+
+    def items(self) -> Iterator[Tuple[str, "ScenarioResult"]]:
+        """``(fingerprint, result)`` pairs, oldest entry first."""
+
+    def record_study(self, name: str, fingerprints: Sequence[str]) -> None:
+        """Associate a study name with the fingerprints it resolved."""
+
+    def studies(self) -> Dict[str, List[str]]:
+        """Study name -> fingerprints, for every recorded study."""
+
+    def gc(
+        self,
+        max_entries: Optional[int] = None,
+        max_age_seconds: Optional[float] = None,
+    ) -> int:
+        """Evict least-recently-used / expired entries; returns the count removed."""
+
+    def stats(self) -> Dict[str, Any]:
+        """Backend name, location, entry count and hit/miss/eviction counters."""
+
+    def close(self) -> None:
+        """Release any resource the backend holds (idempotent)."""
+
+    def __len__(self) -> int: ...
+
+    def __contains__(self, fingerprint: object) -> bool: ...
+
+
+class MemoryStore:
+    """In-process, dict-backed store — the default :class:`Study` backend.
+
+    Entries are held by reference (no serialisation round-trip), so repeated
+    ``get`` calls return the identical object.  Recency is tracked per entry
+    so :meth:`gc` can evict least-recently-used results when a cap is given.
+    """
+
+    backend_name = "memory"
+
+    def __init__(self) -> None:
+        self._results: Dict[str, "ScenarioResult"] = {}
+        self._accessed_at: Dict[str, float] = {}
+        self._created_at: Dict[str, float] = {}
+        self._study_index: Dict[str, List[str]] = {}
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    @property
+    def location(self) -> Optional[str]:
+        return None
+
+    # ---------------------------------------------------------------- documents
+    def get(self, fingerprint: str) -> Optional["ScenarioResult"]:
+        result = self._results.get(fingerprint)
+        if result is None:
+            self._misses += 1
+            return None
+        self._hits += 1
+        self._accessed_at[fingerprint] = time.time()
+        return result
+
+    def peek(self, fingerprint: str) -> Optional["ScenarioResult"]:
+        return self._results.get(fingerprint)
+
+    def touch(self, fingerprint: str) -> None:
+        if fingerprint in self._results:
+            self._hits += 1
+            self._accessed_at[fingerprint] = time.time()
+
+    def put(self, result: "ScenarioResult") -> None:
+        now = time.time()
+        fingerprint = result.fingerprint
+        self._results[fingerprint] = result
+        self._created_at.setdefault(fingerprint, now)
+        self._accessed_at[fingerprint] = now
+
+    def fingerprints(self) -> List[str]:
+        return list(self._results)
+
+    def items(self) -> Iterator[Tuple[str, "ScenarioResult"]]:
+        return iter(list(self._results.items()))
+
+    # ------------------------------------------------------------------ studies
+    def record_study(self, name: str, fingerprints: Sequence[str]) -> None:
+        recorded = self._study_index.setdefault(name, [])
+        for fingerprint in fingerprints:
+            if fingerprint not in recorded:
+                recorded.append(fingerprint)
+
+    def studies(self) -> Dict[str, List[str]]:
+        return {
+            name: list(fingerprints)
+            for name, fingerprints in self._study_index.items()
+        }
+
+    # -------------------------------------------------------------- maintenance
+    def gc(
+        self,
+        max_entries: Optional[int] = None,
+        max_age_seconds: Optional[float] = None,
+    ) -> int:
+        victims: List[str] = []
+        if max_age_seconds is not None:
+            cutoff = time.time() - max_age_seconds
+            victims.extend(
+                fingerprint
+                for fingerprint, accessed in self._accessed_at.items()
+                if accessed < cutoff
+            )
+        if max_entries is not None and len(self._results) - len(set(victims)) > max_entries:
+            by_recency = sorted(
+                (f for f in self._results if f not in set(victims)),
+                key=lambda f: self._accessed_at.get(f, 0.0),
+            )
+            excess = len(self._results) - len(set(victims)) - max_entries
+            victims.extend(by_recency[:excess])
+        removed = 0
+        for fingerprint in dict.fromkeys(victims):
+            if fingerprint in self._results:
+                del self._results[fingerprint]
+                self._accessed_at.pop(fingerprint, None)
+                self._created_at.pop(fingerprint, None)
+                removed += 1
+        self._evictions += removed
+        return removed
+
+    def stats(self) -> Dict[str, Any]:
+        return {
+            "backend": self.backend_name,
+            "path": self.location,
+            "entries": len(self._results),
+            "studies": len(self._study_index),
+            "hits": self._hits,
+            "misses": self._misses,
+            "evictions": self._evictions,
+        }
+
+    def close(self) -> None:
+        """Nothing to release; kept for protocol symmetry."""
+
+    # ------------------------------------------------------------------- dunder
+    def __len__(self) -> int:
+        return len(self._results)
+
+    def __contains__(self, fingerprint: object) -> bool:
+        return fingerprint in self._results

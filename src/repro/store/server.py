@@ -1,0 +1,256 @@
+"""Stdlib HTTP JSON API over a result store (``repro serve``).
+
+The service is read-mostly: it serves cached Pareto fronts, verification
+reports and study listings straight out of a
+:class:`~repro.store.backend.StoreBackend` without ever re-running an
+optimizer.  The one write-shaped endpoint, ``POST /api/v1/scenarios``, only
+*fingerprints* the submitted scenario document — clients learn the content
+address (and whether a result is already cached) and then fetch it by
+fingerprint.
+
+Endpoints (all JSON):
+
+====================================  =========================================
+``GET  /``                            service banner + endpoint list
+``GET  /api/v1/health``               liveness probe with entry count
+``GET  /api/v1/stats``                backend stats (hits, misses, size ...)
+``GET  /api/v1/results``              metadata row per stored result
+``GET  /api/v1/results/<fp>``         the full ScenarioResult document
+``GET  /api/v1/results/<fp>/pareto``  just that result's Pareto front rows
+``GET  /api/v1/results/<fp>/verification``  replay rows + divergence summary
+``GET  /api/v1/studies``              recorded study name -> fingerprints
+``GET  /api/v1/studies/<name>``       summary rows of one recorded study
+``POST /api/v1/scenarios``            scenario document -> fingerprint + cached?
+====================================  =========================================
+
+Built on :class:`http.server.ThreadingHTTPServer`, so it has no dependencies
+beyond the standard library; the store's internal lock makes the concurrent
+handler threads safe.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, List, Optional, Tuple
+from urllib.parse import urlsplit
+
+from ..errors import ScenarioError, StoreError
+from ..scenarios.scenario import Scenario
+from ..scenarios.study import ScenarioResult
+from .backend import StoreBackend
+
+__all__ = ["StoreHTTPServer", "create_server", "serve"]
+
+#: URL prefix of every API route.
+API_PREFIX = "/api/v1"
+
+_ENDPOINTS = [
+    "GET  /api/v1/health",
+    "GET  /api/v1/stats",
+    "GET  /api/v1/results",
+    "GET  /api/v1/results/<fingerprint>",
+    "GET  /api/v1/results/<fingerprint>/pareto",
+    "GET  /api/v1/results/<fingerprint>/verification",
+    "GET  /api/v1/studies",
+    "GET  /api/v1/studies/<name>",
+    "POST /api/v1/scenarios",
+]
+
+
+class StoreHTTPServer(ThreadingHTTPServer):
+    """A threading HTTP server bound to one result store."""
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        address: Tuple[str, int],
+        store: StoreBackend,
+        quiet: bool = True,
+    ) -> None:
+        self.store = store
+        self.quiet = quiet
+        super().__init__(address, _StoreRequestHandler)
+
+
+class _StoreRequestHandler(BaseHTTPRequestHandler):
+    server_version = "repro-store/1"
+    server: StoreHTTPServer
+
+    # ------------------------------------------------------------------ plumbing
+    def log_message(self, format: str, *args: Any) -> None:
+        if not self.server.quiet:  # pragma: no cover - exercised manually
+            super().log_message(format, *args)
+
+    def _send_json(self, payload: Any, status: int = 200) -> None:
+        body = json.dumps(payload, indent=2).encode("utf-8") + b"\n"
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json; charset=utf-8")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_json(self, status: int, message: str) -> None:
+        self._send_json({"error": message, "status": status}, status=status)
+
+    def _segments(self) -> List[str]:
+        path = urlsplit(self.path).path
+        return [segment for segment in path.split("/") if segment]
+
+    def _result_or_404(self, fingerprint: str) -> Optional[ScenarioResult]:
+        # peek + touch, not get(): the service is an archive, so it answers
+        # rows regardless of get()'s version freshness policy — while still
+        # counting the usage (hits + recency) so LRU gc never evicts what is
+        # actively being served.
+        result = self.server.store.peek(fingerprint)
+        if result is None:
+            self._send_error_json(
+                404, f"no result stored under fingerprint {fingerprint!r}"
+            )
+            return None
+        self.server.store.touch(fingerprint)
+        return result
+
+    # -------------------------------------------------------------------- routes
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        try:
+            self._route_get()
+        except StoreError as error:
+            self._send_error_json(500, str(error))
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        try:
+            self._route_post()
+        except StoreError as error:
+            self._send_error_json(500, str(error))
+
+    def _route_get(self) -> None:
+        store = self.server.store
+        segments = self._segments()
+        if not segments:
+            self._send_json(
+                {
+                    "service": "repro result store",
+                    "backend": store.backend_name,
+                    "path": store.location,
+                    "endpoints": _ENDPOINTS,
+                }
+            )
+            return
+        if segments[:2] != ["api", "v1"]:
+            self._send_error_json(404, f"unknown path {self.path!r}")
+            return
+        route = segments[2:]
+        if route == ["health"]:
+            self._send_json(
+                {"status": "ok", "backend": store.backend_name, "entries": len(store)}
+            )
+        elif route == ["stats"]:
+            self._send_json(store.stats())
+        elif route == ["results"]:
+            self._send_json({"results": _result_rows(store)})
+        elif len(route) == 2 and route[0] == "results":
+            result = self._result_or_404(route[1])
+            if result is not None:
+                self._send_json(result.to_dict())
+        elif len(route) == 3 and route[0] == "results" and route[2] == "pareto":
+            result = self._result_or_404(route[1])
+            if result is not None:
+                self._send_json(
+                    {
+                        "fingerprint": result.fingerprint,
+                        "name": result.name,
+                        "objective_keys": list(result.objective_keys),
+                        "pareto_rows": [dict(row) for row in result.pareto_rows],
+                    }
+                )
+        elif len(route) == 3 and route[0] == "results" and route[2] == "verification":
+            result = self._result_or_404(route[1])
+            if result is not None:
+                self._send_json(
+                    {
+                        "fingerprint": result.fingerprint,
+                        "verified": result.verified,
+                        "sim_conflicts": result.sim_conflicts,
+                        "sim_divergences": result.sim_divergences,
+                        "sim_max_divergence_kcycles": result.sim_max_divergence_kcycles,
+                        "verification_rows": [
+                            dict(row) for row in result.verification_rows
+                        ],
+                    }
+                )
+        elif route == ["studies"]:
+            self._send_json({"studies": store.studies()})
+        elif len(route) == 2 and route[0] == "studies":
+            studies = store.studies()
+            if route[1] not in studies:
+                self._send_error_json(404, f"no study recorded as {route[1]!r}")
+                return
+            fingerprints = studies[route[1]]
+            rows = []
+            for fingerprint in fingerprints:
+                result = store.peek(fingerprint)
+                if result is not None:
+                    rows.append(result.summary_row())
+            self._send_json(
+                {"study": route[1], "fingerprints": fingerprints, "results": rows}
+            )
+        else:
+            self._send_error_json(404, f"unknown path {self.path!r}")
+
+    def _route_post(self) -> None:
+        if self._segments() != ["api", "v1", "scenarios"]:
+            self._send_error_json(404, f"unknown path {self.path!r}")
+            return
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+        except ValueError:
+            length = 0
+        body = self.rfile.read(length) if length else b""
+        try:
+            payload = json.loads(body.decode("utf-8") or "null")
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            self._send_error_json(400, f"request body is not valid JSON: {error}")
+            return
+        try:
+            scenario = Scenario.from_dict(payload)
+        except ScenarioError as error:
+            self._send_error_json(400, f"invalid scenario document: {error}")
+            return
+        fingerprint = scenario.fingerprint()
+        cached = fingerprint in self.server.store
+        self._send_json(
+            {
+                "fingerprint": fingerprint,
+                "cached": cached,
+                "result_url": f"{API_PREFIX}/results/{fingerprint}",
+                "pareto_url": f"{API_PREFIX}/results/{fingerprint}/pareto",
+            }
+        )
+
+
+def _result_rows(store: StoreBackend) -> List[Dict[str, Any]]:
+    """Metadata listing rows; uses the SQLite fast path when available."""
+    rows = getattr(store, "rows", None)
+    if callable(rows):
+        return rows()
+    return [
+        {"fingerprint": fingerprint, **result.summary_row()}
+        for fingerprint, result in store.items()
+    ]
+
+
+def create_server(
+    store: StoreBackend, host: str = "127.0.0.1", port: int = 0, quiet: bool = True
+) -> StoreHTTPServer:
+    """Bind (but do not start) a store server; ``port=0`` picks a free port."""
+    return StoreHTTPServer((host, port), store, quiet=quiet)
+
+
+def serve(
+    store: StoreBackend, host: str = "127.0.0.1", port: int = 8787, quiet: bool = True
+) -> None:
+    """Serve the store until interrupted (the ``repro serve`` loop)."""
+    with create_server(store, host, port, quiet=quiet) as server:
+        server.serve_forever()

@@ -1,0 +1,457 @@
+"""SQLite-backed, content-addressed persistent result store.
+
+:class:`ResultStore` persists full
+:class:`~repro.scenarios.study.ScenarioResult` documents keyed by the scenario
+fingerprint (the content address — the SHA-256 digest of the canonical
+scenario document).  It is the durable
+:class:`~repro.store.backend.StoreBackend` implementation:
+
+* **Durability & sharing** — the database runs in WAL journal mode with a
+  busy timeout, and every write is an upsert-by-fingerprint, so parallel
+  :class:`~repro.scenarios.study.Study` workers and multiple processes can
+  point at the same file without clobbering each other.
+* **Schema versioning** — the ``store_meta`` table pins :data:`STORE_SCHEMA`;
+  opening a corrupt file or one written by a different schema raises a clear
+  :class:`~repro.errors.StoreError` instead of silently misreading documents.
+* **Integrity** — ``put`` re-derives the fingerprint from the embedded
+  scenario document and refuses mismatches; ``get`` validates that the stored
+  document still carries the requested fingerprint.
+* **Stats & GC** — per-instance hit/miss/eviction counters plus an LRU /
+  max-age eviction policy (:meth:`gc`) keep long-lived stores bounded.
+
+The store is thread-safe (one connection guarded by a lock — the threading
+HTTP server in :mod:`repro.store.server` shares a single instance) and may be
+used as a context manager.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import threading
+import time
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..errors import StoreError
+from ..scenarios.scenario import Scenario
+from ..scenarios.study import ScenarioResult
+
+__all__ = ["STORE_SCHEMA", "ResultStore"]
+
+#: Identifier pinned in every store database; bump on incompatible layouts.
+STORE_SCHEMA = "repro.store/1"
+
+def _current_version() -> str:
+    """The installed library version (imported lazily: the package root is
+    still initialising when this module loads through the lazy store API)."""
+    from .. import __version__
+
+    return __version__
+
+
+_TABLES = """
+CREATE TABLE IF NOT EXISTS store_meta (
+    key   TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS results (
+    fingerprint      TEXT PRIMARY KEY,
+    name             TEXT NOT NULL,
+    optimizer        TEXT NOT NULL,
+    workload         TEXT NOT NULL,
+    mapping          TEXT NOT NULL,
+    topology         TEXT NOT NULL,
+    wavelength_count INTEGER NOT NULL,
+    pareto_size      INTEGER NOT NULL,
+    runtime_seconds  REAL NOT NULL,
+    document         TEXT NOT NULL,
+    repro_version    TEXT NOT NULL,
+    created_at       REAL NOT NULL,
+    accessed_at      REAL NOT NULL,
+    access_count     INTEGER NOT NULL DEFAULT 0
+);
+CREATE TABLE IF NOT EXISTS studies (
+    study       TEXT NOT NULL,
+    fingerprint TEXT NOT NULL,
+    recorded_at REAL NOT NULL,
+    PRIMARY KEY (study, fingerprint)
+);
+"""
+
+
+class ResultStore:
+    """Content-addressed SQLite store of scenario results (see module docs)."""
+
+    backend_name = "sqlite"
+
+    def __init__(self, path: str | Path, timeout: float = 30.0) -> None:
+        self._path = Path(path)
+        self._lock = threading.RLock()
+        self._path.parent.mkdir(parents=True, exist_ok=True)
+        try:
+            self._connection = sqlite3.connect(
+                str(self._path), timeout=timeout, check_same_thread=False
+            )
+        except sqlite3.Error as error:  # pragma: no cover - connect rarely fails
+            raise StoreError(f"cannot open result store {self._path}: {error}") from None
+        self._connection.row_factory = sqlite3.Row
+        try:
+            self._initialise(timeout)
+        except sqlite3.Error as error:
+            self._connection.close()
+            raise StoreError(
+                f"result store {self._path} is not a readable SQLite database: {error}"
+            ) from None
+        except StoreError:
+            self._connection.close()
+            raise
+
+    def _initialise(self, timeout: float) -> None:
+        with self._lock, self._connection:
+            self._connection.execute("PRAGMA journal_mode=WAL")
+            self._connection.execute(f"PRAGMA busy_timeout={int(timeout * 1000)}")
+            existing = {
+                row[0]
+                for row in self._connection.execute(
+                    "SELECT name FROM sqlite_master WHERE type='table'"
+                )
+            }
+            if existing and "store_meta" not in existing:
+                raise StoreError(
+                    f"result store {self._path} predates schema tracking "
+                    f"(no store_meta table); rebuild it with {STORE_SCHEMA!r}"
+                )
+            self._connection.executescript(_TABLES)
+            # INSERT OR IGNORE so two processes racing to initialise a fresh
+            # database both succeed; the re-read below validates whatever won.
+            self._connection.execute(
+                "INSERT OR IGNORE INTO store_meta (key, value) VALUES ('schema', ?)",
+                (STORE_SCHEMA,),
+            )
+            self._connection.execute(
+                "INSERT OR IGNORE INTO store_meta (key, value) VALUES "
+                "('created_at', ?)",
+                (repr(time.time()),),
+            )
+            # Hit/miss/eviction counters live in the database, not the
+            # connection, so `repro cache stats` sees usage from every process.
+            for counter in ("hits", "misses", "evictions"):
+                self._connection.execute(
+                    "INSERT OR IGNORE INTO store_meta (key, value) VALUES (?, '0')",
+                    (counter,),
+                )
+            row = self._connection.execute(
+                "SELECT value FROM store_meta WHERE key='schema'"
+            ).fetchone()
+            if row[0] != STORE_SCHEMA:
+                raise StoreError(
+                    f"result store {self._path} uses schema {row[0]!r}; "
+                    f"this build reads {STORE_SCHEMA!r} — run its matching "
+                    f"version or export/re-import the documents"
+                )
+
+    # -------------------------------------------------------------------- meta
+    @property
+    def path(self) -> Path:
+        """Filesystem location of the database."""
+        return self._path
+
+    @property
+    def location(self) -> Optional[str]:
+        return str(self._path)
+
+    @property
+    def schema(self) -> str:
+        """The schema identifier this store was opened with."""
+        return STORE_SCHEMA
+
+    # ---------------------------------------------------------------- documents
+    def get(self, fingerprint: str) -> Optional[ScenarioResult]:
+        """The stored result for ``fingerprint``; bumps the recency columns.
+
+        A result produced by a *different* library version is a miss: the
+        scenario fingerprint addresses the description, not the code that
+        evaluated it, so warm-starting across versions would silently serve
+        stale fronts.  (:meth:`peek` — listings and the HTTP archive service —
+        still returns such rows; :meth:`rows` exposes ``repro_version``.)
+        """
+        with self._lock:
+            row = self._execute(
+                "SELECT document, repro_version FROM results WHERE fingerprint = ?",
+                (fingerprint,),
+            ).fetchone()
+            with self._connection:
+                if row is None or row["repro_version"] != _current_version():
+                    self._bump_counter("misses", 1)
+                    return None
+                self._bump_counter("hits", 1)
+                self._execute(
+                    "UPDATE results SET accessed_at = ?, access_count = access_count + 1 "
+                    "WHERE fingerprint = ?",
+                    (time.time(), fingerprint),
+                )
+        return self._decode(fingerprint, row["document"])
+
+    def peek(self, fingerprint: str) -> Optional[ScenarioResult]:
+        """Like :meth:`get` but without stats, recency or the version policy."""
+        with self._lock:
+            row = self._execute(
+                "SELECT document FROM results WHERE fingerprint = ?", (fingerprint,)
+            ).fetchone()
+        if row is None:
+            return None
+        return self._decode(fingerprint, row["document"])
+
+    def touch(self, fingerprint: str) -> None:
+        """Record usage of an entry (hit counter + recency), policy-free."""
+        with self._lock, self._connection:
+            cursor = self._execute(
+                "UPDATE results SET accessed_at = ?, access_count = access_count + 1 "
+                "WHERE fingerprint = ?",
+                (time.time(), fingerprint),
+            )
+            if cursor.rowcount:
+                self._bump_counter("hits", 1)
+
+    def put(self, result: ScenarioResult) -> None:
+        """Insert or replace (upsert) the document under its content address."""
+        if not isinstance(result, ScenarioResult):
+            raise StoreError(
+                f"a result store holds ScenarioResult documents, got "
+                f"{type(result).__name__}"
+            )
+        derived = Scenario.from_dict(result.scenario).fingerprint()
+        if derived != result.fingerprint:
+            raise StoreError(
+                f"result fingerprint {result.fingerprint!r} does not match its "
+                f"scenario document (content address {derived!r}); refusing to "
+                f"store an inconsistent result"
+            )
+        # Key order is preserved (no sort_keys): pareto/verification row dicts
+        # define the column order of every downstream table and CSV.
+        document = json.dumps(result.to_dict())
+        now = time.time()
+        with self._lock, self._connection:
+            self._execute(
+                """
+                INSERT INTO results (
+                    fingerprint, name, optimizer, workload, mapping, topology,
+                    wavelength_count, pareto_size, runtime_seconds, document,
+                    repro_version, created_at, accessed_at, access_count
+                ) VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, 0)
+                ON CONFLICT(fingerprint) DO UPDATE SET
+                    name = excluded.name,
+                    optimizer = excluded.optimizer,
+                    workload = excluded.workload,
+                    mapping = excluded.mapping,
+                    topology = excluded.topology,
+                    wavelength_count = excluded.wavelength_count,
+                    pareto_size = excluded.pareto_size,
+                    runtime_seconds = excluded.runtime_seconds,
+                    document = excluded.document,
+                    repro_version = excluded.repro_version,
+                    accessed_at = excluded.accessed_at
+                """,
+                (
+                    result.fingerprint,
+                    result.name,
+                    result.optimizer,
+                    result.workload,
+                    result.mapping,
+                    result.topology,
+                    result.wavelength_count,
+                    result.pareto_size,
+                    result.runtime_seconds,
+                    document,
+                    _current_version(),
+                    now,
+                    now,
+                ),
+            )
+
+    def _decode(self, fingerprint: str, document: str) -> ScenarioResult:
+        try:
+            payload = json.loads(document)
+        except json.JSONDecodeError as error:
+            raise StoreError(
+                f"stored document for {fingerprint!r} is not valid JSON: {error}"
+            ) from None
+        try:
+            result = ScenarioResult.from_dict(payload)
+        except (KeyError, TypeError, ValueError) as error:
+            raise StoreError(
+                f"stored document for {fingerprint!r} does not decode to a "
+                f"ScenarioResult: {error}"
+            ) from None
+        if result.fingerprint != fingerprint:
+            raise StoreError(
+                f"stored document under {fingerprint!r} carries fingerprint "
+                f"{result.fingerprint!r}; the store row is corrupt"
+            )
+        return result
+
+    def fingerprints(self) -> List[str]:
+        with self._lock:
+            rows = self._execute(
+                "SELECT fingerprint FROM results ORDER BY created_at, fingerprint"
+            ).fetchall()
+        return [row["fingerprint"] for row in rows]
+
+    def items(self) -> Iterator[Tuple[str, ScenarioResult]]:
+        with self._lock:
+            rows = self._execute(
+                "SELECT fingerprint, document FROM results "
+                "ORDER BY created_at, fingerprint"
+            ).fetchall()
+        for row in rows:
+            yield row["fingerprint"], self._decode(row["fingerprint"], row["document"])
+
+    def rows(self) -> List[Dict[str, Any]]:
+        """One flat metadata row per stored result (for listings and CSV)."""
+        with self._lock:
+            rows = self._execute(
+                """
+                SELECT fingerprint, name, optimizer, workload, mapping, topology,
+                       wavelength_count, pareto_size, runtime_seconds,
+                       repro_version, created_at, accessed_at, access_count
+                FROM results ORDER BY created_at, fingerprint
+                """
+            ).fetchall()
+        return [dict(row) for row in rows]
+
+    # ------------------------------------------------------------------ studies
+    def record_study(self, name: str, fingerprints: Sequence[str]) -> None:
+        now = time.time()
+        with self._lock, self._connection:
+            for fingerprint in fingerprints:
+                self._execute(
+                    "INSERT OR IGNORE INTO studies (study, fingerprint, recorded_at) "
+                    "VALUES (?, ?, ?)",
+                    (name, fingerprint, now),
+                )
+
+    def studies(self) -> Dict[str, List[str]]:
+        with self._lock:
+            rows = self._execute(
+                "SELECT study, fingerprint FROM studies "
+                "ORDER BY recorded_at, study, fingerprint"
+            ).fetchall()
+        index: Dict[str, List[str]] = {}
+        for row in rows:
+            index.setdefault(row["study"], []).append(row["fingerprint"])
+        return index
+
+    # -------------------------------------------------------------- maintenance
+    def gc(
+        self,
+        max_entries: Optional[int] = None,
+        max_age_seconds: Optional[float] = None,
+    ) -> int:
+        """Evict expired and least-recently-used entries; returns rows removed."""
+        removed = 0
+        with self._lock, self._connection:
+            if max_age_seconds is not None:
+                cutoff = time.time() - max_age_seconds
+                cursor = self._execute(
+                    "DELETE FROM results WHERE accessed_at < ?", (cutoff,)
+                )
+                removed += cursor.rowcount
+            if max_entries is not None:
+                cursor = self._execute(
+                    """
+                    DELETE FROM results WHERE fingerprint IN (
+                        SELECT fingerprint FROM results
+                        ORDER BY accessed_at DESC, created_at DESC, fingerprint
+                        LIMIT -1 OFFSET ?
+                    )
+                    """,
+                    (max(0, max_entries),),
+                )
+                removed += cursor.rowcount
+            self._execute(
+                "DELETE FROM studies WHERE fingerprint NOT IN "
+                "(SELECT fingerprint FROM results)"
+            )
+            self._bump_counter("evictions", removed)
+        return removed
+
+    def stats(self) -> Dict[str, Any]:
+        with self._lock:
+            entries = self._execute("SELECT COUNT(*) FROM results").fetchone()[0]
+            studies = self._execute(
+                "SELECT COUNT(DISTINCT study) FROM studies"
+            ).fetchone()[0]
+            accesses = self._execute(
+                "SELECT COALESCE(SUM(access_count), 0) FROM results"
+            ).fetchone()[0]
+            counters = {
+                key: self._read_counter(key)
+                for key in ("hits", "misses", "evictions")
+            }
+        try:
+            size_bytes = self._path.stat().st_size
+        except OSError:  # pragma: no cover - racing deletion
+            size_bytes = 0
+        return {
+            "backend": self.backend_name,
+            "path": str(self._path),
+            "schema": STORE_SCHEMA,
+            "entries": entries,
+            "studies": studies,
+            "size_bytes": size_bytes,
+            "hits": counters["hits"],
+            "misses": counters["misses"],
+            "evictions": counters["evictions"],
+            "total_accesses": accesses,
+        }
+
+    def export_documents(self) -> List[Dict[str, Any]]:
+        """Every stored document, decoded (for ``repro cache export``)."""
+        return [result.to_dict() for _, result in self.items()]
+
+    def close(self) -> None:
+        with self._lock:
+            self._connection.close()
+
+    # ------------------------------------------------------------------- dunder
+    def _bump_counter(self, key: str, delta: int) -> None:
+        """Add ``delta`` to a persistent store_meta counter (caller holds lock)."""
+        self._execute(
+            "UPDATE store_meta SET value = CAST(value AS INTEGER) + ? WHERE key = ?",
+            (delta, key),
+        )
+
+    def _read_counter(self, key: str) -> int:
+        row = self._execute(
+            "SELECT value FROM store_meta WHERE key = ?", (key,)
+        ).fetchone()
+        return 0 if row is None else int(row[0])
+
+    def _execute(self, sql: str, parameters: Tuple[Any, ...] = ()) -> sqlite3.Cursor:
+        try:
+            return self._connection.execute(sql, parameters)
+        except sqlite3.Error as error:
+            raise StoreError(
+                f"result store {self._path} query failed: {error}"
+            ) from None
+
+    def __len__(self) -> int:
+        with self._lock:
+            return self._execute("SELECT COUNT(*) FROM results").fetchone()[0]
+
+    def __contains__(self, fingerprint: object) -> bool:
+        with self._lock:
+            row = self._execute(
+                "SELECT 1 FROM results WHERE fingerprint = ?", (fingerprint,)
+            ).fetchone()
+        return row is not None
+
+    def __enter__(self) -> "ResultStore":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ResultStore({str(self._path)!r})"

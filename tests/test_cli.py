@@ -314,6 +314,103 @@ class TestStudyCommand:
         assert "scenario" in header and "simulated_kcycles" in header
 
 
+class TestStoreCommands:
+    def _study_file(self, tmp_path):
+        path = tmp_path / "study.json"
+        path.write_text(
+            json.dumps(
+                [
+                    fast_scenario_dict(name=f"nw{count}", wavelength_count=count)
+                    for count in (4, 8)
+                ]
+            )
+        )
+        return path
+
+    def test_run_store_serves_second_invocation_from_cache(self, capsys, tmp_path):
+        path = tmp_path / "scenario.json"
+        path.write_text(json.dumps(fast_scenario_dict()))
+        store = tmp_path / "results.sqlite"
+        cold = run_cli(capsys, "run", str(path), "--store", str(store))
+        assert "served from result store" not in cold
+        warm = run_cli(capsys, "run", str(path), "--store", str(store))
+        assert "served from result store" in warm
+        assert "no optimizer executed" in warm
+        # The cached table is the same Pareto front the cold run printed.
+        assert cold.splitlines()[-1] == warm.splitlines()[-1]
+
+    def test_study_store_warm_start_reports_hits(self, capsys, tmp_path):
+        study = self._study_file(tmp_path)
+        store = tmp_path / "results.sqlite"
+        cold = run_cli(capsys, "study", str(study), "--store", str(store))
+        assert "0 hit(s), 2 miss(es)" in cold
+        warm = run_cli(capsys, "study", str(study), "--store", str(store))
+        assert "2 hit(s), 0 miss(es)" in warm
+
+    def test_cache_ls_stats_gc_export(self, capsys, tmp_path):
+        study = self._study_file(tmp_path)
+        store = tmp_path / "results.sqlite"
+        run_cli(capsys, "study", str(study), "--store", str(store))
+
+        listing = run_cli(capsys, "cache", "ls", "--store", str(store))
+        assert "2 result(s)" in listing and "nw4" in listing and "nw8" in listing
+
+        stats = run_cli(capsys, "cache", "stats", "--store", str(store))
+        assert "backend" in stats and "sqlite" in stats
+        assert "entries" in stats and "study" in stats
+
+        dump = tmp_path / "dump.json"
+        export = run_cli(
+            capsys, "cache", "export", "--store", str(store), "--output", str(dump)
+        )
+        assert "exported 2 document(s)" in export
+        documents = json.loads(dump.read_text())
+        assert {doc["name"] for doc in documents} == {"nw4", "nw8"}
+
+        gc = run_cli(capsys, "cache", "gc", "--store", str(store), "--max-entries", "1")
+        assert "evicted 1 result(s); 1 remaining" in gc
+
+    def test_cache_export_to_stdout(self, capsys, tmp_path):
+        path = tmp_path / "scenario.json"
+        path.write_text(json.dumps(fast_scenario_dict()))
+        store = tmp_path / "results.sqlite"
+        run_cli(capsys, "run", str(path), "--store", str(store))
+        output = run_cli(capsys, "cache", "export", "--store", str(store))
+        assert json.loads(output)[0]["name"] == "cli-scenario"
+
+    def test_cache_gc_without_policy_is_a_clean_error(self, capsys, tmp_path):
+        store = tmp_path / "results.sqlite"
+        run_cli(capsys, "cache", "stats", "--store", str(store))  # creates the db
+        exit_code = main(["cache", "gc", "--store", str(store)])
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert "--max-entries" in captured.err
+
+    def test_serve_on_occupied_port_is_a_clean_error(self, capsys, tmp_path):
+        import socket
+
+        store = tmp_path / "results.sqlite"
+        run_cli(capsys, "cache", "stats", "--store", str(store))  # creates the db
+        blocker = socket.socket()
+        try:
+            blocker.bind(("127.0.0.1", 0))
+            port = blocker.getsockname()[1]
+            exit_code = main(["serve", "--store", str(store), "--port", str(port)])
+        finally:
+            blocker.close()
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert "cannot bind" in captured.err
+
+    def test_cache_on_corrupt_store_is_a_clean_error(self, capsys, tmp_path):
+        store = tmp_path / "broken.sqlite"
+        store.write_bytes(b"junk" * 100)
+        exit_code = main(["cache", "stats", "--store", str(store)])
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert "error:" in captured.err
+
+
 class TestTopologiesCommand:
     def test_lists_every_registered_topology(self, capsys):
         from repro.topology import TOPOLOGIES

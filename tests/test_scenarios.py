@@ -355,6 +355,17 @@ class TestStudy:
         first, second, third = result
         assert first.comparable_dict() == second.comparable_dict() == third.comparable_dict()
 
+    def test_default_store_is_memory_backend_with_telemetry(self):
+        study = Study([smoke_scenario()])
+        first = study.run()
+        second = study.run()
+        assert first.store_backend == "memory" and first.store_path is None
+        assert (first.store_hits, first.store_misses) == (0, 1)
+        assert (second.store_hits, second.store_misses) == (1, 0)
+        assert first.rows()[0]["store_hit"] is False
+        assert second.rows()[0]["store_hit"] is True
+        assert "Result store: memory — 1 hit(s), 0 miss(es)." in second.report()
+
     def test_cache_reused_across_runs(self):
         study = Study([smoke_scenario()])
         first = study.run()

@@ -1,0 +1,163 @@
+"""Job-queue throughput benchmark: 1 worker process vs 4.
+
+Fills a SQLite store's queue with small distinct scenarios, drains it with a
+single :class:`~repro.store.worker.Worker`, refills it, and drains it again
+with a 4-process :class:`~repro.store.worker.WorkerPool`.  Reports jobs/sec
+for both and the pool speedup — the point of the queue is that throughput
+scales by adding ``repro work`` processes against the same store file.
+
+Run as a script to produce ``BENCH_jobs.json`` — the queue-throughput report
+the CI smoke job checks::
+
+    PYTHONPATH=src python benchmarks/bench_job_throughput.py \
+        --output BENCH_jobs.json --check
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import tempfile
+import time
+from pathlib import Path
+
+from repro.config import GeneticParameters
+from repro.scenarios import Scenario
+from repro.store import ResultStore, Worker, WorkerPool
+
+#: Minimum 4-worker/1-worker throughput ratio the smoke check enforces.  The
+#: jobs are deliberately short, so claim/commit overhead eats part of the
+#: parallelism; the check only guards against the pool being *slower*.  On a
+#: single-core machine no parallelism is possible at all, so only the process
+#: overhead is bounded there.
+def pool_speedup_floor(cpu_count: int) -> float:
+    return 0.9 if cpu_count and cpu_count > 1 else 0.5
+
+#: Number of distinct scenarios per drain.
+JOB_COUNT = 8
+
+
+def _scenarios(population: int, generations: int) -> list:
+    # Distinct seeds -> distinct fingerprints -> every job truly executes.
+    return [
+        Scenario(
+            name=f"jobs-bench-{index}",
+            seed=1000 + index,
+            genetic=GeneticParameters(
+                population_size=population, generations=generations
+            ),
+        )
+        for index in range(JOB_COUNT)
+    ]
+
+
+def _fill(path: Path, scenarios: list) -> None:
+    with ResultStore(path) as store:
+        for scenario in scenarios:
+            store.enqueue(scenario)
+
+
+def _check_drained(path: Path, expected: int, label: str) -> None:
+    with ResultStore(path) as store:
+        stats = store.jobs_stats()
+    for state in ("queued", "leased", "failed", "dead"):
+        if stats[state] != 0:
+            raise AssertionError(f"{label}: {stats[state]} job(s) left {state}")
+    if stats["done"] < expected:
+        raise AssertionError(
+            f"{label}: only {stats['done']}/{expected} job(s) done"
+        )
+
+
+def measure_job_throughput(population: int = 32, generations: int = 12) -> dict:
+    """Drain the same job mix with 1 worker and with a 4-process pool."""
+    scenarios = _scenarios(population, generations)
+    with tempfile.TemporaryDirectory() as tempdir:
+        solo_db = Path(tempdir) / "solo.sqlite"
+        pool_db = Path(tempdir) / "pool.sqlite"
+
+        _fill(solo_db, scenarios)
+        started = time.perf_counter()
+        with ResultStore(solo_db) as store:
+            solo_stats = Worker(store, poll_interval=0.02).run(drain=True)
+        solo_seconds = time.perf_counter() - started
+        _check_drained(solo_db, len(scenarios), "solo drain")
+
+        _fill(pool_db, scenarios)
+        started = time.perf_counter()
+        pool_stats = WorkerPool(str(pool_db), concurrency=4, poll_interval=0.02).run(
+            drain=True
+        )
+        pool_seconds = time.perf_counter() - started
+        _check_drained(pool_db, len(scenarios), "pool drain")
+
+    import os
+
+    solo_rate = len(scenarios) / solo_seconds if solo_seconds > 0 else float("inf")
+    pool_rate = len(scenarios) / pool_seconds if pool_seconds > 0 else float("inf")
+    return {
+        "cpu_count": os.cpu_count() or 1,
+        "job_count": len(scenarios),
+        "population": population,
+        "generations": generations,
+        "solo_seconds": solo_seconds,
+        "solo_jobs_per_second": solo_rate,
+        "solo_completed": solo_stats.completed,
+        "pool_workers": 4,
+        "pool_seconds": pool_seconds,
+        "pool_jobs_per_second": pool_rate,
+        "pool_completed": pool_stats.completed,
+        "pool_speedup": pool_rate / solo_rate if solo_rate > 0 else float("inf"),
+    }
+
+
+def test_pool_drains_everything_at_least_as_fast():
+    """The smoke criterion: all jobs done, the pool no slower than one worker."""
+    report = measure_job_throughput(population=16, generations=4)
+    assert report["solo_completed"] == report["job_count"], report
+    assert report["pool_completed"] == report["job_count"], report
+    assert report["pool_speedup"] >= pool_speedup_floor(report["cpu_count"]), report
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(
+        description="Measure job-queue drain throughput: 1 worker vs 4."
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=Path("BENCH_jobs.json"),
+        help="where to write the JSON report (default: BENCH_jobs.json)",
+    )
+    parser.add_argument(
+        "--population", type=int, default=32, help="GA population per scenario"
+    )
+    parser.add_argument(
+        "--generations", type=int, default=12, help="GA generations per scenario"
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="exit non-zero when the pool speedup falls below the CPU-aware "
+        "floor or any job is left unfinished",
+    )
+    arguments = parser.parse_args()
+
+    report = measure_job_throughput(arguments.population, arguments.generations)
+    arguments.output.write_text(json.dumps(report, indent=2) + "\n")
+    floor = pool_speedup_floor(report["cpu_count"])
+    print(
+        f"1 worker: {report['solo_jobs_per_second']:.2f} jobs/s, "
+        f"4 workers: {report['pool_jobs_per_second']:.2f} jobs/s "
+        f"({report['pool_speedup']:.2f}x on {report['cpu_count']} CPU(s)) "
+        f"-> {arguments.output}"
+    )
+    if arguments.check and report["pool_speedup"] < floor:
+        raise SystemExit(
+            f"pool speedup {report['pool_speedup']:.2f}x is below the "
+            f"{floor}x floor"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -39,6 +39,7 @@ from .errors import (
     ConfigurationError,
     ExperimentError,
     InvalidChromosomeError,
+    JobError,
     MappingError,
     ReproError,
     ScenarioError,
@@ -101,7 +102,15 @@ from .scenarios import (
     execute_scenario,
     fetch_or_execute,
 )
-from .store import MemoryStore, ResultStore, StoreBackend
+from .store import (
+    Job,
+    JobQueue,
+    MemoryStore,
+    ResultStore,
+    StoreBackend,
+    Worker,
+    WorkerPool,
+)
 
 __version__ = "1.0.0"
 
@@ -126,6 +135,7 @@ __all__ = [
     "ExperimentError",
     "ScenarioError",
     "StoreError",
+    "JobError",
     # architecture / topologies
     "RingOnocArchitecture",
     "MultiRingOnocArchitecture",
@@ -180,8 +190,12 @@ __all__ = [
     "VerificationSettings",
     "execute_scenario",
     "fetch_or_execute",
-    # result store
+    # result store + job queue
     "MemoryStore",
     "ResultStore",
     "StoreBackend",
+    "Job",
+    "JobQueue",
+    "Worker",
+    "WorkerPool",
 ]

@@ -24,11 +24,21 @@ The CLI exposes the most common workflows without writing Python:
     ``export``).
 ``python -m repro serve --store results.sqlite --port 8787``
     Serve cached results (Pareto fronts, verification reports, study
-    listings) over a JSON HTTP API without re-running any optimizer.
+    listings) over a JSON HTTP API without re-running any optimizer, and
+    accept job submissions (``POST /api/v1/jobs``) for workers to execute.
+``python -m repro submit scenario.json --store results.sqlite``
+    Enqueue durable jobs (one per unique scenario) into a store — or into a
+    running server with ``--url http://host:port``.
+``python -m repro work --store results.sqlite --concurrency 4``
+    Run worker processes that claim queued jobs under a lease, execute them
+    and persist the results; SIGINT/SIGTERM finish the in-flight job first.
+``python -m repro jobs ls|status|cancel|requeue|stats --store results.sqlite``
+    Inspect and manage the job queue (also available via ``--url``).
 
 ``run`` and ``study`` accept ``--store PATH``: results are then served from
 the store when present and persisted into it after execution, so repeated
-invocations warm-start instead of recomputing.
+invocations warm-start instead of recomputing.  ``study --enqueue`` converts
+the batch into queued jobs instead of executing it.
 
 Every classic command accepts ``--wavelengths``, ``--rows``, ``--columns``,
 the GA sizing flags and ``--topology`` / ``--workload`` / ``--mapping``
@@ -44,10 +54,12 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import signal
 import sys
+import threading
 import time
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from . import __version__
 from .analysis import ascii_scatter, divergence_report, format_table, write_csv
@@ -70,7 +82,8 @@ from .scenarios import (
     fetch_or_execute,
 )
 from .simulation import SimulationVerifier
-from .store import ResultStore, create_server
+from .store import ResultStore, Worker, WorkerPool, create_server
+from .store.jobs import DEFAULT_LEASE_SECONDS, DEFAULT_MAX_ATTEMPTS, JOB_STATES, enqueue_submission
 from .topology import TOPOLOGIES, build_topology, topology_description, worst_case_link_loss_db
 
 __all__ = ["build_parser", "main"]
@@ -271,6 +284,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="SQLite result store shared across runs: cached scenarios are "
         "served without executing any optimizer backend",
     )
+    study.add_argument(
+        "--enqueue",
+        action="store_true",
+        help="enqueue the scenarios as durable jobs in --store instead of "
+        "executing them (run them with `repro work`)",
+    )
+    study.add_argument(
+        "--skip-cached",
+        action="store_true",
+        help="with --enqueue: do not enqueue scenarios whose result is "
+        "already in the store",
+    )
 
     cache = subparsers.add_parser(
         "cache", help="inspect or maintain a persistent result store"
@@ -316,6 +341,111 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--port", type=int, default=8787, help="TCP port (0 = ephemeral)")
     serve.add_argument(
         "--verbose", action="store_true", help="log each request to stderr"
+    )
+
+    submit = subparsers.add_parser(
+        "submit", help="enqueue scenario/study jobs for workers to execute"
+    )
+    submit.add_argument(
+        "document",
+        help="path to a scenario JSON document, a study JSON document or a "
+        "JSON array of scenarios",
+    )
+    submit.add_argument(
+        "--store", default=None, help="enqueue directly into this SQLite store"
+    )
+    submit.add_argument(
+        "--url",
+        default=None,
+        help="submit to a running `repro serve` instead, e.g. http://127.0.0.1:8787",
+    )
+    submit.add_argument(
+        "--priority", type=int, default=0, help="higher claims first (default 0)"
+    )
+    submit.add_argument(
+        "--max-attempts",
+        type=int,
+        default=DEFAULT_MAX_ATTEMPTS,
+        help="execution attempts before a job goes dead",
+    )
+    submit.add_argument(
+        "--study", default=None, help="record the jobs under this study name"
+    )
+
+    work = subparsers.add_parser(
+        "work", help="run queue workers that execute submitted jobs"
+    )
+    work.add_argument(
+        "--store", required=True, help="path to the SQLite result store"
+    )
+    work.add_argument(
+        "--concurrency", "-c", type=int, default=1, help="number of worker processes"
+    )
+    work.add_argument(
+        "--lease-seconds",
+        type=float,
+        default=DEFAULT_LEASE_SECONDS,
+        help="job lease duration; heartbeats renew it while a job runs",
+    )
+    work.add_argument(
+        "--poll-interval",
+        type=float,
+        default=0.2,
+        help="sleep between claim attempts when the queue is empty",
+    )
+    work.add_argument(
+        "--backoff-base",
+        type=float,
+        default=1.0,
+        help="base retry delay (seconds) for transient job failures",
+    )
+    work.add_argument(
+        "--max-jobs", type=int, default=None, help="stop after this many jobs per worker"
+    )
+    work.add_argument(
+        "--idle-timeout",
+        type=float,
+        default=None,
+        help="exit after this many seconds without claimable work",
+    )
+    work.add_argument(
+        "--drain",
+        action="store_true",
+        help="exit as soon as the queue holds no queued or leased jobs",
+    )
+    work.add_argument(
+        "--worker-id", default=None, help="lease-owner identity (default host-pid-random)"
+    )
+
+    jobs = subparsers.add_parser(
+        "jobs", help="inspect and manage the job queue"
+    )
+    jobs.add_argument(
+        "action",
+        choices=["ls", "status", "cancel", "requeue", "stats"],
+        help="ls: list jobs; status: one job document; cancel: drop a queued "
+        "job; requeue: reset a finished job; stats: queue telemetry",
+    )
+    jobs.add_argument(
+        "job_id", nargs="?", default=None, help="job id (status/cancel/requeue)"
+    )
+    jobs.add_argument(
+        "--store", default=None, help="path to the SQLite result store"
+    )
+    jobs.add_argument(
+        "--url", default=None, help="talk to a running `repro serve` instead"
+    )
+    jobs.add_argument(
+        "--state",
+        default=None,
+        choices=list(JOB_STATES),
+        help="ls: only jobs in this state",
+    )
+    jobs.add_argument(
+        "--limit", type=int, default=None, help="ls: at most this many jobs"
+    )
+    jobs.add_argument(
+        "--csv", type=str, default=None, help="ls: also write the rows to a CSV file"
     )
 
     return parser
@@ -620,6 +750,25 @@ def _command_study(args: argparse.Namespace) -> int:
             [_apply_topology_override(scenario, args) for scenario in study.scenarios],
             name=study.name,
         )
+    if args.enqueue:
+        if not args.store:
+            raise ReproError("study --enqueue needs --store (jobs must be durable)")
+        if args.parallel:
+            raise ReproError(
+                "--parallel has no effect with --enqueue; "
+                "use `repro work --concurrency N` instead"
+            )
+        with ResultStore(args.store) as store:
+            jobs = Study(study.scenarios, name=study.name, store=store).enqueue(
+                skip_cached=args.skip_cached
+            )
+        print(
+            f"enqueued {len(jobs)} job(s) for study {study.name!r} into {args.store}"
+        )
+        print(f"run `repro work --store {args.store} --drain` to execute them")
+        return 0
+    if args.skip_cached:
+        raise ReproError("--skip-cached has no effect without --enqueue")
 
     def progress(completed: int, total: int, result) -> None:
         print(
@@ -722,6 +871,28 @@ def _command_cache(args: argparse.Namespace) -> int:
         return 0
 
 
+def _install_signal_handlers(callback: Callable[[], None]) -> Dict[int, Any]:
+    """Route SIGINT/SIGTERM to ``callback``; returns the replaced handlers."""
+    previous: Dict[int, Any] = {}
+    for signame in ("SIGINT", "SIGTERM"):
+        signum = getattr(signal, signame, None)
+        if signum is None:
+            continue
+        try:
+            previous[signum] = signal.signal(signum, lambda *_: callback())
+        except ValueError:  # pragma: no cover - not the main thread
+            pass
+    return previous
+
+
+def _restore_signal_handlers(previous: Dict[int, Any]) -> None:
+    for signum, handler in previous.items():
+        try:
+            signal.signal(signum, handler)
+        except ValueError:  # pragma: no cover - not the main thread
+            pass
+
+
 def _command_serve(args: argparse.Namespace) -> int:
     store = ResultStore(args.store)
     try:
@@ -733,6 +904,17 @@ def _command_serve(args: argparse.Namespace) -> int:
         raise ReproError(
             f"cannot bind {args.host}:{args.port}: {error}"
         ) from None
+    stopping = threading.Event()
+
+    def request_shutdown() -> None:
+        if stopping.is_set():
+            return
+        stopping.set()
+        # shutdown() blocks until serve_forever returns, so it must not run
+        # on the thread that is inside serve_forever (the signal handler's).
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    previous = _install_signal_handlers(request_shutdown)
     host, port = server.server_address[:2]
     print(
         f"serving result store {args.store} ({len(store)} result(s)) "
@@ -743,8 +925,230 @@ def _command_serve(args: argparse.Namespace) -> int:
     except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
         pass
     finally:
+        _restore_signal_handlers(previous)
         server.server_close()
         store.close()
+    print(f"server stopped; store {args.store} closed")
+    return 0
+
+
+def _load_json_document(path: str) -> Any:
+    try:
+        return json.loads(Path(path).read_text())
+    except OSError as error:
+        raise ReproError(f"cannot read {path!r}: {error}") from None
+    except json.JSONDecodeError as error:
+        raise ReproError(f"{path!r} is not valid JSON: {error}") from None
+
+
+def _api(url: str, path: str) -> str:
+    return url.rstrip("/") + "/api/v1" + path
+
+
+def _http_json(method: str, url: str, payload: Optional[Any] = None) -> Any:
+    """One JSON request against a ``repro serve`` API; ReproError on failure."""
+    import urllib.error
+    import urllib.request
+
+    data = None if payload is None else json.dumps(payload).encode("utf-8")
+    request = urllib.request.Request(
+        url,
+        data=data,
+        method=method,
+        headers={"Content-Type": "application/json"} if data else {},
+    )
+    try:
+        with urllib.request.urlopen(request) as response:
+            return json.loads(response.read().decode("utf-8"))
+    except urllib.error.HTTPError as error:
+        body = error.read().decode("utf-8", "replace")
+        try:
+            message = json.loads(body).get("error", body)
+        except (json.JSONDecodeError, AttributeError):
+            message = body.strip() or str(error)
+        raise ReproError(f"{method} {url} failed ({error.code}): {message}") from None
+    except urllib.error.URLError as error:
+        raise ReproError(f"cannot reach {url}: {error.reason}") from None
+
+
+def _job_rows(job_dicts: Sequence[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    now = time.time()
+    rows = []
+    for job in job_dicts:
+        error = job.get("error") or ""
+        rows.append(
+            {
+                "id": job["id"],
+                "state": job["state"],
+                "priority": job["priority"],
+                "attempts": f"{job['attempts']}/{job['max_attempts']}",
+                "study": job.get("study") or "-",
+                "fingerprint": job["fingerprint"][:12],
+                "age": _format_age(max(0.0, now - job["enqueued_at"])),
+                "error": (error[:40] + "...") if len(error) > 43 else error,
+            }
+        )
+    return rows
+
+
+def _print_mapping(mapping: Dict[str, Any]) -> None:
+    width = max(len(key) for key in mapping) if mapping else 0
+    for key, value in mapping.items():
+        if isinstance(value, float):
+            value = round(value, 6)
+        print(f"{key:<{width}} : {value}")
+
+
+def _command_submit(args: argparse.Namespace) -> int:
+    if (args.store is None) == (args.url is None):
+        raise ReproError("submit needs exactly one of --store or --url")
+    payload = _load_json_document(args.document)
+    if args.url:
+        body: Dict[str, Any] = {
+            "scenario": payload,
+            "priority": args.priority,
+            "max_attempts": args.max_attempts,
+        }
+        if args.study is not None:
+            body["study"] = args.study
+        reply = _http_json("POST", _api(args.url, "/jobs"), body)
+        jobs = reply.get("jobs", [])
+        study_name = reply.get("study")
+    else:
+        with ResultStore(args.store) as store:
+            study_name, queued = enqueue_submission(
+                store,
+                payload,
+                priority=args.priority,
+                max_attempts=args.max_attempts,
+                study=args.study,
+            )
+        jobs = [job.to_dict() for job in queued]
+    target = args.url or args.store
+    suffix = f" under study {study_name!r}" if study_name else ""
+    print(f"enqueued {len(jobs)} job(s) into {target}{suffix}:")
+    for job in jobs:
+        print(
+            f"  {job['id']}  priority {job['priority']}  "
+            f"fingerprint {job['fingerprint'][:12]}"
+        )
+    if args.store:
+        print(f"run `repro work --store {args.store} --drain` to execute them")
+    return 0
+
+
+def _command_work(args: argparse.Namespace) -> int:
+    if args.concurrency < 1:
+        raise ReproError(f"--concurrency must be >= 1 (got {args.concurrency})")
+    worker_options = {
+        "lease_seconds": args.lease_seconds,
+        "poll_interval": args.poll_interval,
+        "backoff_base": args.backoff_base,
+    }
+    run_options = {
+        "max_jobs": args.max_jobs,
+        "idle_timeout": args.idle_timeout,
+        "drain": args.drain,
+    }
+    if args.concurrency == 1:
+        store = ResultStore(args.store)
+        worker = Worker(store, worker_id=args.worker_id, **worker_options)
+        previous = _install_signal_handlers(worker.stop)
+        print(f"worker {worker.worker_id} on {args.store} — SIGINT/SIGTERM to stop")
+        try:
+            stats = worker.run(**run_options)
+        finally:
+            _restore_signal_handlers(previous)
+            store.close()
+    else:
+        pool = WorkerPool(args.store, args.concurrency, **worker_options)
+        previous = _install_signal_handlers(pool.stop)
+        print(
+            f"{args.concurrency} workers on {args.store} — SIGINT/SIGTERM to stop"
+        )
+        try:
+            stats = pool.run(**run_options)
+        finally:
+            _restore_signal_handlers(previous)
+    print(stats.summary())
+    with ResultStore(args.store) as store:
+        snapshot = store.jobs_stats()
+    print(
+        f"queue now: {snapshot['queued']} queued, {snapshot['leased']} leased, "
+        f"{snapshot['done']} done, {snapshot['failed']} failed, "
+        f"{snapshot['dead']} dead"
+    )
+    return 0 if stats.failed == 0 and stats.dead == 0 else 1
+
+
+def _command_jobs(args: argparse.Namespace) -> int:
+    if (args.store is None) == (args.url is None):
+        raise ReproError("jobs needs exactly one of --store or --url")
+    if args.action in {"status", "cancel", "requeue"} and not args.job_id:
+        raise ReproError(f"jobs {args.action} needs a job id")
+    if args.url:
+        return _jobs_via_url(args)
+    with ResultStore(args.store) as store:
+        if args.action == "ls":
+            rows = _job_rows(
+                [job.to_dict() for job in store.jobs(state=args.state, limit=args.limit)]
+            )
+            print(f"{len(rows)} job(s) in {args.store}:")
+            if rows:
+                print(format_table(rows))
+            _maybe_write_csv(args, rows)
+            return 0
+        if args.action == "stats":
+            _print_mapping(store.jobs_stats())
+            return 0
+        if args.action == "status":
+            job = store.job(args.job_id)
+            if job is None:
+                raise ReproError(f"no job {args.job_id!r} in {args.store}")
+            print(json.dumps(job.to_dict(), indent=2))
+            return 0
+        if args.action == "cancel":
+            if store.cancel(args.job_id):
+                print(f"cancelled {args.job_id}")
+                return 0
+            raise ReproError(
+                f"job {args.job_id!r} is not queued (or unknown); "
+                "only queued jobs can be cancelled"
+            )
+        job = store.requeue(args.job_id)
+        print(f"requeued {job.id} (attempts reset, state {job.state!r})")
+        return 0
+
+
+def _jobs_via_url(args: argparse.Namespace) -> int:
+    if args.action == "ls":
+        query = []
+        if args.state:
+            query.append(f"state={args.state}")
+        if args.limit is not None:
+            query.append(f"limit={args.limit}")
+        suffix = "?" + "&".join(query) if query else ""
+        reply = _http_json("GET", _api(args.url, "/jobs" + suffix))
+        rows = _job_rows(reply.get("jobs", []))
+        print(f"{len(rows)} job(s) at {args.url}:")
+        if rows:
+            print(format_table(rows))
+        _maybe_write_csv(args, rows)
+        return 0
+    if args.action == "stats":
+        reply = _http_json("GET", _api(args.url, "/jobs"))
+        _print_mapping(reply.get("stats", {}))
+        return 0
+    if args.action == "status":
+        reply = _http_json("GET", _api(args.url, f"/jobs/{args.job_id}"))
+        print(json.dumps(reply, indent=2))
+        return 0
+    if args.action == "cancel":
+        _http_json("DELETE", _api(args.url, f"/jobs/{args.job_id}"))
+        print(f"cancelled {args.job_id}")
+        return 0
+    reply = _http_json("POST", _api(args.url, f"/jobs/{args.job_id}/requeue"))
+    print(f"requeued {reply['id']} (attempts reset, state {reply['state']!r})")
     return 0
 
 
@@ -759,6 +1163,9 @@ _COMMANDS = {
     "study": _command_study,
     "cache": _command_cache,
     "serve": _command_serve,
+    "submit": _command_submit,
+    "work": _command_work,
+    "jobs": _command_jobs,
 }
 
 

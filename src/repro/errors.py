@@ -20,6 +20,7 @@ __all__ = [
     "ExperimentError",
     "ScenarioError",
     "StoreError",
+    "JobError",
 ]
 
 
@@ -69,3 +70,7 @@ class ScenarioError(ExperimentError):
 
 class StoreError(ReproError):
     """A persistent result store is unreadable, corrupt or inconsistent."""
+
+
+class JobError(StoreError):
+    """A job-queue operation is invalid (lost lease, bad state transition...)."""

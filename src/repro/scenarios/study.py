@@ -29,7 +29,10 @@ from collections import Counter
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (jobs lives in repro.store)
+    from ..store.jobs import Job
 
 import json
 
@@ -551,6 +554,43 @@ class Study:
         return cls.from_dict(payload)
 
     # -------------------------------------------------------------- execution
+    def enqueue(
+        self,
+        priority: int = 0,
+        max_attempts: int = 3,
+        skip_cached: bool = False,
+    ) -> List["Job"]:
+        """Enqueue-instead-of-execute: submit every scenario as a durable job.
+
+        Instead of running the optimizers in this process (:meth:`run`), each
+        *unique* scenario becomes one job on the study's store
+        (:meth:`~repro.store.jobs.JobQueue.enqueue`) for ``repro work``
+        workers to execute; the study association is recorded immediately so
+        Pareto fronts can be fetched by study name once the workers finish.
+        With ``skip_cached`` scenarios whose result is already stored are not
+        enqueued at all (workers would serve them warm anyway — skipping
+        saves the queue round-trip under backpressure).
+        """
+        jobs: List["Job"] = []
+        fingerprints: List[str] = []
+        for scenario in self._scenarios:
+            fingerprint = scenario.fingerprint()
+            if fingerprint in fingerprints:
+                continue
+            fingerprints.append(fingerprint)
+            if skip_cached and fingerprint in self._store:
+                continue
+            jobs.append(
+                self._store.enqueue(
+                    scenario,
+                    priority=priority,
+                    max_attempts=max_attempts,
+                    study=self._name,
+                )
+            )
+        self._store.record_study(self._name, fingerprints)
+        return jobs
+
     def run(
         self,
         parallel: Optional[int] = None,

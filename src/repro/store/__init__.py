@@ -9,9 +9,15 @@ layer:
 * :mod:`~repro.store.sqlite` — :class:`ResultStore`, the content-addressed,
   SQLite/WAL-backed durable backend with schema versioning, upserts, stats
   and LRU/max-age garbage collection.
+* :mod:`~repro.store.jobs` — the durable job queue model: the :class:`Job`
+  document, the :class:`JobQueue` protocol every backend implements
+  (``queued → leased → done | failed | dead``) and the in-memory reference
+  queue.
+* :mod:`~repro.store.worker` — :class:`Worker` / :class:`WorkerPool`, the
+  claim → execute → complete loops behind ``repro work``.
 * :mod:`~repro.store.server` — a stdlib :mod:`http.server` JSON API that
-  serves cached Pareto fronts and verification reports by fingerprint
-  (``repro serve``).
+  serves cached Pareto fronts and verification reports by fingerprint and
+  accepts job submissions (``repro serve``).
 
 Quickstart::
 
@@ -20,23 +26,34 @@ Quickstart::
     store = ResultStore("results.sqlite")
     Study(scenarios, store=store).run()      # cold: executes + persists
     Study(scenarios, store=store).run()      # warm: zero optimizer runs
+
+Queue mode::
+
+    Study(scenarios, store=store).enqueue()  # durable jobs instead of running
+    # then, in any number of other processes:  repro work --store results.sqlite
 """
 
 from typing import Any
 
-from ..errors import StoreError
+from ..errors import JobError, StoreError
 from .backend import MemoryStore, StoreBackend
+from .jobs import JOB_STATES, Job, JobQueue, MemoryJobQueue
 
-# The SQLite store and the HTTP server persist/serve ScenarioResult documents,
-# so their modules import repro.scenarios.study — which itself imports the
-# backend above for its default store.  Resolving them lazily (PEP 562) keeps
-# `from repro.store import ResultStore` working without an import cycle.
+# The SQLite store, the HTTP server and the worker persist/serve/execute
+# ScenarioResult documents, so their modules import repro.scenarios.study —
+# which itself imports the backend above for its default store.  Resolving
+# them lazily (PEP 562) keeps `from repro.store import ResultStore` working
+# without an import cycle.
 _LAZY = {
     "ResultStore": ("repro.store.sqlite", "ResultStore"),
     "STORE_SCHEMA": ("repro.store.sqlite", "STORE_SCHEMA"),
+    "MIGRATABLE_SCHEMAS": ("repro.store.sqlite", "MIGRATABLE_SCHEMAS"),
     "StoreHTTPServer": ("repro.store.server", "StoreHTTPServer"),
     "create_server": ("repro.store.server", "create_server"),
     "serve": ("repro.store.server", "serve"),
+    "Worker": ("repro.store.worker", "Worker"),
+    "WorkerPool": ("repro.store.worker", "WorkerPool"),
+    "WorkerStats": ("repro.store.worker", "WorkerStats"),
 }
 
 
@@ -55,12 +72,21 @@ def __dir__() -> list:
 
 
 __all__ = [
+    "JOB_STATES",
+    "Job",
+    "JobError",
+    "JobQueue",
+    "MIGRATABLE_SCHEMAS",
+    "MemoryJobQueue",
     "MemoryStore",
     "ResultStore",
     "STORE_SCHEMA",
     "StoreBackend",
     "StoreError",
     "StoreHTTPServer",
+    "Worker",
+    "WorkerPool",
+    "WorkerStats",
     "create_server",
     "serve",
 ]

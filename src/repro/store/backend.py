@@ -18,9 +18,12 @@ sharing behind the same protocol.
 from __future__ import annotations
 
 import time
-from typing import TYPE_CHECKING, Any, Dict, Iterator, List, Optional, Protocol, Sequence, Tuple, runtime_checkable
+from typing import TYPE_CHECKING, Any, Dict, Iterator, List, Optional, Protocol, Sequence, Tuple, Union, runtime_checkable
+
+from .jobs import DEFAULT_LEASE_SECONDS, DEFAULT_MAX_ATTEMPTS, Job, MemoryJobQueue
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (study imports us)
+    from ..scenarios.scenario import Scenario
     from ..scenarios.study import ScenarioResult
 
 __all__ = ["MemoryStore", "StoreBackend"]
@@ -84,22 +87,80 @@ class StoreBackend(Protocol):
     def close(self) -> None:
         """Release any resource the backend holds (idempotent)."""
 
+    # ------------------------------------------------------------- job queue
+    # Every backend is also a JobQueue (see repro.store.jobs): scenarios are
+    # submitted as jobs, workers lease and execute them, and the results land
+    # back in the same store under their fingerprints.
+    def enqueue(
+        self,
+        scenario: Union["Scenario", Dict[str, Any]],
+        priority: int = 0,
+        max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+        study: Optional[str] = None,
+    ) -> Job:
+        """Validate and append one scenario job; returns the queued job."""
+
+    def claim(
+        self, worker_id: str, lease_seconds: float = DEFAULT_LEASE_SECONDS
+    ) -> Optional[Job]:
+        """Atomically lease the next runnable job, or ``None``."""
+
+    def heartbeat(
+        self, job_id: str, worker_id: str, lease_seconds: float = DEFAULT_LEASE_SECONDS
+    ) -> bool:
+        """Extend a held lease; False when the lease was lost in the meantime."""
+
+    def complete(self, job_id: str, worker_id: str) -> Job:
+        """Mark a leased job done (the result is already in the store)."""
+
+    def fail(
+        self,
+        job_id: str,
+        worker_id: str,
+        error: str,
+        retryable: bool = True,
+        delay_seconds: float = 0.0,
+    ) -> Job:
+        """Record a failed attempt; re-queues, fails or kills the job."""
+
+    def release(self, job_id: str, worker_id: str) -> Job:
+        """Give a leased job back untouched (graceful shutdown mid-claim)."""
+
+    def cancel(self, job_id: str) -> bool:
+        """Drop a *queued* job; False when absent or no longer cancellable."""
+
+    def requeue(self, job_id: str) -> Job:
+        """Reset a terminal (done/failed/dead) job to queued with a fresh budget."""
+
+    def job(self, job_id: str) -> Optional[Job]:
+        """The job with this id, or ``None``."""
+
+    def jobs(self, state: Optional[str] = None, limit: Optional[int] = None) -> List[Job]:
+        """Jobs newest-first, optionally filtered by state."""
+
+    def jobs_stats(self) -> Dict[str, Any]:
+        """Queue telemetry: per-state counts, depth, mean wait/run times."""
+
     def __len__(self) -> int: ...
 
     def __contains__(self, fingerprint: object) -> bool: ...
 
 
-class MemoryStore:
+class MemoryStore(MemoryJobQueue):
     """In-process, dict-backed store — the default :class:`Study` backend.
 
     Entries are held by reference (no serialisation round-trip), so repeated
     ``get`` calls return the identical object.  Recency is tracked per entry
     so :meth:`gc` can evict least-recently-used results when a cap is given.
+    The :class:`~repro.store.jobs.MemoryJobQueue` base adds the in-process
+    job queue, so single-process pipelines (and the tests) can exercise the
+    submit/work loop without a SQLite file.
     """
 
     backend_name = "memory"
 
     def __init__(self) -> None:
+        super().__init__()
         self._results: Dict[str, "ScenarioResult"] = {}
         self._accessed_at: Dict[str, float] = {}
         self._created_at: Dict[str, float] = {}
@@ -188,7 +249,7 @@ class MemoryStore:
         return removed
 
     def stats(self) -> Dict[str, Any]:
-        return {
+        stats = {
             "backend": self.backend_name,
             "path": self.location,
             "entries": len(self._results),
@@ -197,6 +258,9 @@ class MemoryStore:
             "misses": self._misses,
             "evictions": self._evictions,
         }
+        for key, value in self.jobs_stats().items():
+            stats[f"jobs_{key}"] = value
+        return stats
 
     def close(self) -> None:
         """Nothing to release; kept for protocol symmetry."""

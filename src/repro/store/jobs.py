@@ -1,0 +1,573 @@
+"""Durable job queue: the write path of the study service.
+
+A *job* is one scenario waiting to be executed by a worker
+(:mod:`repro.store.worker`).  Jobs move through a small state machine::
+
+    queued ──claim──▶ leased ──complete──▶ done
+      ▲                 │
+      │   retryable     ├──fail──▶ failed   (non-retryable error)
+      └───failure───────┤
+          (backoff)     └──attempts exhausted / lease expired──▶ dead
+
+* ``queued`` — waiting for a worker; ``not_before`` implements retry backoff.
+* ``leased`` — claimed by a worker under a lease.  The worker heartbeats to
+  extend the lease; when the lease expires (crashed or wedged worker) the job
+  becomes claimable again, and each claim counts as an attempt.
+* ``done`` — executed; the result document lives in the result store under
+  the job's scenario fingerprint.
+* ``failed`` — a non-retryable error (e.g. the scenario document no longer
+  resolves); ``repro jobs requeue`` puts it back manually.
+* ``dead`` — transient failures (or lease expiries) exhausted
+  ``max_attempts``.
+
+The :class:`JobQueue` protocol is implemented by both store backends: the
+SQLite :class:`~repro.store.sqlite.ResultStore` (durable, shared by every
+worker process pointed at the file) and the in-process
+:class:`~repro.store.backend.MemoryStore` (via :class:`MemoryJobQueue`, used
+for tests and single-process pipelines).  The transition rules live in module
+functions here so the two implementations cannot drift.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import uuid
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Protocol, Tuple, Union, runtime_checkable
+
+from ..errors import JobError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (study imports us)
+    from ..scenarios.scenario import Scenario
+
+__all__ = [
+    "DEFAULT_LEASE_SECONDS",
+    "DEFAULT_MAX_ATTEMPTS",
+    "JOB_STATES",
+    "Job",
+    "JobQueue",
+    "MemoryJobQueue",
+    "backoff_seconds",
+    "enqueue_submission",
+    "failure_transition",
+    "scenarios_from_submission",
+]
+
+#: Every state a job can be in (see the module docs for the transitions).
+JOB_STATES = ("queued", "leased", "done", "failed", "dead")
+
+#: States a job never leaves on its own (``requeue`` is the manual escape).
+TERMINAL_STATES = ("done", "failed", "dead")
+
+#: Default execution attempts (first run + retries) before a job goes dead.
+DEFAULT_MAX_ATTEMPTS = 3
+
+#: Default worker lease duration; heartbeats extend it by the same amount.
+DEFAULT_LEASE_SECONDS = 60.0
+
+
+def new_job_id() -> str:
+    """A fresh, URL-safe job identifier."""
+    return f"job-{uuid.uuid4().hex[:12]}"
+
+
+def backoff_seconds(
+    attempts: int,
+    base: float = 1.0,
+    factor: float = 2.0,
+    cap: float = 60.0,
+) -> float:
+    """Exponential retry delay after ``attempts`` failed executions."""
+    if attempts <= 0:
+        return 0.0
+    return min(cap, base * factor ** (attempts - 1))
+
+
+def failure_transition(
+    attempts: int,
+    max_attempts: int,
+    retryable: bool,
+    now: float,
+    delay_seconds: float,
+) -> Tuple[str, float]:
+    """``(next_state, not_before)`` after a failed execution attempt.
+
+    Non-retryable errors go straight to ``failed``; retryable ones re-queue
+    with a delay until the attempt budget is spent, then the job is ``dead``.
+    """
+    if not retryable:
+        return "failed", now
+    if attempts >= max_attempts:
+        return "dead", now
+    return "queued", now + max(0.0, delay_seconds)
+
+
+def scenarios_from_submission(payload: Any) -> Tuple[Optional[str], List["Scenario"]]:
+    """Decode a job submission document into ``(study_name, scenarios)``.
+
+    Accepts a single scenario document, a study document, or a bare JSON
+    array of scenario documents — the same shapes ``repro run`` and
+    ``repro study`` consume, so any file that runs locally also submits.
+    """
+    # Imported lazily: this module is loaded by repro.store.backend, which
+    # repro.scenarios.study itself imports for the default store.
+    from ..scenarios.scenario import Scenario
+    from ..scenarios.study import STUDY_SCHEMA, Study
+
+    if isinstance(payload, list):
+        return None, Study.from_dict(payload).scenarios
+    if isinstance(payload, dict):
+        if "scenarios" in payload or payload.get("schema") == STUDY_SCHEMA:
+            study = Study.from_dict(payload)
+            return study.name, study.scenarios
+        return None, [Scenario.from_dict(payload)]
+    from ..errors import ScenarioError
+
+    raise ScenarioError(
+        "a job submission must be a scenario document, a study document or "
+        f"an array of scenario documents, got {type(payload).__name__}"
+    )
+
+
+def enqueue_submission(
+    store: Any,
+    payload: Any,
+    priority: int = 0,
+    max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+    study: Optional[str] = None,
+) -> Tuple[Optional[str], List["Job"]]:
+    """Decode a submission document and enqueue one job per unique scenario.
+
+    The shared write path of ``POST /api/v1/jobs`` and ``repro submit``:
+    duplicate fingerprints within the submission collapse to one job, and
+    when a study name is known (from the document or the ``study`` override)
+    the store's study index is updated so ``GET /studies/<name>`` works once
+    the jobs finish.  Returns ``(study_name, jobs)``.
+    """
+    study_name, scenarios = scenarios_from_submission(payload)
+    if study is not None:
+        study_name = study
+    jobs: List[Job] = []
+    seen: Dict[str, bool] = {}
+    for scenario in scenarios:
+        fingerprint = scenario.fingerprint()
+        if fingerprint in seen:
+            continue
+        seen[fingerprint] = True
+        jobs.append(
+            store.enqueue(
+                scenario,
+                priority=priority,
+                max_attempts=max_attempts,
+                study=study_name,
+            )
+        )
+    if study_name is not None:
+        store.record_study(study_name, list(seen))
+    return study_name, jobs
+
+
+@dataclass(frozen=True)
+class Job:
+    """One queued scenario execution (a snapshot — the queue row is the truth)."""
+
+    id: str
+    state: str
+    fingerprint: str
+    scenario: Dict[str, Any]
+    priority: int = 0
+    study: Optional[str] = None
+    attempts: int = 0
+    max_attempts: int = DEFAULT_MAX_ATTEMPTS
+    not_before: float = 0.0
+    lease_owner: Optional[str] = None
+    lease_expires_at: Optional[float] = None
+    heartbeat_at: Optional[float] = None
+    error: Optional[str] = None
+    enqueued_at: float = 0.0
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    updated_at: float = 0.0
+
+    @property
+    def is_terminal(self) -> bool:
+        """True once the job can no longer run on its own (done/failed/dead)."""
+        return self.state in TERMINAL_STATES
+
+    @property
+    def wait_seconds(self) -> Optional[float]:
+        """Queue wait until the first claim, or ``None`` while still waiting."""
+        if self.started_at is None:
+            return None
+        return max(0.0, self.started_at - self.enqueued_at)
+
+    @property
+    def run_seconds(self) -> Optional[float]:
+        """First-claim-to-finish wall clock, or ``None`` while running."""
+        if self.started_at is None or self.finished_at is None:
+            return None
+        return max(0.0, self.finished_at - self.started_at)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-compatible dictionary (what the HTTP API serves)."""
+        return {
+            "id": self.id,
+            "state": self.state,
+            "fingerprint": self.fingerprint,
+            "priority": self.priority,
+            "study": self.study,
+            "attempts": self.attempts,
+            "max_attempts": self.max_attempts,
+            "not_before": self.not_before,
+            "lease_owner": self.lease_owner,
+            "lease_expires_at": self.lease_expires_at,
+            "heartbeat_at": self.heartbeat_at,
+            "error": self.error,
+            "enqueued_at": self.enqueued_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "updated_at": self.updated_at,
+            "scenario": dict(self.scenario),
+        }
+
+
+@runtime_checkable
+class JobQueue(Protocol):
+    """The queue operations a worker and the HTTP service need from a store."""
+
+    def enqueue(
+        self,
+        scenario: Union["Scenario", Dict[str, Any]],
+        priority: int = 0,
+        max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+        study: Optional[str] = None,
+    ) -> Job:
+        """Validate and append one scenario job; returns the queued job."""
+
+    def claim(
+        self, worker_id: str, lease_seconds: float = DEFAULT_LEASE_SECONDS
+    ) -> Optional[Job]:
+        """Atomically lease the next runnable job (queued and due, or an
+        expired lease), or ``None`` when nothing is claimable."""
+
+    def heartbeat(
+        self, job_id: str, worker_id: str, lease_seconds: float = DEFAULT_LEASE_SECONDS
+    ) -> bool:
+        """Extend a held lease; False when the lease was lost in the meantime."""
+
+    def complete(self, job_id: str, worker_id: str) -> Job:
+        """Mark a leased job done (the result is already in the store)."""
+
+    def fail(
+        self,
+        job_id: str,
+        worker_id: str,
+        error: str,
+        retryable: bool = True,
+        delay_seconds: float = 0.0,
+    ) -> Job:
+        """Record a failed attempt; re-queues, fails or kills the job."""
+
+    def release(self, job_id: str, worker_id: str) -> Job:
+        """Give a leased job back untouched (graceful shutdown mid-claim)."""
+
+    def cancel(self, job_id: str) -> bool:
+        """Drop a *queued* job; False when absent or no longer cancellable."""
+
+    def requeue(self, job_id: str) -> Job:
+        """Reset a terminal (done/failed/dead) job to queued with a fresh budget."""
+
+    def job(self, job_id: str) -> Optional[Job]:
+        """The job with this id, or ``None``."""
+
+    def jobs(self, state: Optional[str] = None, limit: Optional[int] = None) -> List[Job]:
+        """Jobs newest-first, optionally filtered by state."""
+
+    def jobs_stats(self) -> Dict[str, Any]:
+        """Queue telemetry: per-state counts, depth, mean wait/run times."""
+
+
+def _require_state(value: Optional[str]) -> None:
+    if value is not None and value not in JOB_STATES:
+        raise JobError(
+            f"unknown job state {value!r} (expected one of {', '.join(JOB_STATES)})"
+        )
+
+
+def _scenario_document(scenario: Union["Scenario", Dict[str, Any]]) -> Tuple[str, Dict[str, Any]]:
+    """Validate an enqueue payload; returns ``(fingerprint, document)``."""
+    from ..scenarios.scenario import Scenario
+
+    if isinstance(scenario, dict):
+        scenario = Scenario.from_dict(scenario)
+    if not isinstance(scenario, Scenario):
+        raise JobError(
+            f"a job executes a Scenario (or its document), got {type(scenario).__name__}"
+        )
+    return scenario.fingerprint(), scenario.to_dict()
+
+
+def summarise_jobs(records: List[Dict[str, Any]]) -> Dict[str, Any]:
+    """The shared ``jobs_stats`` payload, from plain per-job field dicts."""
+    counts = {state: 0 for state in JOB_STATES}
+    waits: List[float] = []
+    runs: List[float] = []
+    for record in records:
+        counts[record["state"]] += 1
+        started = record.get("started_at")
+        finished = record.get("finished_at")
+        if started is not None:
+            waits.append(max(0.0, started - record["enqueued_at"]))
+        if record["state"] == "done" and started is not None and finished is not None:
+            runs.append(max(0.0, finished - started))
+    mean = lambda values: (sum(values) / len(values)) if values else 0.0  # noqa: E731
+    return {
+        "total": len(records),
+        "depth": counts["queued"],
+        "queued": counts["queued"],
+        "leased": counts["leased"],
+        "done": counts["done"],
+        "failed": counts["failed"],
+        "dead": counts["dead"],
+        "mean_wait_seconds": mean(waits),
+        "mean_run_seconds": mean(runs),
+    }
+
+
+class MemoryJobQueue:
+    """In-process :class:`JobQueue` (mixed into
+    :class:`~repro.store.backend.MemoryStore`).
+
+    Jobs live as plain field dicts guarded by one lock; the semantics —
+    priority/FIFO ordering, lease expiry counting as an attempt, the failure
+    transitions — mirror the SQLite implementation row for row.
+    """
+
+    def __init__(self) -> None:
+        self._jobs: Dict[str, Dict[str, Any]] = {}
+        self._jobs_lock = threading.RLock()
+
+    # ----------------------------------------------------------------- enqueue
+    def enqueue(
+        self,
+        scenario: Union["Scenario", Dict[str, Any]],
+        priority: int = 0,
+        max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+        study: Optional[str] = None,
+    ) -> Job:
+        fingerprint, document = _scenario_document(scenario)
+        now = time.time()
+        record = {
+            "id": new_job_id(),
+            "state": "queued",
+            "fingerprint": fingerprint,
+            "scenario": document,
+            "priority": int(priority),
+            "study": study,
+            "attempts": 0,
+            "max_attempts": max(1, int(max_attempts)),
+            "not_before": now,
+            "lease_owner": None,
+            "lease_expires_at": None,
+            "heartbeat_at": None,
+            "error": None,
+            "enqueued_at": now,
+            "started_at": None,
+            "finished_at": None,
+            "updated_at": now,
+        }
+        with self._jobs_lock:
+            self._jobs[record["id"]] = record
+        return Job(**record)
+
+    # ------------------------------------------------------------------- claim
+    def claim(
+        self, worker_id: str, lease_seconds: float = DEFAULT_LEASE_SECONDS
+    ) -> Optional[Job]:
+        with self._jobs_lock:
+            now = time.time()
+            candidates = sorted(
+                (
+                    record
+                    for record in self._jobs.values()
+                    if _claimable(record, now)
+                ),
+                key=lambda r: (-r["priority"], r["enqueued_at"], r["id"]),
+            )
+            for record in candidates:
+                if _expired_lease(record, now) and record["attempts"] >= record["max_attempts"]:
+                    record.update(
+                        state="dead",
+                        error=(
+                            f"lease expired after attempt "
+                            f"{record['attempts']}/{record['max_attempts']}"
+                        ),
+                        lease_owner=None,
+                        lease_expires_at=None,
+                        finished_at=now,
+                        updated_at=now,
+                    )
+                    continue
+                record.update(
+                    state="leased",
+                    attempts=record["attempts"] + 1,
+                    lease_owner=worker_id,
+                    lease_expires_at=now + lease_seconds,
+                    heartbeat_at=now,
+                    started_at=record["started_at"] or now,
+                    updated_at=now,
+                )
+                return Job(**record)
+        return None
+
+    def heartbeat(
+        self, job_id: str, worker_id: str, lease_seconds: float = DEFAULT_LEASE_SECONDS
+    ) -> bool:
+        with self._jobs_lock:
+            record = self._jobs.get(job_id)
+            if record is None or record["state"] != "leased" or record["lease_owner"] != worker_id:
+                return False
+            now = time.time()
+            record.update(
+                lease_expires_at=now + lease_seconds, heartbeat_at=now, updated_at=now
+            )
+            return True
+
+    # -------------------------------------------------------------- transitions
+    def _held(self, job_id: str, worker_id: str) -> Dict[str, Any]:
+        record = self._jobs.get(job_id)
+        if record is None:
+            raise JobError(f"no job {job_id!r} in the queue")
+        if record["state"] != "leased" or record["lease_owner"] != worker_id:
+            raise JobError(
+                f"job {job_id!r} is not leased by {worker_id!r} "
+                f"(state {record['state']!r}, owner {record['lease_owner']!r})"
+            )
+        return record
+
+    def complete(self, job_id: str, worker_id: str) -> Job:
+        with self._jobs_lock:
+            record = self._held(job_id, worker_id)
+            now = time.time()
+            record.update(
+                state="done",
+                error=None,
+                lease_owner=None,
+                lease_expires_at=None,
+                finished_at=now,
+                updated_at=now,
+            )
+            return Job(**record)
+
+    def fail(
+        self,
+        job_id: str,
+        worker_id: str,
+        error: str,
+        retryable: bool = True,
+        delay_seconds: float = 0.0,
+    ) -> Job:
+        with self._jobs_lock:
+            record = self._held(job_id, worker_id)
+            now = time.time()
+            state, not_before = failure_transition(
+                record["attempts"], record["max_attempts"], retryable, now, delay_seconds
+            )
+            record.update(
+                state=state,
+                error=str(error),
+                not_before=not_before,
+                lease_owner=None,
+                lease_expires_at=None,
+                finished_at=None if state == "queued" else now,
+                updated_at=now,
+            )
+            return Job(**record)
+
+    def release(self, job_id: str, worker_id: str) -> Job:
+        with self._jobs_lock:
+            record = self._held(job_id, worker_id)
+            now = time.time()
+            record.update(
+                state="queued",
+                # The released claim doesn't count against the retry budget.
+                attempts=max(0, record["attempts"] - 1),
+                not_before=now,
+                lease_owner=None,
+                lease_expires_at=None,
+                updated_at=now,
+            )
+            return Job(**record)
+
+    def cancel(self, job_id: str) -> bool:
+        with self._jobs_lock:
+            record = self._jobs.get(job_id)
+            if record is None or record["state"] != "queued":
+                return False
+            del self._jobs[job_id]
+            return True
+
+    def requeue(self, job_id: str) -> Job:
+        with self._jobs_lock:
+            record = self._jobs.get(job_id)
+            if record is None:
+                raise JobError(f"no job {job_id!r} in the queue")
+            if record["state"] not in TERMINAL_STATES:
+                raise JobError(
+                    f"only done/failed/dead jobs can be requeued; "
+                    f"{job_id!r} is {record['state']!r}"
+                )
+            now = time.time()
+            record.update(
+                state="queued",
+                attempts=0,
+                not_before=now,
+                error=None,
+                lease_owner=None,
+                lease_expires_at=None,
+                heartbeat_at=None,
+                started_at=None,
+                finished_at=None,
+                updated_at=now,
+            )
+            return Job(**record)
+
+    # ----------------------------------------------------------------- queries
+    def job(self, job_id: str) -> Optional[Job]:
+        with self._jobs_lock:
+            record = self._jobs.get(job_id)
+            return None if record is None else Job(**record)
+
+    def jobs(self, state: Optional[str] = None, limit: Optional[int] = None) -> List[Job]:
+        _require_state(state)
+        with self._jobs_lock:
+            records = sorted(
+                (
+                    record
+                    for record in self._jobs.values()
+                    if state is None or record["state"] == state
+                ),
+                key=lambda r: (-r["enqueued_at"], r["id"]),
+            )
+            if limit is not None:
+                records = records[: max(0, int(limit))]
+            return [Job(**record) for record in records]
+
+    def jobs_stats(self) -> Dict[str, Any]:
+        with self._jobs_lock:
+            return summarise_jobs(list(self._jobs.values()))
+
+
+def _expired_lease(record: Dict[str, Any], now: float) -> bool:
+    return (
+        record["state"] == "leased"
+        and record["lease_expires_at"] is not None
+        and record["lease_expires_at"] <= now
+    )
+
+
+def _claimable(record: Dict[str, Any], now: float) -> bool:
+    if record["state"] == "queued":
+        return record["not_before"] <= now
+    return _expired_lease(record, now)

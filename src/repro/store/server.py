@@ -1,19 +1,21 @@
 """Stdlib HTTP JSON API over a result store (``repro serve``).
 
-The service is read-mostly: it serves cached Pareto fronts, verification
-reports and study listings straight out of a
-:class:`~repro.store.backend.StoreBackend` without ever re-running an
-optimizer.  The one write-shaped endpoint, ``POST /api/v1/scenarios``, only
-*fingerprints* the submitted scenario document — clients learn the content
-address (and whether a result is already cached) and then fetch it by
-fingerprint.
+The read half serves cached Pareto fronts, verification reports and study
+listings straight out of a :class:`~repro.store.backend.StoreBackend` without
+ever re-running an optimizer.  The write half is the job queue: ``POST
+/api/v1/jobs`` accepts a scenario document, a study document or an array of
+scenarios and enqueues one durable job per unique scenario for ``repro work``
+workers to execute; clients poll ``GET /api/v1/jobs/<id>`` and fetch the
+Pareto front by fingerprint once the job is done.  (``POST
+/api/v1/scenarios`` remains the dry-run: it only *fingerprints* the document
+and reports whether a result is already cached.)
 
 Endpoints (all JSON):
 
 ====================================  =========================================
 ``GET  /``                            service banner + endpoint list
 ``GET  /api/v1/health``               liveness probe with entry count
-``GET  /api/v1/stats``                backend stats (hits, misses, size ...)
+``GET  /api/v1/stats``                backend + queue stats (hits, depth ...)
 ``GET  /api/v1/results``              metadata row per stored result
 ``GET  /api/v1/results/<fp>``         the full ScenarioResult document
 ``GET  /api/v1/results/<fp>/pareto``  just that result's Pareto front rows
@@ -21,7 +23,17 @@ Endpoints (all JSON):
 ``GET  /api/v1/studies``              recorded study name -> fingerprints
 ``GET  /api/v1/studies/<name>``       summary rows of one recorded study
 ``POST /api/v1/scenarios``            scenario document -> fingerprint + cached?
+``POST /api/v1/jobs``                 scenario/study document -> queued job(s)
+``GET  /api/v1/jobs``                 job listing (``?state=``, ``?limit=``)
+``GET  /api/v1/jobs/<id>``            one job: state, attempts, lease, error
+``POST /api/v1/jobs/<id>/requeue``    reset a done/failed/dead job to queued
+``DELETE /api/v1/jobs/<id>``          cancel a still-queued job
 ====================================  =========================================
+
+Every error path answers with the same JSON envelope
+(``{"error": ..., "status": ...}``): expected conditions map to 400/404/409,
+and any uncaught handler exception is converted into a 500 envelope instead
+of a raw traceback.
 
 Built on :class:`http.server.ThreadingHTTPServer`, so it has no dependencies
 beyond the standard library; the store's internal lock makes the concurrent
@@ -33,12 +45,13 @@ from __future__ import annotations
 import json
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, List, Optional, Tuple
-from urllib.parse import urlsplit
+from urllib.parse import parse_qs, urlsplit
 
-from ..errors import ScenarioError, StoreError
+from ..errors import JobError, ReproError, ScenarioError, StoreError
 from ..scenarios.scenario import Scenario
 from ..scenarios.study import ScenarioResult
 from .backend import StoreBackend
+from .jobs import DEFAULT_MAX_ATTEMPTS, Job, enqueue_submission
 
 __all__ = ["StoreHTTPServer", "create_server", "serve"]
 
@@ -55,6 +68,11 @@ _ENDPOINTS = [
     "GET  /api/v1/studies",
     "GET  /api/v1/studies/<name>",
     "POST /api/v1/scenarios",
+    "POST /api/v1/jobs",
+    "GET  /api/v1/jobs",
+    "GET  /api/v1/jobs/<id>",
+    "POST /api/v1/jobs/<id>/requeue",
+    "DELETE /api/v1/jobs/<id>",
 ]
 
 
@@ -112,18 +130,52 @@ class _StoreRequestHandler(BaseHTTPRequestHandler):
         self.server.store.touch(fingerprint)
         return result
 
-    # -------------------------------------------------------------------- routes
-    def do_GET(self) -> None:  # noqa: N802 - http.server API
+    def _read_body_json(self) -> Any:
+        """The request body decoded as JSON; raises ScenarioError on junk."""
         try:
-            self._route_get()
-        except StoreError as error:
+            length = int(self.headers.get("Content-Length", 0))
+        except ValueError:
+            length = 0
+        body = self.rfile.read(length) if length else b""
+        try:
+            return json.loads(body.decode("utf-8") or "null")
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise ScenarioError(f"request body is not valid JSON: {error}") from None
+
+    # -------------------------------------------------------------------- routes
+    def _dispatch(self, route) -> None:
+        """Run a router; every failure mode becomes the JSON error envelope.
+
+        Expected conditions keep their specific status codes (malformed
+        documents 400, bad transitions 409, store trouble 500); anything
+        uncaught is a 500 envelope rather than a raw traceback on the wire.
+        """
+        try:
+            route()
+        except ScenarioError as error:
+            self._send_error_json(400, str(error))
+        except JobError as error:
+            self._send_error_json(409, str(error))
+        except (StoreError, ReproError) as error:
             self._send_error_json(500, str(error))
+        except (BrokenPipeError, ConnectionError):  # pragma: no cover - client gone
+            pass
+        except Exception as error:  # noqa: BLE001 - the envelope is the contract
+            try:
+                self._send_error_json(
+                    500, f"internal error: {type(error).__name__}: {error}"
+                )
+            except (BrokenPipeError, ConnectionError):  # pragma: no cover
+                pass
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        self._dispatch(self._route_get)
 
     def do_POST(self) -> None:  # noqa: N802 - http.server API
-        try:
-            self._route_post()
-        except StoreError as error:
-            self._send_error_json(500, str(error))
+        self._dispatch(self._route_post)
+
+    def do_DELETE(self) -> None:  # noqa: N802 - http.server API
+        self._dispatch(self._route_delete)
 
     def _route_get(self) -> None:
         store = self.server.store
@@ -180,6 +232,28 @@ class _StoreRequestHandler(BaseHTTPRequestHandler):
                         ],
                     }
                 )
+        elif route == ["jobs"]:
+            query = parse_qs(urlsplit(self.path).query)
+            state = query.get("state", [None])[0]
+            limit_text = query.get("limit", [None])[0]
+            try:
+                limit = None if limit_text is None else int(limit_text)
+            except ValueError:
+                self._send_error_json(400, f"limit must be an integer, got {limit_text!r}")
+                return
+            jobs = store.jobs(state=state, limit=limit)
+            self._send_json(
+                {
+                    "jobs": [self._job_payload(job) for job in jobs],
+                    "stats": store.jobs_stats(),
+                }
+            )
+        elif len(route) == 2 and route[0] == "jobs":
+            job = store.job(route[1])
+            if job is None:
+                self._send_error_json(404, f"no job {route[1]!r} in the queue")
+                return
+            self._send_json(self._job_payload(job))
         elif route == ["studies"]:
             self._send_json({"studies": store.studies()})
         elif len(route) == 2 and route[0] == "studies":
@@ -200,34 +274,106 @@ class _StoreRequestHandler(BaseHTTPRequestHandler):
             self._send_error_json(404, f"unknown path {self.path!r}")
 
     def _route_post(self) -> None:
-        if self._segments() != ["api", "v1", "scenarios"]:
+        segments = self._segments()
+        route = segments[2:] if segments[:2] == ["api", "v1"] else None
+        if route == ["scenarios"]:
+            payload = self._read_body_json()
+            try:
+                scenario = Scenario.from_dict(payload)
+            except ScenarioError as error:
+                self._send_error_json(400, f"invalid scenario document: {error}")
+                return
+            fingerprint = scenario.fingerprint()
+            cached = fingerprint in self.server.store
+            self._send_json(
+                {
+                    "fingerprint": fingerprint,
+                    "cached": cached,
+                    "result_url": f"{API_PREFIX}/results/{fingerprint}",
+                    "pareto_url": f"{API_PREFIX}/results/{fingerprint}/pareto",
+                }
+            )
+        elif route == ["jobs"]:
+            self._submit_jobs(self._read_body_json())
+        elif route is not None and len(route) == 3 and route[0] == "jobs" and route[2] == "requeue":
+            if self.server.store.job(route[1]) is None:
+                self._send_error_json(404, f"no job {route[1]!r} in the queue")
+                return
+            job = self.server.store.requeue(route[1])
+            self._send_json(self._job_payload(job))
+        else:
             self._send_error_json(404, f"unknown path {self.path!r}")
+
+    def _route_delete(self) -> None:
+        segments = self._segments()
+        if len(segments) == 4 and segments[:3] == ["api", "v1", "jobs"]:
+            store = self.server.store
+            job_id = segments[3]
+            if store.cancel(job_id):
+                self._send_json({"id": job_id, "cancelled": True})
+                return
+            job = store.job(job_id)
+            if job is None:
+                self._send_error_json(404, f"no job {job_id!r} in the queue")
+            else:
+                self._send_error_json(
+                    409,
+                    f"job {job_id!r} is {job.state!r}; only queued jobs can be "
+                    f"cancelled (use POST .../requeue to reset finished jobs)",
+                )
             return
-        try:
-            length = int(self.headers.get("Content-Length", 0))
-        except ValueError:
-            length = 0
-        body = self.rfile.read(length) if length else b""
-        try:
-            payload = json.loads(body.decode("utf-8") or "null")
-        except (UnicodeDecodeError, json.JSONDecodeError) as error:
-            self._send_error_json(400, f"request body is not valid JSON: {error}")
-            return
-        try:
-            scenario = Scenario.from_dict(payload)
-        except ScenarioError as error:
-            self._send_error_json(400, f"invalid scenario document: {error}")
-            return
-        fingerprint = scenario.fingerprint()
-        cached = fingerprint in self.server.store
+        self._send_error_json(404, f"unknown path {self.path!r}")
+
+    # ---------------------------------------------------------------- job plumbing
+    def _submit_jobs(self, payload: Any) -> None:
+        """``POST /jobs``: enqueue one job per unique submitted scenario.
+
+        The body may be a bare scenario document, a study document, an array
+        of scenario documents, or any of those wrapped as ``{"scenario": ...,
+        "priority": ..., "max_attempts": ..., "study": ...}``.
+        """
+        priority = 0
+        max_attempts = DEFAULT_MAX_ATTEMPTS
+        study_override: Optional[str] = None
+        # The option wrapper is keyed "scenario"; a dict with "scenarios" is a
+        # study document and goes through scenarios_from_submission whole, so
+        # its name is preserved.
+        if isinstance(payload, dict) and "scenario" in payload:
+            try:
+                priority = int(payload.get("priority", 0))
+                max_attempts = int(payload.get("max_attempts", DEFAULT_MAX_ATTEMPTS))
+            except (TypeError, ValueError) as error:
+                self._send_error_json(
+                    400, f"priority/max_attempts must be integers: {error}"
+                )
+                return
+            if payload.get("study") is not None:
+                study_override = str(payload["study"])
+            payload = payload["scenario"]
+        study_name, jobs = enqueue_submission(
+            self.server.store,
+            payload,
+            priority=priority,
+            max_attempts=max_attempts,
+            study=study_override,
+        )
         self._send_json(
             {
-                "fingerprint": fingerprint,
-                "cached": cached,
-                "result_url": f"{API_PREFIX}/results/{fingerprint}",
-                "pareto_url": f"{API_PREFIX}/results/{fingerprint}/pareto",
-            }
+                "jobs": [self._job_payload(job) for job in jobs],
+                "count": len(jobs),
+                "study": study_name,
+            },
+            status=201,
         )
+
+    def _job_payload(self, job: Job) -> Dict[str, Any]:
+        """A job document plus navigation URLs and the cached/result state."""
+        payload = job.to_dict()
+        payload["job_url"] = f"{API_PREFIX}/jobs/{job.id}"
+        payload["result_url"] = f"{API_PREFIX}/results/{job.fingerprint}"
+        payload["pareto_url"] = f"{API_PREFIX}/results/{job.fingerprint}/pareto"
+        payload["result_cached"] = job.fingerprint in self.server.store
+        return payload
 
 
 def _result_rows(store: StoreBackend) -> List[Dict[str, Any]]:

@@ -18,6 +18,11 @@ scenario document).  It is the durable
   document still carries the requested fingerprint.
 * **Stats & GC** — per-instance hit/miss/eviction counters plus an LRU /
   max-age eviction policy (:meth:`gc`) keep long-lived stores bounded.
+* **Job queue** — a durable ``jobs`` table implements the
+  :class:`~repro.store.jobs.JobQueue` protocol (``queued → leased →
+  done|failed|dead`` with lease/heartbeat columns), so ``POST /jobs``
+  submissions survive restarts and any number of ``repro work`` processes
+  can claim work from the same file.
 
 The store is thread-safe (one connection guarded by a lock — the threading
 HTTP server in :mod:`repro.store.server` shares a single instance) and may be
@@ -31,16 +36,31 @@ import sqlite3
 import threading
 import time
 from pathlib import Path
-from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
-from ..errors import StoreError
+from ..errors import JobError, StoreError
 from ..scenarios.scenario import Scenario
 from ..scenarios.study import ScenarioResult
+from .jobs import (
+    DEFAULT_LEASE_SECONDS,
+    DEFAULT_MAX_ATTEMPTS,
+    TERMINAL_STATES,
+    Job,
+    _require_state,
+    _scenario_document,
+    failure_transition,
+    new_job_id,
+    summarise_jobs,
+)
 
-__all__ = ["STORE_SCHEMA", "ResultStore"]
+__all__ = ["MIGRATABLE_SCHEMAS", "STORE_SCHEMA", "ResultStore"]
 
 #: Identifier pinned in every store database; bump on incompatible layouts.
-STORE_SCHEMA = "repro.store/1"
+STORE_SCHEMA = "repro.store/2"
+
+#: Older schemas :class:`ResultStore` upgrades in place on open.  ``/2`` only
+#: *adds* the ``jobs`` table, so a ``/1`` database migrates losslessly.
+MIGRATABLE_SCHEMAS = ("repro.store/1",)
 
 def _current_version() -> str:
     """The installed library version (imported lazily: the package root is
@@ -77,6 +97,27 @@ CREATE TABLE IF NOT EXISTS studies (
     recorded_at REAL NOT NULL,
     PRIMARY KEY (study, fingerprint)
 );
+CREATE TABLE IF NOT EXISTS jobs (
+    id               TEXT PRIMARY KEY,
+    state            TEXT NOT NULL,
+    fingerprint      TEXT NOT NULL,
+    scenario         TEXT NOT NULL,
+    priority         INTEGER NOT NULL DEFAULT 0,
+    study            TEXT,
+    attempts         INTEGER NOT NULL DEFAULT 0,
+    max_attempts     INTEGER NOT NULL DEFAULT 3,
+    not_before       REAL NOT NULL DEFAULT 0,
+    lease_owner      TEXT,
+    lease_expires_at REAL,
+    heartbeat_at     REAL,
+    error            TEXT,
+    enqueued_at      REAL NOT NULL,
+    started_at       REAL,
+    finished_at      REAL,
+    updated_at       REAL NOT NULL
+);
+CREATE INDEX IF NOT EXISTS jobs_claim_idx
+    ON jobs (state, priority DESC, enqueued_at, id);
 """
 
 
@@ -144,7 +185,16 @@ class ResultStore:
             row = self._connection.execute(
                 "SELECT value FROM store_meta WHERE key='schema'"
             ).fetchone()
-            if row[0] != STORE_SCHEMA:
+            if row[0] in MIGRATABLE_SCHEMAS:
+                # The executescript above already created the tables this
+                # schema adds; stamping the new identifier completes the
+                # in-place upgrade (older builds will then refuse the file,
+                # which is the safe direction).
+                self._connection.execute(
+                    "UPDATE store_meta SET value = ? WHERE key='schema'",
+                    (STORE_SCHEMA,),
+                )
+            elif row[0] != STORE_SCHEMA:
                 raise StoreError(
                     f"result store {self._path} uses schema {row[0]!r}; "
                     f"this build reads {STORE_SCHEMA!r} — run its matching "
@@ -342,6 +392,263 @@ class ResultStore:
             index.setdefault(row["study"], []).append(row["fingerprint"])
         return index
 
+    # -------------------------------------------------------------- job queue
+    def enqueue(
+        self,
+        scenario: Union[Scenario, Dict[str, Any]],
+        priority: int = 0,
+        max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+        study: Optional[str] = None,
+    ) -> Job:
+        """Validate and append one scenario job; returns the queued job."""
+        fingerprint, document = _scenario_document(scenario)
+        now = time.time()
+        job_id = new_job_id()
+        with self._lock, self._connection:
+            self._execute(
+                """
+                INSERT INTO jobs (
+                    id, state, fingerprint, scenario, priority, study,
+                    attempts, max_attempts, not_before, enqueued_at, updated_at
+                ) VALUES (?, 'queued', ?, ?, ?, ?, 0, ?, ?, ?, ?)
+                """,
+                (
+                    job_id,
+                    fingerprint,
+                    json.dumps(document),
+                    int(priority),
+                    study,
+                    max(1, int(max_attempts)),
+                    now,
+                    now,
+                    now,
+                ),
+            )
+        return self.job(job_id)
+
+    def claim(
+        self, worker_id: str, lease_seconds: float = DEFAULT_LEASE_SECONDS
+    ) -> Optional[Job]:
+        """Atomically lease the next runnable job, or ``None``.
+
+        Runnable means queued with ``not_before`` due, or leased with an
+        *expired* lease (a crashed or wedged worker) — re-claiming such a job
+        is the crash-recovery path and counts as a fresh attempt.  Expired
+        jobs whose attempt budget is already spent are marked dead instead.
+        The candidate row is re-checked inside the conditional UPDATE, so
+        concurrent workers (threads or processes on the same file) never
+        claim the same job twice.
+        """
+        while True:
+            with self._lock, self._connection:
+                now = time.time()
+                row = self._execute(
+                    """
+                    SELECT id, state, attempts, max_attempts, started_at FROM jobs
+                    WHERE (state = 'queued' AND not_before <= ?)
+                       OR (state = 'leased' AND lease_expires_at <= ?)
+                    ORDER BY priority DESC, enqueued_at, id LIMIT 1
+                    """,
+                    (now, now),
+                ).fetchone()
+                if row is None:
+                    return None
+                guard = (
+                    "(state = 'queued' AND not_before <= ?) "
+                    "OR (state = 'leased' AND lease_expires_at <= ?)"
+                )
+                if row["state"] == "leased" and row["attempts"] >= row["max_attempts"]:
+                    self._execute(
+                        f"""
+                        UPDATE jobs SET state = 'dead', error = ?,
+                            lease_owner = NULL, lease_expires_at = NULL,
+                            finished_at = ?, updated_at = ?
+                        WHERE id = ? AND ({guard})
+                        """,
+                        (
+                            f"lease expired after attempt "
+                            f"{row['attempts']}/{row['max_attempts']}",
+                            now,
+                            now,
+                            row["id"],
+                            now,
+                            now,
+                        ),
+                    )
+                    continue
+                cursor = self._execute(
+                    f"""
+                    UPDATE jobs SET state = 'leased', attempts = attempts + 1,
+                        lease_owner = ?, lease_expires_at = ?, heartbeat_at = ?,
+                        started_at = COALESCE(started_at, ?), updated_at = ?
+                    WHERE id = ? AND ({guard})
+                    """,
+                    (worker_id, now + lease_seconds, now, now, now, row["id"], now, now),
+                )
+                if cursor.rowcount:
+                    return self._job_locked(row["id"])
+            # Lost the race for this candidate; look for the next one.
+
+    def heartbeat(
+        self, job_id: str, worker_id: str, lease_seconds: float = DEFAULT_LEASE_SECONDS
+    ) -> bool:
+        """Extend a held lease; False when the lease was lost in the meantime."""
+        now = time.time()
+        with self._lock, self._connection:
+            cursor = self._execute(
+                "UPDATE jobs SET lease_expires_at = ?, heartbeat_at = ?, updated_at = ? "
+                "WHERE id = ? AND state = 'leased' AND lease_owner = ?",
+                (now + lease_seconds, now, now, job_id, worker_id),
+            )
+        return bool(cursor.rowcount)
+
+    def _transition_held(
+        self, job_id: str, worker_id: str, sql: str, parameters: Tuple[Any, ...]
+    ) -> Job:
+        """Run a guarded leased-job UPDATE; raise :class:`JobError` on a lost lease."""
+        with self._lock, self._connection:
+            cursor = self._execute(
+                f"{sql} WHERE id = ? AND state = 'leased' AND lease_owner = ?",
+                parameters + (job_id, worker_id),
+            )
+            if cursor.rowcount:
+                return self._job_locked(job_id)
+            current = self._job_locked(job_id)
+        if current is None:
+            raise JobError(f"no job {job_id!r} in the queue")
+        raise JobError(
+            f"job {job_id!r} is not leased by {worker_id!r} "
+            f"(state {current.state!r}, owner {current.lease_owner!r})"
+        )
+
+    def complete(self, job_id: str, worker_id: str) -> Job:
+        """Mark a leased job done (the result is already in the store)."""
+        now = time.time()
+        return self._transition_held(
+            job_id,
+            worker_id,
+            "UPDATE jobs SET state = 'done', error = NULL, lease_owner = NULL, "
+            "lease_expires_at = NULL, finished_at = ?, updated_at = ?",
+            (now, now),
+        )
+
+    def fail(
+        self,
+        job_id: str,
+        worker_id: str,
+        error: str,
+        retryable: bool = True,
+        delay_seconds: float = 0.0,
+    ) -> Job:
+        """Record a failed attempt; re-queues (with backoff), fails or kills."""
+        with self._lock:
+            current = self._job_locked(job_id)
+        if current is None:
+            raise JobError(f"no job {job_id!r} in the queue")
+        now = time.time()
+        state, not_before = failure_transition(
+            current.attempts, current.max_attempts, retryable, now, delay_seconds
+        )
+        return self._transition_held(
+            job_id,
+            worker_id,
+            "UPDATE jobs SET state = ?, error = ?, not_before = ?, "
+            "lease_owner = NULL, lease_expires_at = NULL, finished_at = ?, "
+            "updated_at = ?",
+            (state, str(error), not_before, None if state == "queued" else now, now),
+        )
+
+    def release(self, job_id: str, worker_id: str) -> Job:
+        """Give a leased job back untouched (graceful shutdown mid-claim).
+
+        The released claim doesn't count against the retry budget.
+        """
+        now = time.time()
+        return self._transition_held(
+            job_id,
+            worker_id,
+            "UPDATE jobs SET state = 'queued', attempts = MAX(0, attempts - 1), "
+            "not_before = ?, lease_owner = NULL, lease_expires_at = NULL, "
+            "updated_at = ?",
+            (now, now),
+        )
+
+    def cancel(self, job_id: str) -> bool:
+        """Drop a *queued* job; False when absent or no longer cancellable."""
+        with self._lock, self._connection:
+            cursor = self._execute(
+                "DELETE FROM jobs WHERE id = ? AND state = 'queued'", (job_id,)
+            )
+        return bool(cursor.rowcount)
+
+    def requeue(self, job_id: str) -> Job:
+        """Reset a terminal (done/failed/dead) job to queued with a fresh budget."""
+        now = time.time()
+        placeholders = ", ".join("?" for _ in TERMINAL_STATES)
+        with self._lock, self._connection:
+            cursor = self._execute(
+                f"""
+                UPDATE jobs SET state = 'queued', attempts = 0, not_before = ?,
+                    error = NULL, lease_owner = NULL, lease_expires_at = NULL,
+                    heartbeat_at = NULL, started_at = NULL, finished_at = NULL,
+                    updated_at = ?
+                WHERE id = ? AND state IN ({placeholders})
+                """,
+                (now, now, job_id) + TERMINAL_STATES,
+            )
+            if cursor.rowcount:
+                return self._job_locked(job_id)
+            current = self._job_locked(job_id)
+        if current is None:
+            raise JobError(f"no job {job_id!r} in the queue")
+        raise JobError(
+            f"only done/failed/dead jobs can be requeued; "
+            f"{job_id!r} is {current.state!r}"
+        )
+
+    def job(self, job_id: str) -> Optional[Job]:
+        """The job with this id, or ``None``."""
+        with self._lock:
+            return self._job_locked(job_id)
+
+    def _job_locked(self, job_id: str) -> Optional[Job]:
+        row = self._execute("SELECT * FROM jobs WHERE id = ?", (job_id,)).fetchone()
+        return None if row is None else self._decode_job(row)
+
+    def jobs(self, state: Optional[str] = None, limit: Optional[int] = None) -> List[Job]:
+        """Jobs newest-first, optionally filtered by state."""
+        _require_state(state)
+        sql = "SELECT * FROM jobs"
+        parameters: Tuple[Any, ...] = ()
+        if state is not None:
+            sql += " WHERE state = ?"
+            parameters += (state,)
+        sql += " ORDER BY enqueued_at DESC, id"
+        if limit is not None:
+            sql += " LIMIT ?"
+            parameters += (max(0, int(limit)),)
+        with self._lock:
+            rows = self._execute(sql, parameters).fetchall()
+        return [self._decode_job(row) for row in rows]
+
+    def jobs_stats(self) -> Dict[str, Any]:
+        """Queue telemetry: per-state counts, depth, mean wait/run times."""
+        with self._lock:
+            rows = self._execute(
+                "SELECT state, enqueued_at, started_at, finished_at FROM jobs"
+            ).fetchall()
+        return summarise_jobs([dict(row) for row in rows])
+
+    def _decode_job(self, row: sqlite3.Row) -> Job:
+        record = dict(row)
+        try:
+            record["scenario"] = json.loads(record["scenario"])
+        except json.JSONDecodeError as error:
+            raise StoreError(
+                f"stored scenario for job {record['id']!r} is not valid JSON: {error}"
+            ) from None
+        return Job(**record)
+
     # -------------------------------------------------------------- maintenance
     def gc(
         self,
@@ -373,6 +680,15 @@ class ResultStore:
                 "DELETE FROM studies WHERE fingerprint NOT IN "
                 "(SELECT fingerprint FROM results)"
             )
+            if max_age_seconds is not None:
+                # Finished job rows age out alongside the results they
+                # produced; live (queued/leased) jobs are never collected.
+                placeholders = ", ".join("?" for _ in TERMINAL_STATES)
+                self._execute(
+                    f"DELETE FROM jobs WHERE state IN ({placeholders}) "
+                    f"AND updated_at < ?",
+                    TERMINAL_STATES + (time.time() - max_age_seconds,),
+                )
             self._bump_counter("evictions", removed)
         return removed
 
@@ -393,7 +709,7 @@ class ResultStore:
             size_bytes = self._path.stat().st_size
         except OSError:  # pragma: no cover - racing deletion
             size_bytes = 0
-        return {
+        stats = {
             "backend": self.backend_name,
             "path": str(self._path),
             "schema": STORE_SCHEMA,
@@ -405,6 +721,11 @@ class ResultStore:
             "evictions": counters["evictions"],
             "total_accesses": accesses,
         }
+        # Queue telemetry rides along with the cache counters, so
+        # `GET /stats` and `repro cache stats` surface both in one payload.
+        for key, value in self.jobs_stats().items():
+            stats[f"jobs_{key}"] = value
+        return stats
 
     def export_documents(self) -> List[Dict[str, Any]]:
         """Every stored document, decoded (for ``repro cache export``)."""

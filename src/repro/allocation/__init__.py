@@ -8,7 +8,8 @@
 * :mod:`~repro.allocation.batch`       — the vectorized population-level
   evaluation engine every optimizer backend runs on.
 * :mod:`~repro.allocation.pareto`      — non-dominated sorting, crowding
-  distance and Pareto-front containers.
+  distance and Pareto-front containers; each exists as a vectorized
+  NumPy-broadcast kernel plus an equivalence-tested pure-Python oracle.
 * :mod:`~repro.allocation.nsga2`       — the NSGA-II engine (Section III-D).
 * :mod:`~repro.allocation.heuristics`  — classical baselines (random, first-fit,
   most-used, least-used, uniform).
@@ -28,7 +29,17 @@ from .objectives import (
     ValidityReport,
 )
 from .batch import BatchEvaluation, BatchEvaluator
-from .pareto import ParetoFront, crowding_distance, dominates, non_dominated_sort
+from .pareto import (
+    ParetoFront,
+    crowding_distance,
+    crowding_distance_numpy,
+    crowding_distance_python,
+    dominance_matrix,
+    dominates,
+    non_dominated_sort,
+    non_dominated_sort_numpy,
+    non_dominated_sort_python,
+)
 from .nsga2 import Nsga2Optimizer, Nsga2Result
 from .heuristics import (
     first_fit_allocation,
@@ -52,8 +63,13 @@ __all__ = [
     "ValidityReport",
     "ParetoFront",
     "crowding_distance",
+    "crowding_distance_numpy",
+    "crowding_distance_python",
+    "dominance_matrix",
     "dominates",
     "non_dominated_sort",
+    "non_dominated_sort_numpy",
+    "non_dominated_sort_python",
     "Nsga2Optimizer",
     "Nsga2Result",
     "first_fit_allocation",

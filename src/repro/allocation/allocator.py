@@ -79,6 +79,21 @@ class ExplorationResult:
         """Memo hits recorded during the run (0 when the backend kept no count)."""
         return self.memo_hits or 0
 
+    @property
+    def evaluation_seconds(self) -> float:
+        """Time the GA spent evaluating objectives (0.0 for other backends)."""
+        return 0.0 if self.nsga2 is None else self.nsga2.evaluation_seconds
+
+    @property
+    def selection_seconds(self) -> float:
+        """Time the GA spent in selection: sort, crowding, front maintenance."""
+        return 0.0 if self.nsga2 is None else self.nsga2.selection_seconds
+
+    @property
+    def operator_seconds(self) -> float:
+        """Time the GA spent in crossover/mutation/tournament operators."""
+        return 0.0 if self.nsga2 is None else self.nsga2.operator_seconds
+
     @classmethod
     def from_solutions(
         cls,

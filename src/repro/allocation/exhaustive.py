@@ -118,7 +118,11 @@ def exhaustive_pareto_front(
 
     The space is evaluated in bounded batches through the evaluator's
     :class:`~repro.allocation.batch.BatchEvaluator`; only the current batch and
-    the front survivors are ever held in memory.
+    the front survivors are ever held in memory.  Each batch's valid solutions
+    enter the front through one batched
+    :meth:`~repro.allocation.pareto.ParetoFront.extend_array` broadcast
+    (identical outcome to per-solution :meth:`~repro.allocation.pareto.ParetoFront.add`
+    calls in enumeration order).
     """
     front: ParetoFront[AllocationSolution] = ParetoFront()
     valid_count = 0
@@ -129,8 +133,16 @@ def exhaustive_pareto_front(
         DEFAULT_BATCH_SIZE if batch_size is None else batch_size,
     ):
         evaluation = batch_evaluator.evaluate_population(batch)
-        for index in np.flatnonzero(evaluation.valid):
-            solution = evaluation.solution(int(index))
-            front.add(solution, solution.objective_tuple(objective_keys))
+        solutions = [
+            evaluation.solution(int(index)) for index in np.flatnonzero(evaluation.valid)
+        ]
+        if solutions:
+            front.extend_array(
+                np.asarray(
+                    [solution.objective_tuple(objective_keys) for solution in solutions],
+                    dtype=float,
+                ),
+                solutions,
+            )
         valid_count += evaluation.valid_count
     return front, valid_count

@@ -64,8 +64,16 @@ class GenerationRecord:
     evaluations: int = 0
     #: Chromosomes served from the byte-fingerprint memo this generation.
     memo_hits: int = 0
-    #: Wall-clock time of the generation (operators + evaluation), seconds.
+    #: Wall-clock time of the generation (all phases), seconds.
     wall_clock_seconds: float = 0.0
+    #: Time spent evaluating objectives (memo lookups + engine), seconds.
+    evaluation_seconds: float = 0.0
+    #: Time spent in selection (non-dominated sort, crowding, environmental
+    #: selection and run-wide Pareto-front maintenance), seconds.
+    selection_seconds: float = 0.0
+    #: Time spent in the genetic operators (tournament draws, crossover,
+    #: mutation on population matrices), seconds.
+    operator_seconds: float = 0.0
 
 
 @dataclass
@@ -81,6 +89,10 @@ class Nsga2Result:
     memo_hits: int = 0
     wall_clock_seconds: float = 0.0
     engine: str = "batch"
+    #: Run totals of the per-generation phase split (see :class:`GenerationRecord`).
+    evaluation_seconds: float = 0.0
+    selection_seconds: float = 0.0
+    operator_seconds: float = 0.0
 
     @property
     def valid_solution_count(self) -> int:
@@ -166,6 +178,10 @@ class Nsga2Optimizer:
             )
         self._objective_keys = keys
         self._engine = engine
+        #: Selection kernels follow the evaluation engine: the batch engine
+        #: uses the NumPy-broadcast sort/crowding/front kernels, the scalar
+        #: engine the pure-Python oracle (bit-identical, equivalence-tested).
+        self._kernel_engine = "vectorized" if engine == "batch" else "python"
         self._batch = evaluator.batch()
         self._rng = np.random.default_rng(self._parameters.seed)
         self._memo: Dict[bytes, _EvalRecord] = {}
@@ -173,6 +189,7 @@ class Nsga2Optimizer:
         self._memo_hits = 0
         self._genome = evaluator.communication_count * evaluator.wavelength_count
         self._objective_columns = [ObjectiveVector.KEYS.index(key) for key in keys]
+        self._phase_seconds = {"evaluation": 0.0, "selection": 0.0, "operator": 0.0}
 
     # ----------------------------------------------------------------- public
     @property
@@ -247,6 +264,9 @@ class Nsga2Optimizer:
             memo_hits=self._memo_hits,
             wall_clock_seconds=time.perf_counter() - run_started,
             engine=self._engine,
+            evaluation_seconds=sum(record.evaluation_seconds for record in history),
+            selection_seconds=sum(record.selection_seconds for record in history),
+            operator_seconds=sum(record.operator_seconds for record in history),
         )
 
     # ------------------------------------------------------------ inner steps
@@ -286,8 +306,12 @@ class Nsga2Optimizer:
 
         Returns the full three-objective matrix (``inf`` rows for invalid
         chromosomes).  Newly discovered valid chromosomes are materialised once
-        and absorbed into the run-wide books.
+        and absorbed into the run-wide books; the batch engine feeds them to
+        the run-wide Pareto front in one batched
+        :meth:`~repro.allocation.pareto.ParetoFront.extend_array` call per
+        generation, the scalar engine adds them one by one (the oracle path).
         """
+        started = time.perf_counter()
         keys = [row.tobytes() for row in matrix]
         fresh: Dict[bytes, int] = {}
         for index, key in enumerate(keys):
@@ -296,6 +320,7 @@ class Nsga2Optimizer:
             else:
                 fresh[key] = index
 
+        newcomers: List[AllocationSolution] = []
         if fresh:
             fresh_indices = list(fresh.values())
             if self._engine == "batch":
@@ -312,7 +337,7 @@ class Nsga2Optimizer:
                         valid=valid,
                         solution=solution,
                     )
-                    self._store(key, record, unique_valid, front)
+                    self._store(key, record, unique_valid, newcomers)
             else:
                 nl = self._evaluator.communication_count
                 nw = self._evaluator.wavelength_count
@@ -325,11 +350,28 @@ class Nsga2Optimizer:
                         valid=solution.is_valid,
                         solution=solution if solution.is_valid else None,
                     )
-                    self._store(key, record, unique_valid, front)
+                    self._store(key, record, unique_valid, newcomers)
 
         objectives = np.empty((matrix.shape[0], 3))
         for index, key in enumerate(keys):
             objectives[index] = self._memo[key].objectives
+        self._phase_seconds["evaluation"] += time.perf_counter() - started
+
+        if newcomers:
+            started = time.perf_counter()
+            pairs = [
+                (solution, solution.objective_tuple(self._objective_keys))
+                for solution in newcomers
+            ]
+            if self._engine == "batch":
+                front.extend_array(
+                    np.asarray([objective for _, objective in pairs], dtype=float),
+                    [solution for solution, _ in pairs],
+                )
+            else:
+                for solution, objective in pairs:
+                    front.add(solution, objective)
+            self._phase_seconds["selection"] += time.perf_counter() - started
         return objectives
 
     def _store(
@@ -337,7 +379,7 @@ class Nsga2Optimizer:
         key: bytes,
         record: _EvalRecord,
         unique_valid: Dict[Tuple[int, ...], AllocationSolution],
-        front: ParetoFront[AllocationSolution],
+        newcomers: List[AllocationSolution],
     ) -> None:
         self._memo[key] = record
         self._evaluations += 1
@@ -345,10 +387,7 @@ class Nsga2Optimizer:
             genes = record.solution.chromosome.genes
             if genes not in unique_valid:
                 unique_valid[genes] = record.solution
-                front.add(
-                    record.solution,
-                    record.solution.objective_tuple(self._objective_keys),
-                )
+                newcomers.append(record.solution)
 
     def _materialize(self, row: np.ndarray) -> AllocationSolution:
         """Full :class:`AllocationSolution` of one (already evaluated) row."""
@@ -365,31 +404,38 @@ class Nsga2Optimizer:
             wavelength_counts=chromosome.wavelength_counts(),
         )
 
-    def _keyed(self, objectives: np.ndarray) -> List[Tuple[float, ...]]:
-        """Objective rows projected onto the optimised keys, as plain tuples."""
-        projected = objectives[:, self._objective_columns]
-        return [tuple(row) for row in projected]
+    def _keyed(self, objectives: np.ndarray) -> np.ndarray:
+        """Objective rows projected onto the optimised keys, as one matrix.
+
+        The selection path stays in arrays end to end: the projection is a
+        contiguous ``(pool, n_keys)`` view the sort/crowding kernels consume
+        directly (no per-row tuple round-trips).
+        """
+        return np.ascontiguousarray(objectives[:, self._objective_columns])
 
     def _rank_and_distance(
         self, objectives: np.ndarray
     ) -> Tuple[np.ndarray, np.ndarray]:
+        started = time.perf_counter()
         keyed = self._keyed(objectives)
-        fronts = non_dominated_sort(keyed)
+        fronts = non_dominated_sort(keyed, engine=self._kernel_engine)
         rank = np.zeros(len(keyed), dtype=int)
         distance = np.zeros(len(keyed))
         for front_position, front_indices in enumerate(fronts):
-            front_objectives = [keyed[index] for index in front_indices]
-            front_distances = crowding_distance(front_objectives)
-            for local, index in enumerate(front_indices):
-                rank[index] = front_position
-                distance[index] = front_distances[local]
+            indices = np.asarray(front_indices, dtype=int)
+            rank[indices] = front_position
+            distance[indices] = crowding_distance(
+                keyed[indices], engine=self._kernel_engine
+            )
+        self._phase_seconds["selection"] += time.perf_counter() - started
         return rank, distance
 
     def _environmental_selection(self, objectives: np.ndarray) -> np.ndarray:
         """Indices of the survivors among the merged parent+offspring pool."""
+        started = time.perf_counter()
         target = self._parameters.population_size
         keyed = self._keyed(objectives)
-        fronts = non_dominated_sort(keyed)
+        fronts = non_dominated_sort(keyed, engine=self._kernel_engine)
         selected: List[int] = []
         for front_indices in fronts:
             if len(selected) + len(front_indices) <= target:
@@ -398,11 +444,14 @@ class Nsga2Optimizer:
             remaining = target - len(selected)
             if remaining <= 0:
                 break
-            front_objectives = [keyed[index] for index in front_indices]
-            distances = crowding_distance(front_objectives)
+            distances = crowding_distance(
+                keyed[np.asarray(front_indices, dtype=int)],
+                engine=self._kernel_engine,
+            )
             order = np.argsort(-distances, kind="stable")
             selected.extend(front_indices[position] for position in order[:remaining])
             break
+        self._phase_seconds["selection"] += time.perf_counter() - started
         return np.asarray(selected, dtype=int)
 
     def _make_offspring(
@@ -416,6 +465,7 @@ class Nsga2Optimizer:
         (segment swaps, bit flips) is applied to whole matrices at once.
         """
         rank, distance = self._rank_and_distance(objectives)
+        started = time.perf_counter()
         target = self._parameters.population_size
         pair_count = (target + 1) // 2
         winners = np.empty(2 * pair_count, dtype=int)
@@ -447,6 +497,7 @@ class Nsga2Optimizer:
         if flip_rows and probability > 0.0:
             flips = np.stack(flip_rows)
             offspring = np.where(flips, 1 - offspring, offspring).astype(np.uint8)
+        self._phase_seconds["operator"] += time.perf_counter() - started
         return np.ascontiguousarray(offspring)
 
     def _tournament(self, rank: np.ndarray, distance: np.ndarray) -> int:
@@ -522,6 +573,8 @@ class Nsga2Optimizer:
             best_energy = float(objectives[valid, 2].min())
         else:
             best_time = best_energy = best_ber = float("inf")
+        phases = self._phase_seconds
+        self._phase_seconds = {"evaluation": 0.0, "selection": 0.0, "operator": 0.0}
         return GenerationRecord(
             generation=generation,
             valid_count=int(np.count_nonzero(valid)),
@@ -532,4 +585,7 @@ class Nsga2Optimizer:
             evaluations=self._evaluations - evaluations_before,
             memo_hits=self._memo_hits - memo_hits_before,
             wall_clock_seconds=time.perf_counter() - started,
+            evaluation_seconds=phases["evaluation"],
+            selection_seconds=phases["selection"],
+            operator_seconds=phases["operator"],
         )

@@ -11,6 +11,26 @@ These are the two pillars of NSGA-II (Deb et al., the paper's reference [4]):
 All objectives are minimised.  The functions operate on plain objective arrays
 so they are reusable outside the GA (the exhaustive search and the analysis
 module use them too).
+
+Like objective evaluation, selection exists in two deliberately redundant
+implementations:
+
+* **Pure-Python oracle** — :func:`non_dominated_sort_python` /
+  :func:`crowding_distance_python` keep the readable, textbook O(N²·M) code
+  (the historical implementation).  They define the semantics, including the
+  exact front *order* Deb's book-keeping produces and the exact floating-point
+  summation order of the crowding distances.
+* **Vectorized kernels** — :func:`non_dominated_sort_numpy` /
+  :func:`crowding_distance_numpy` compute the same results through NumPy
+  broadcasts (one pairwise ``<=``/``<`` domination matrix, iterative front
+  peeling; per-objective ``argsort`` + neighbour-gap ``diff``).  They are
+  constructed to reproduce the oracle bit for bit — identical front index
+  order, distances to 0 ulp — and the randomized equivalence suite in
+  ``tests/test_selection_kernels.py`` pins that down.
+
+The public :func:`non_dominated_sort` / :func:`crowding_distance` entry points
+dispatch to the vectorized kernels by default; ``engine="python"`` selects the
+oracle (the GA's ``engine="scalar"`` plumbing routes through it).
 """
 
 from __future__ import annotations
@@ -20,9 +40,29 @@ from typing import Generic, Iterable, List, Sequence, Tuple, TypeVar
 
 import numpy as np
 
-__all__ = ["dominates", "non_dominated_sort", "crowding_distance", "ParetoFront"]
+__all__ = [
+    "dominates",
+    "dominance_matrix",
+    "non_dominated_sort",
+    "non_dominated_sort_numpy",
+    "non_dominated_sort_python",
+    "crowding_distance",
+    "crowding_distance_numpy",
+    "crowding_distance_python",
+    "ParetoFront",
+]
 
 T = TypeVar("T")
+
+#: Selection-kernel engines accepted by the dispatching entry points.
+_KERNEL_ENGINES = ("vectorized", "python")
+
+#: Finite stand-in for infinite objectives inside the crowding computation.
+_INF_CLAMP = 1.0e300
+
+#: Candidates per internal broadcast chunk of :meth:`ParetoFront.extend_array`
+#: (bounds the ``O(chunk² · M)`` comparison tensors however large the batch is).
+_EXTEND_CHUNK = 1024
 
 
 def dominates(first: Sequence[float], second: Sequence[float]) -> bool:
@@ -33,24 +73,78 @@ def dominates(first: Sequence[float], second: Sequence[float]) -> bool:
     """
     if len(first) != len(second):
         raise ValueError("objective vectors must have the same length")
-    not_worse = all(a <= b for a, b in zip(first, second))
-    strictly_better = any(a < b for a, b in zip(first, second))
-    return not_worse and strictly_better
+    return _dominates_unchecked(first, second)
 
 
-def non_dominated_sort(objectives: Sequence[Sequence[float]]) -> List[List[int]]:
+def _dominates_unchecked(first: Sequence[float], second: Sequence[float]) -> bool:
+    """The dominance test without the length check (sort-kernel hot path).
+
+    The oracle sort calls this O(N²) times per generation; hoisting the length
+    validation (the vectors all come from one objective matrix) keeps the
+    public :func:`dominates` contract without paying for it per pair.
+    """
+    strictly_better = False
+    for a, b in zip(first, second):
+        if a > b:
+            return False
+        if a < b:
+            strictly_better = True
+    return strictly_better
+
+
+def dominance_matrix(objectives: np.ndarray) -> np.ndarray:
+    """Pairwise domination of an ``(N, M)`` objective matrix as an ``(N, N)`` bool array.
+
+    ``result[p, q]`` is True when row ``p`` Pareto-dominates row ``q``.  The
+    comparison semantics (``inf`` rows, duplicate vectors) match
+    :func:`dominates` exactly: equal rows dominate nothing, an all-``inf`` row
+    is dominated by every finite row.
+    """
+    matrix = np.asarray(objectives, dtype=float)
+    if matrix.ndim != 2:
+        raise ValueError("the objective matrix must be two-dimensional")
+    # One (N, N, M) comparison suffices: with no_worse[p, q] = all(p <= q),
+    # "p strictly beats q somewhere" is exactly ~no_worse[q, p].
+    no_worse = (matrix[:, None, :] <= matrix[None, :, :]).all(axis=-1)
+    return no_worse & ~no_worse.T
+
+
+def non_dominated_sort(
+    objectives: Sequence[Sequence[float]], engine: str = "vectorized"
+) -> List[List[int]]:
     """Fast non-dominated sort of Deb et al.
 
     Parameters
     ----------
     objectives:
-        One objective vector per solution (all minimised).
+        One objective vector per solution (all minimised); any sequence of
+        sequences or an ``(N, M)`` array.
+    engine:
+        ``"vectorized"`` (default) runs the NumPy-broadcast kernel,
+        ``"python"`` the pure-Python oracle.  Both produce identical fronts in
+        identical index order.
 
     Returns
     -------
     list of fronts, each a list of solution indices; the first front contains
     the non-dominated solutions.
     """
+    if engine not in _KERNEL_ENGINES:
+        raise ValueError(
+            f"unknown selection-kernel engine {engine!r}; choose from {_KERNEL_ENGINES}"
+        )
+    if engine == "python":
+        return non_dominated_sort_python(objectives)
+    count = len(objectives)
+    if count == 0:
+        return []
+    return non_dominated_sort_numpy(np.asarray(objectives, dtype=float))
+
+
+def non_dominated_sort_python(
+    objectives: Sequence[Sequence[float]],
+) -> List[List[int]]:
+    """The pure-Python oracle sort (historical implementation, O(N²·M))."""
     count = len(objectives)
     if count == 0:
         return []
@@ -62,9 +156,9 @@ def non_dominated_sort(objectives: Sequence[Sequence[float]]) -> List[List[int]]
         for q in range(count):
             if p == q:
                 continue
-            if dominates(objectives[p], objectives[q]):
+            if _dominates_unchecked(objectives[p], objectives[q]):
                 dominated_by[p].append(q)
-            elif dominates(objectives[q], objectives[p]):
+            elif _dominates_unchecked(objectives[q], objectives[p]):
                 domination_counter[p] += 1
         if domination_counter[p] == 0:
             fronts[0].append(p)
@@ -83,20 +177,72 @@ def non_dominated_sort(objectives: Sequence[Sequence[float]]) -> List[List[int]]
     return fronts
 
 
-def crowding_distance(objectives: Sequence[Sequence[float]]) -> np.ndarray:
+def non_dominated_sort_numpy(objectives: np.ndarray) -> List[List[int]]:
+    """Vectorized non-dominated sort over an ``(N, M)`` objective matrix.
+
+    One broadcast builds the full domination matrix, then fronts are peeled
+    iteratively: the solutions whose remaining domination count reaches zero
+    form the next front.  The emitted index order reproduces Deb's book-keeping
+    exactly — the oracle appends a solution the moment its *last* dominator in
+    the current front is processed, so each peeled front is ordered by
+    ``(position of that last dominator within the current front, index)``.
+    """
+    matrix = np.asarray(objectives, dtype=float)
+    count = matrix.shape[0]
+    if count == 0:
+        return []
+    dominated = dominance_matrix(matrix)
+    counts = dominated.sum(axis=0)
+    current = np.flatnonzero(counts == 0)
+    fronts: List[List[int]] = [current.tolist()]
+    assigned = np.zeros(count, dtype=bool)
+    while True:
+        assigned[current] = True
+        released = dominated[current].sum(axis=0)
+        counts = counts - released
+        candidates = np.flatnonzero(~assigned & (counts == 0))
+        if candidates.size == 0:
+            break
+        blocks = dominated[np.ix_(current, candidates)]
+        last_dominator = (len(current) - 1) - np.argmax(blocks[::-1], axis=0)
+        order = np.lexsort((candidates, last_dominator))
+        current = candidates[order]
+        fronts.append(current.tolist())
+    return fronts
+
+
+def crowding_distance(
+    objectives: Sequence[Sequence[float]], engine: str = "vectorized"
+) -> np.ndarray:
     """Crowding distance of every solution of one front.
 
     Boundary solutions of each objective receive an infinite distance so they
     are always preferred; interior solutions receive the normalised size of the
-    cuboid formed by their nearest neighbours.
+    cuboid formed by their nearest neighbours.  ``engine`` picks the vectorized
+    kernel (default) or the pure-Python oracle; both return bit-identical
+    distances.
     """
+    if engine not in _KERNEL_ENGINES:
+        raise ValueError(
+            f"unknown selection-kernel engine {engine!r}; choose from {_KERNEL_ENGINES}"
+        )
+    if engine == "python":
+        return crowding_distance_python(objectives)
+    count = len(objectives)
+    if count == 0:
+        return np.zeros(0)
+    return crowding_distance_numpy(np.asarray(objectives, dtype=float))
+
+
+def crowding_distance_python(objectives: Sequence[Sequence[float]]) -> np.ndarray:
+    """The pure-Python oracle crowding distance (historical implementation)."""
     count = len(objectives)
     if count == 0:
         return np.zeros(0)
     matrix = np.asarray(objectives, dtype=float)
     # Invalid solutions carry infinite objectives; clamp them to a large finite
     # value so the sort and the neighbour differences stay well defined.
-    matrix = np.where(np.isfinite(matrix), matrix, 1.0e300)
+    matrix = np.where(np.isfinite(matrix), matrix, _INF_CLAMP)
     distances = np.zeros(count)
     objective_count = matrix.shape[1]
     for objective in range(objective_count):
@@ -111,6 +257,34 @@ def crowding_distance(objectives: Sequence[Sequence[float]]) -> np.ndarray:
             distances[order[position]] += (
                 values[position + 1] - values[position - 1]
             ) / span
+    return distances
+
+
+def crowding_distance_numpy(objectives: np.ndarray) -> np.ndarray:
+    """Vectorized crowding distance over an ``(N, M)`` objective matrix.
+
+    Per objective column: one stable ``argsort``, the neighbour gaps as a
+    single ``values[2:] - values[:-2]`` slice difference, scattered back with
+    one fancy-indexed add.  Objectives accumulate in column order with the
+    same elementwise operations as the oracle, so the distances match to
+    0 ulp.
+    """
+    matrix = np.asarray(objectives, dtype=float)
+    count = matrix.shape[0]
+    if count == 0:
+        return np.zeros(0)
+    matrix = np.where(np.isfinite(matrix), matrix, _INF_CLAMP)
+    distances = np.zeros(count)
+    order = np.argsort(matrix, axis=0, kind="stable")
+    for objective in range(matrix.shape[1]):
+        column_order = order[:, objective]
+        values = matrix[column_order, objective]
+        distances[column_order[0]] = np.inf
+        distances[column_order[-1]] = np.inf
+        span = values[-1] - values[0]
+        if span <= 0.0 or count < 3:
+            continue
+        distances[column_order[1:-1]] += (values[2:] - values[:-2]) / span
     return distances
 
 
@@ -148,6 +322,77 @@ class ParetoFront(Generic[T]):
     def extend(self, pairs: Iterable[Tuple[T, Sequence[float]]]) -> int:
         """Insert several ``(item, objective)`` pairs; returns how many joined."""
         return sum(1 for item, objective in pairs if self.add(item, objective))
+
+    def extend_array(
+        self, objectives_matrix: Sequence[Sequence[float]], items: Sequence[T]
+    ) -> int:
+        """Batched insertion: dominance against the front in one broadcast.
+
+        Equivalent to calling :meth:`add` for every ``(item, row)`` pair in
+        order — the resulting front holds the same items in the same order —
+        but the candidate-vs-front and candidate-vs-candidate comparisons run
+        as whole-matrix broadcasts instead of per-item rescans.  Because Pareto
+        dominance is transitive, a candidate survives the sequential insertion
+        exactly when no front member dominates or equals it, no other candidate
+        dominates it, and no *earlier* candidate equals it; evicted front
+        members are exactly those dominated by a surviving candidate.
+
+        Returns the number of candidates that are part of the front afterwards
+        (unlike :meth:`extend`, candidates that would only have joined
+        transiently before a later candidate evicted them are not counted).
+        """
+        candidates = np.asarray(objectives_matrix, dtype=float)
+        items = list(items)
+        if candidates.size == 0 and not items:
+            return 0
+        if candidates.ndim != 2:
+            raise ValueError("the candidate objective matrix must be two-dimensional")
+        if candidates.shape[0] != len(items):
+            raise ValueError(
+                f"got {candidates.shape[0]} objective rows for {len(items)} items"
+            )
+        if self.objectives and candidates.shape[1] != len(self.objectives[0]):
+            raise ValueError("objective vectors must have the same length")
+        inserted = 0
+        for start in range(0, len(items), _EXTEND_CHUNK):
+            stop = start + _EXTEND_CHUNK
+            inserted += self._extend_chunk(candidates[start:stop], items[start:stop])
+        return inserted
+
+    def _extend_chunk(self, candidates: np.ndarray, items: List[T]) -> int:
+        count = len(items)
+        rejected = np.zeros(count, dtype=bool)
+        front_le = None
+        if self.objectives:
+            existing = np.asarray(self.objectives, dtype=float)
+            # front_le[e, c]: front member e is no worse than candidate c in
+            # every objective — i.e. e dominates *or equals* c, the exact
+            # rejection condition of a sequential :meth:`add`.
+            front_le = (existing[:, None, :] <= candidates[None, :, :]).all(axis=-1)
+            rejected |= front_le.any(axis=0)
+        # cand_le[p, q]: candidate p no worse than candidate q everywhere.
+        # p dominates q iff cand_le[p, q] and not cand_le[q, p]; p equals q
+        # iff both hold.
+        cand_le = (candidates[:, None, :] <= candidates[None, :, :]).all(axis=-1)
+        rejected |= (cand_le & ~cand_le.T).any(axis=0)  # dominated by another candidate
+        equal = cand_le & cand_le.T
+        rejected |= np.triu(equal, 1).any(axis=0)  # duplicate of an earlier candidate
+        accepted = np.flatnonzero(~rejected)
+        if accepted.size == 0:
+            return 0
+        if self.objectives:
+            # Winner w dominates front member e iff e >= w everywhere
+            # (front_ge) without e <= w everywhere (front_le).
+            front_ge = (existing[:, None, :] >= candidates[None, accepted, :]).all(axis=-1)
+            evicted = (front_ge & ~front_le[:, accepted]).any(axis=1)
+            if evicted.any():
+                survivors = np.flatnonzero(~evicted)
+                self.items = [self.items[index] for index in survivors]
+                self.objectives = [self.objectives[index] for index in survivors]
+        for index in accepted:
+            self.items.append(items[index])
+            self.objectives.append(tuple(float(value) for value in candidates[index]))
+        return int(accepted.size)
 
     def sorted_by(self, objective_index: int) -> List[Tuple[T, Tuple[float, ...]]]:
         """Items and objectives sorted by one objective, ascending."""

@@ -20,8 +20,6 @@ from typing import Sequence, Tuple
 
 import numpy as np
 
-from .. import allocation as _allocation
-
 __all__ = ["hypervolume_2d", "front_spread", "front_extent", "coverage"]
 
 
@@ -89,17 +87,19 @@ def front_extent(front: Sequence[Sequence[float]]) -> Tuple[Tuple[float, float],
 def coverage(
     first: Sequence[Sequence[float]], second: Sequence[Sequence[float]]
 ) -> float:
-    """Zitzler C-metric: fraction of ``second`` dominated by at least one point of ``first``."""
+    """Zitzler C-metric: fraction of ``second`` dominated by at least one point of ``first``.
+
+    The pairwise dominance tests run as one ``(len(first), len(second))``
+    broadcast with the same semantics as
+    :func:`repro.allocation.pareto.dominates` (equal points dominate nothing).
+    """
     if len(second) == 0:
         return 0.0
     if len(first) == 0:
         return 0.0
     first_matrix = _as_matrix(first)
     second_matrix = _as_matrix(second)
-    dominated = 0
-    for candidate in second_matrix:
-        if any(
-            _allocation.dominates(tuple(point), tuple(candidate)) for point in first_matrix
-        ):
-            dominated += 1
-    return dominated / len(second_matrix)
+    left = first_matrix[:, None, :]
+    right = second_matrix[None, :, :]
+    dominated = ((left <= right).all(axis=-1) & (left < right).any(axis=-1)).any(axis=0)
+    return int(dominated.sum()) / len(second_matrix)

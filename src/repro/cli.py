@@ -241,6 +241,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="SQLite result store: serve the scenario from it when cached, "
         "persist the result into it otherwise",
     )
+    run.add_argument(
+        "--profile",
+        action="store_true",
+        help="print the per-phase GA time breakdown "
+        "(objective evaluation / selection / genetic operators)",
+    )
 
     study = subparsers.add_parser(
         "study", help="execute a batch of scenarios from a JSON file"
@@ -737,10 +743,36 @@ def _command_run(args: argparse.Namespace) -> int:
     )
     rows = [dict(row) for row in summary.pareto_rows]
     print(format_table(rows))
+    if args.profile:
+        print(_profile_report(summary))
     if summary.verified:
         print(divergence_report(summary))
     _maybe_write_csv(args, rows)
     return 0 if (not summary.verified or summary.verification_passed) else 1
+
+
+def _profile_report(summary: "ScenarioResult") -> str:
+    """The per-phase GA time breakdown of one scenario result."""
+    phases = (
+        ("evaluation", summary.evaluation_seconds),
+        ("selection", summary.selection_seconds),
+        ("operators", summary.operator_seconds),
+    )
+    accounted = sum(seconds for _, seconds in phases)
+    if accounted <= 0.0:
+        return (
+            f"phase breakdown: none recorded (the {summary.optimizer!r} backend "
+            "keeps no per-phase telemetry, or the result was served from a "
+            "store written before profiling existed)"
+        )
+    total = summary.runtime_seconds
+    parts = []
+    for name, seconds in phases:
+        share = 100.0 * seconds / total if total > 0.0 else 0.0
+        parts.append(f"{name} {seconds:.3f}s ({share:.0f}%)")
+    other = max(total - accounted, 0.0)
+    parts.append(f"other {other:.3f}s")
+    return "phase breakdown: " + ", ".join(parts)
 
 
 def _command_study(args: argparse.Namespace) -> int:

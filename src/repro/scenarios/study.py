@@ -219,6 +219,9 @@ class ScenarioOutcome:
             scenario=self.scenario.to_dict(),
             evaluations=self.result.evaluation_count,
             memo_hits=self.result.memo_hit_count,
+            evaluation_seconds=self.result.evaluation_seconds,
+            selection_seconds=self.result.selection_seconds,
+            operator_seconds=self.result.operator_seconds,
             verified=verification is not None,
             sim_conflicts=0 if verification is None else verification.conflict_count,
             sim_divergences=0 if verification is None else verification.divergence_count,
@@ -262,6 +265,12 @@ class ScenarioResult:
     evaluations: int = 0
     #: Evaluations skipped by the GA's duplicate-aware memo.
     memo_hits: int = 0
+    #: GA time spent evaluating objectives (0.0 for non-GA backends).
+    evaluation_seconds: float = 0.0
+    #: GA time spent in selection (sort, crowding, Pareto-front maintenance).
+    selection_seconds: float = 0.0
+    #: GA time spent in the genetic operators (tournament, crossover, mutation).
+    operator_seconds: float = 0.0
     #: True when the Pareto front was replayed through the simulator.
     verified: bool = False
     #: Total wavelength conflicts observed across every replay.
@@ -302,6 +311,9 @@ class ScenarioResult:
             "evaluations": self.evaluations,
             "memo_hits": self.memo_hits,
             "runtime_seconds": self.runtime_seconds,
+            "evaluation_seconds": self.evaluation_seconds,
+            "selection_seconds": self.selection_seconds,
+            "operator_seconds": self.operator_seconds,
             "verified": self.verified,
             "sim_conflicts": self.sim_conflicts,
             "sim_divergences": self.sim_divergences,
@@ -326,6 +338,9 @@ class ScenarioResult:
             "evaluations": self.evaluations,
             "memo_hits": self.memo_hits,
             "runtime_seconds": self.runtime_seconds,
+            "evaluation_seconds": self.evaluation_seconds,
+            "selection_seconds": self.selection_seconds,
+            "operator_seconds": self.operator_seconds,
             "pareto_rows": [dict(row) for row in self.pareto_rows],
             "scenario": dict(self.scenario),
             "verified": self.verified,
@@ -357,6 +372,9 @@ class ScenarioResult:
             scenario=dict(payload["scenario"]),
             evaluations=int(payload.get("evaluations", 0)),
             memo_hits=int(payload.get("memo_hits", 0)),
+            evaluation_seconds=float(payload.get("evaluation_seconds", 0.0)),
+            selection_seconds=float(payload.get("selection_seconds", 0.0)),
+            operator_seconds=float(payload.get("operator_seconds", 0.0)),
             verified=bool(payload.get("verified", False)),
             sim_conflicts=int(payload.get("sim_conflicts", 0)),
             sim_divergences=int(payload.get("sim_divergences", 0)),
@@ -369,9 +387,12 @@ class ScenarioResult:
         )
 
     def comparable_dict(self) -> Dict[str, Any]:
-        """The result minus its wall-clock runtime (for determinism checks)."""
+        """The result minus its wall-clock timings (for determinism checks)."""
         payload = self.to_dict()
         payload.pop("runtime_seconds")
+        payload.pop("evaluation_seconds")
+        payload.pop("selection_seconds")
+        payload.pop("operator_seconds")
         return payload
 
 

@@ -153,6 +153,22 @@ class TestParetoFront:
         assert front.objective_array().shape == (2, 2)
         assert ParetoFront().objective_array().shape == (0, 0)
 
+    def test_extend_array_matches_adds(self):
+        points = [(1.0, 3.0), (2.0, 2.0), (5.0, 5.0), (2.0, 2.0), (0.5, 4.0)]
+        sequential: ParetoFront[int] = ParetoFront()
+        for index, point in enumerate(points):
+            sequential.add(index, point)
+        batched: ParetoFront[int] = ParetoFront()
+        batched.extend_array(np.asarray(points), list(range(len(points))))
+        assert batched.items == sequential.items
+        assert batched.objectives == sequential.objectives
+
+    def test_extend_array_evicts_dominated_members(self):
+        front: ParetoFront[str] = ParetoFront()
+        front.add("old", (3.0, 3.0))
+        front.extend_array(np.asarray([[1.0, 1.0]]), ["new"])
+        assert front.items == ["new"]
+
     @given(
         points=st.lists(
             st.tuples(st.floats(0, 100), st.floats(0, 100)), min_size=1, max_size=50

@@ -222,6 +222,21 @@ class TestRunCommand:
         run_cli(capsys, "run", str(path), "--csv", str(target))
         assert target.read_text().startswith("wavelength_count")
 
+    def test_run_profile_prints_phase_breakdown(self, capsys, tmp_path):
+        path = tmp_path / "scenario.json"
+        path.write_text(json.dumps(fast_scenario_dict()))
+        output = run_cli(capsys, "run", str(path), "--profile")
+        assert "phase breakdown:" in output
+        assert "evaluation" in output
+        assert "selection" in output
+        assert "operators" in output
+
+    def test_run_without_profile_omits_phase_breakdown(self, capsys, tmp_path):
+        path = tmp_path / "scenario.json"
+        path.write_text(json.dumps(fast_scenario_dict()))
+        output = run_cli(capsys, "run", str(path))
+        assert "phase breakdown" not in output
+
     def test_missing_scenario_argument_is_a_clean_error(self, capsys):
         exit_code = main(["run"])
         captured = capsys.readouterr()

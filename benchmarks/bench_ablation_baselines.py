@@ -19,14 +19,14 @@ from repro.allocation import (
     random_allocation,
 )
 from repro.analysis import format_table, write_csv
-from repro.topology import RingOnocArchitecture
+from repro.topology import build_topology
 
 
 def test_heuristic_baselines_never_beat_nsga2(benchmark, suite, results_dir, paper_setup):
     """Every classical heuristic allocation is dominated by or on the GA front."""
     task_graph, mapping_factory = paper_setup
-    architecture = RingOnocArchitecture.grid(
-        4, 4, wavelength_count=8, configuration=suite.configuration
+    architecture = build_topology(
+        "ring", 4, 4, wavelength_count=8, configuration=suite.configuration
     )
     evaluator = AllocationEvaluator(
         architecture, task_graph, mapping_factory(architecture), suite.configuration

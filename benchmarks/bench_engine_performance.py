@@ -32,7 +32,7 @@ from repro.allocation import AllocationEvaluator, Nsga2Optimizer
 from repro.application import ListScheduler, paper_mapping, paper_task_graph
 from repro.config import GeneticParameters
 from repro.simulation import OnocSimulator
-from repro.topology import RingOnocArchitecture
+from repro.topology import build_topology
 
 #: The engine-comparison population size the acceptance criterion uses.
 DEFAULT_POPULATION = 64
@@ -42,7 +42,7 @@ MIN_SPEEDUP = 5.0
 
 
 def _paper_evaluator() -> AllocationEvaluator:
-    architecture = RingOnocArchitecture.grid(4, 4, wavelength_count=8)
+    architecture = build_topology("ring", 4, 4, wavelength_count=8)
     return AllocationEvaluator(
         architecture, paper_task_graph(), paper_mapping(architecture)
     )
@@ -102,7 +102,7 @@ def measure_engine_throughput(
 
 @pytest.fixture(scope="module")
 def setup():
-    architecture = RingOnocArchitecture.grid(4, 4, wavelength_count=8)
+    architecture = build_topology("ring", 4, 4, wavelength_count=8)
     task_graph = paper_task_graph()
     mapping = paper_mapping(architecture)
     evaluator = AllocationEvaluator(architecture, task_graph, mapping)

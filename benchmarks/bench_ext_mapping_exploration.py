@@ -17,7 +17,7 @@ from __future__ import annotations
 from repro.analysis import format_table, hypervolume_2d, write_csv
 from repro.application import Mapping
 from repro.exploration import front_series, sweep_mappings
-from repro.topology import RingOnocArchitecture
+from repro.topology import build_topology
 
 #: Hypervolume reference point: slightly worse than the worst observable point.
 REFERENCE = (45.0, 15.0)
@@ -26,8 +26,8 @@ REFERENCE = (45.0, 15.0)
 def test_mapping_exploration(benchmark, results_dir, paper_setup, small_ga, suite):
     """Compare Pareto fronts across task mappings (paper future work)."""
     task_graph, mapping_factory = paper_setup
-    architecture = RingOnocArchitecture.grid(
-        4, 4, wavelength_count=8, configuration=suite.configuration
+    architecture = build_topology(
+        "ring", 4, 4, wavelength_count=8, configuration=suite.configuration
     )
     candidates = {
         "paper": mapping_factory(architecture),

@@ -37,7 +37,7 @@ from repro.allocation import (
 )
 from repro.application import paper_mapping, paper_task_graph
 from repro.config import GeneticParameters
-from repro.topology import RingOnocArchitecture
+from repro.topology import build_topology
 
 #: Population sizes benchmarked; selection operates on the merged 2N pool.
 POPULATIONS = (64, 256)
@@ -167,7 +167,7 @@ def measure_selection_throughput(
 
 def measure_nsga2_generation_rate(min_seconds: float = 0.3) -> dict:
     """End-to-end NSGA-II generations/sec with the vectorized kernels."""
-    architecture = RingOnocArchitecture.grid(4, 4, wavelength_count=8)
+    architecture = build_topology("ring", 4, 4, wavelength_count=8)
     evaluator = AllocationEvaluator(
         architecture, paper_task_graph(), paper_mapping(architecture)
     )

@@ -70,3 +70,38 @@ def paper_setup():
 def small_ga() -> GeneticParameters:
     """A small GA sizing for ablation sweeps that run many explorations."""
     return GeneticParameters(population_size=32, generations=16, seed=7)
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config) -> None:
+    """Report the `repro lint` violation count alongside the benchmarks.
+
+    The count lands in ``BENCH_lint.json`` next to the other ``BENCH_*``
+    trend files so regressions in the static-analysis posture are tracked
+    the same way kernel timings are.  Best effort: a lint crash must never
+    fail a benchmark run, so any error is reported and swallowed.
+    """
+    try:
+        import json
+
+        from repro.devtools import ALL_RULES, LintEngine
+
+        root = Path(__file__).resolve().parent.parent
+        engine = LintEngine(ALL_RULES)
+        violations, checked = engine.lint_paths(
+            [root / "src" / "repro", root / "benchmarks"], root=root
+        )
+        terminalreporter.write_line(
+            f"lint_violations={len(violations)} (files_checked={checked})"
+        )
+        RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "benchmark": "lint",
+            "lint_violations": len(violations),
+            "files_checked": checked,
+            "violations": [violation.to_dict() for violation in violations],
+        }
+        (RESULTS_DIR / "BENCH_lint.json").write_text(
+            json.dumps(payload, indent=2, sort_keys=True)
+        )
+    except Exception as error:  # pragma: no cover - diagnostic path
+        terminalreporter.write_line(f"lint_violations=unavailable ({error})")

@@ -36,7 +36,7 @@ oracle (the GA's ``engine="scalar"`` plumbing routes through it).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Generic, Iterable, List, Sequence, Tuple, TypeVar
+from typing import Generic, Iterable, Iterator, List, Sequence, Tuple, TypeVar
 
 import numpy as np
 
@@ -419,5 +419,5 @@ class ParetoFront(Generic[T]):
     def __len__(self) -> int:
         return len(self.items)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[Tuple[T, Tuple[float, ...]]]:
         return iter(zip(self.items, self.objectives))

@@ -66,6 +66,8 @@ from .analysis import ascii_scatter, divergence_report, format_table, write_csv
 from .allocation import WavelengthAllocator
 from .allocation.heuristics import first_fit_allocation
 from .config import GeneticParameters, OnocConfiguration
+from .devtools.cli import add_lint_arguments
+from .devtools.cli import run as run_lint
 from .errors import ReproError
 from .paper import PaperExperimentSuite, table1_rows
 from .scenarios import (
@@ -453,6 +455,12 @@ def build_parser() -> argparse.ArgumentParser:
     jobs.add_argument(
         "--csv", type=str, default=None, help="ls: also write the rows to a CSV file"
     )
+
+    lint = subparsers.add_parser(
+        "lint",
+        help="static analysis of the project's reproducibility invariants",
+    )
+    add_lint_arguments(lint)
 
     return parser
 
@@ -1184,6 +1192,10 @@ def _jobs_via_url(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_lint(args: argparse.Namespace) -> int:
+    return run_lint(args)
+
+
 _COMMANDS = {
     "topologies": _command_topologies,
     "info": _command_info,
@@ -1198,6 +1210,7 @@ _COMMANDS = {
     "submit": _command_submit,
     "work": _command_work,
     "jobs": _command_jobs,
+    "lint": _command_lint,
 }
 
 

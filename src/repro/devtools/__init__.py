@@ -1,0 +1,21 @@
+"""Project-invariant static analysis (``repro lint``).
+
+An AST lint pass enforcing the invariants the reproduction's correctness
+story relies on: seeded-only randomness (R001), ``to_dict``/``from_dict``
+symmetry (R002), store write/clock discipline (R003), registry-mediated
+backend construction (R004) and fingerprint purity (R005), plus allowlist
+marker hygiene (R000).
+"""
+
+from .engine import LintEngine, Project, Rule, SourceFile, Violation
+from .rules import ALL_RULES, RULES_BY_ID
+
+__all__ = [
+    "ALL_RULES",
+    "RULES_BY_ID",
+    "LintEngine",
+    "Project",
+    "Rule",
+    "SourceFile",
+    "Violation",
+]

@@ -1,0 +1,159 @@
+"""Command-line front-end shared by ``repro lint`` and ``python -m repro.devtools``."""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import io
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence, TextIO
+
+from .engine import LintEngine, Violation
+from .rules import ALL_RULES, RULES_BY_ID
+
+__all__ = ["add_lint_arguments", "build_parser", "main", "run"]
+
+#: Process exit codes: clean / violations found / usage error.
+EXIT_CLEAN = 0
+EXIT_VIOLATIONS = 1
+EXIT_USAGE = 2
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Install the lint options on ``parser`` (used by the ``repro`` CLI too)."""
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        help="files or directories to lint (default: src/repro and benchmarks)",
+    )
+    parser.add_argument(
+        "--select",
+        action="append",
+        metavar="RULE",
+        help="only run the given rule id (repeatable, e.g. --select R001)",
+    )
+    output = parser.add_mutually_exclusive_group()
+    output.add_argument(
+        "--json", action="store_true", help="emit the report as a JSON document"
+    )
+    output.add_argument(
+        "--csv", action="store_true", help="emit the report as CSV rows"
+    )
+    parser.add_argument(
+        "--explain",
+        metavar="RULE",
+        help="print the rationale and fixtures of one rule, then exit",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="list the rule catalogue and exit"
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.devtools",
+        description="Static analysis of the repro project invariants.",
+    )
+    add_lint_arguments(parser)
+    return parser
+
+
+def default_paths() -> List[Path]:
+    """``src/repro`` + ``benchmarks`` under the repository root.
+
+    The root is located by walking up from the installed package; when the
+    package is used outside a checkout (e.g. a wheel install), the package
+    directory itself is linted.
+    """
+    package_dir = Path(__file__).resolve().parent.parent
+    for base in (Path.cwd(), *package_dir.parents):
+        src = base / "src" / "repro"
+        if src.is_dir():
+            paths = [src]
+            benchmarks = base / "benchmarks"
+            if benchmarks.is_dir():
+                paths.append(benchmarks)
+            return paths
+    return [package_dir]
+
+
+def _report_text(violations: Sequence[Violation], checked: int, stream: TextIO) -> None:
+    for violation in violations:
+        print(violation.format(), file=stream)
+    summary = (
+        f"{len(violations)} violation(s) in {checked} file(s)"
+        if violations
+        else f"clean: {checked} file(s), no violations"
+    )
+    print(summary, file=stream)
+
+
+def _report_json(violations: Sequence[Violation], checked: int, stream: TextIO) -> None:
+    document = {
+        "files_checked": checked,
+        "violation_count": len(violations),
+        "violations": [violation.to_dict() for violation in violations],
+    }
+    print(json.dumps(document, indent=2, sort_keys=True), file=stream)
+
+
+def _report_csv(violations: Sequence[Violation], stream: TextIO) -> None:
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(["path", "line", "rule", "message"])
+    for violation in violations:
+        writer.writerow(
+            [violation.path, violation.line, violation.rule, violation.message]
+        )
+    stream.write(buffer.getvalue())
+
+
+def run(args: argparse.Namespace, stream: Optional[TextIO] = None) -> int:
+    """Execute one lint invocation; returns the process exit code."""
+    stream = stream or sys.stdout
+    if args.list_rules:
+        for rule in ALL_RULES:
+            print(f"{rule.id}  {rule.title}", file=stream)
+        return EXIT_CLEAN
+    if args.explain:
+        rule = RULES_BY_ID.get(args.explain.upper())
+        if rule is None:
+            print(
+                f"unknown rule {args.explain!r}; known: "
+                + ", ".join(sorted(RULES_BY_ID)),
+                file=sys.stderr,
+            )
+            return EXIT_USAGE
+        print(rule.explain(), file=stream)
+        return EXIT_CLEAN
+    try:
+        engine = LintEngine(ALL_RULES, select=args.select)
+    except ValueError as error:
+        print(str(error), file=sys.stderr)
+        return EXIT_USAGE
+    paths = list(args.paths) or default_paths()
+    missing = [path for path in paths if not path.exists()]
+    if missing:
+        print(
+            "no such path(s): " + ", ".join(str(path) for path in missing),
+            file=sys.stderr,
+        )
+        return EXIT_USAGE
+    violations, checked = engine.lint_paths(paths)
+    if args.json:
+        _report_json(violations, checked, stream)
+    elif args.csv:
+        _report_csv(violations, stream)
+    else:
+        _report_text(violations, checked, stream)
+    return EXIT_VIOLATIONS if violations else EXIT_CLEAN
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    try:
+        return run(build_parser().parse_args(argv))
+    except BrokenPipeError:
+        return EXIT_CLEAN

@@ -317,7 +317,11 @@ class FirstFitBackend(_HeuristicBackend):
     name = "first_fit"
 
     @staticmethod
-    def _assign(evaluator, target_counts, seed):
+    def _assign(
+        evaluator: AllocationEvaluator,
+        target_counts: Sequence[int] | int,
+        seed: int,
+    ) -> AllocationSolution:
         return heuristics.first_fit_allocation(evaluator, target_counts)
 
 
@@ -328,7 +332,11 @@ class MostUsedBackend(_HeuristicBackend):
     name = "most_used"
 
     @staticmethod
-    def _assign(evaluator, target_counts, seed):
+    def _assign(
+        evaluator: AllocationEvaluator,
+        target_counts: Sequence[int] | int,
+        seed: int,
+    ) -> AllocationSolution:
         return heuristics.most_used_allocation(evaluator, target_counts)
 
 
@@ -339,7 +347,11 @@ class LeastUsedBackend(_HeuristicBackend):
     name = "least_used"
 
     @staticmethod
-    def _assign(evaluator, target_counts, seed):
+    def _assign(
+        evaluator: AllocationEvaluator,
+        target_counts: Sequence[int] | int,
+        seed: int,
+    ) -> AllocationSolution:
         return heuristics.least_used_allocation(evaluator, target_counts)
 
 
@@ -350,7 +362,11 @@ class RandomBackend(_HeuristicBackend):
     name = "random"
 
     @staticmethod
-    def _assign(evaluator, target_counts, seed):
+    def _assign(
+        evaluator: AllocationEvaluator,
+        target_counts: Sequence[int] | int,
+        seed: int,
+    ) -> AllocationSolution:
         return heuristics.random_allocation(evaluator, target_counts, seed=seed)
 
 

@@ -321,7 +321,9 @@ def summarise_jobs(records: List[Dict[str, Any]]) -> Dict[str, Any]:
             waits.append(max(0.0, started - record["enqueued_at"]))
         if record["state"] == "done" and started is not None and finished is not None:
             runs.append(max(0.0, finished - started))
-    mean = lambda values: (sum(values) / len(values)) if values else 0.0  # noqa: E731
+    def mean(values: List[float]) -> float:
+        return (sum(values) / len(values)) if values else 0.0
+
     return {
         "total": len(records),
         "depth": counts["queued"],

@@ -44,7 +44,7 @@ from __future__ import annotations
 
 import json
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 from urllib.parse import parse_qs, urlsplit
 
 from ..errors import JobError, ReproError, ScenarioError, StoreError
@@ -143,7 +143,7 @@ class _StoreRequestHandler(BaseHTTPRequestHandler):
             raise ScenarioError(f"request body is not valid JSON: {error}") from None
 
     # -------------------------------------------------------------------- routes
-    def _dispatch(self, route) -> None:
+    def _dispatch(self, route: Callable[[], None]) -> None:
         """Run a router; every failure mode becomes the JSON error envelope.
 
         Expected conditions keep their specific status codes (malformed

@@ -657,9 +657,10 @@ class ResultStore:
     ) -> int:
         """Evict expired and least-recently-used entries; returns rows removed."""
         removed = 0
+        now = time.time()
         with self._lock, self._connection:
             if max_age_seconds is not None:
-                cutoff = time.time() - max_age_seconds
+                cutoff = now - max_age_seconds
                 cursor = self._execute(
                     "DELETE FROM results WHERE accessed_at < ?", (cutoff,)
                 )
@@ -687,7 +688,7 @@ class ResultStore:
                 self._execute(
                     f"DELETE FROM jobs WHERE state IN ({placeholders}) "
                     f"AND updated_at < ?",
-                    TERMINAL_STATES + (time.time() - max_age_seconds,),
+                    TERMINAL_STATES + (now - max_age_seconds,),
                 )
             self._bump_counter("evictions", removed)
         return removed
@@ -738,7 +739,9 @@ class ResultStore:
     # ------------------------------------------------------------------- dunder
     def _bump_counter(self, key: str, delta: int) -> None:
         """Add ``delta`` to a persistent store_meta counter (caller holds lock)."""
-        self._execute(
+        # A nested `with self._connection:` here would commit the caller's
+        # half-finished transaction early.
+        self._execute(  # repro-lint: allow R003 — caller holds the transaction
             "UPDATE store_meta SET value = CAST(value AS INTEGER) + ? WHERE key = ?",
             (delta, key),
         )

@@ -25,11 +25,14 @@ import threading
 import time
 import uuid
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional
+from typing import TYPE_CHECKING, Any, Dict, List, Optional
 
 from ..errors import JobError, ReproError, ScenarioError
 from .backend import StoreBackend
 from .jobs import DEFAULT_LEASE_SECONDS, Job, backoff_seconds
+
+if TYPE_CHECKING:
+    from ..scenarios.study import ScenarioOutcome
 
 __all__ = ["Worker", "WorkerPool", "WorkerStats"]
 
@@ -182,7 +185,7 @@ class Worker:
             finished.set()
             beater.join()
 
-    def _execute(self, job: Job):
+    def _execute(self, job: Job) -> "ScenarioOutcome":
         from ..scenarios.scenario import Scenario
         from ..scenarios.study import fetch_or_execute
 

@@ -48,6 +48,7 @@ from .errors import (
     StoreError,
     TaskGraphError,
     TopologyError,
+    TrafficError,
 )
 from .topology import (
     TOPOLOGIES,
@@ -98,9 +99,21 @@ from .scenarios import (
     ScenarioResult,
     Study,
     StudyResult,
+    TrafficSettings,
     VerificationSettings,
     execute_scenario,
     fetch_or_execute,
+)
+from .traffic import (
+    ONLINE_ALLOCATORS,
+    TRAFFIC_MODELS,
+    BlockingReport,
+    ConnectionRequest,
+    DynamicTrafficSimulator,
+    OnlineAllocator,
+    TrafficModel,
+    erlang_b,
+    sweep_blocking,
 )
 from .store import (
     Job,
@@ -136,6 +149,7 @@ __all__ = [
     "ScenarioError",
     "StoreError",
     "JobError",
+    "TrafficError",
     # architecture / topologies
     "RingOnocArchitecture",
     "MultiRingOnocArchitecture",
@@ -187,9 +201,20 @@ __all__ = [
     "ScenarioResult",
     "Study",
     "StudyResult",
+    "TrafficSettings",
     "VerificationSettings",
     "execute_scenario",
     "fetch_or_execute",
+    # dynamic traffic
+    "TrafficModel",
+    "TRAFFIC_MODELS",
+    "OnlineAllocator",
+    "ONLINE_ALLOCATORS",
+    "ConnectionRequest",
+    "BlockingReport",
+    "DynamicTrafficSimulator",
+    "erlang_b",
+    "sweep_blocking",
     # result store + job queue
     "MemoryStore",
     "ResultStore",

@@ -87,6 +87,13 @@ from .simulation import SimulationVerifier
 from .store import ResultStore, Worker, WorkerPool, create_server
 from .store.jobs import DEFAULT_LEASE_SECONDS, DEFAULT_MAX_ATTEMPTS, JOB_STATES, enqueue_submission
 from .topology import TOPOLOGIES, build_topology, topology_description, worst_case_link_loss_db
+from .traffic import (
+    DEFAULT_SWEEP_SEED,
+    ONLINE_ALLOCATORS,
+    TRAFFIC_MODELS,
+    sweep_blocking,
+    sweep_rows,
+)
 
 __all__ = ["build_parser", "main"]
 
@@ -456,6 +463,74 @@ def build_parser() -> argparse.ArgumentParser:
         "--csv", type=str, default=None, help="ls: also write the rows to a CSV file"
     )
 
+    traffic = subparsers.add_parser(
+        "traffic",
+        help="sweep offered load vs blocking probability for online RWA strategies",
+    )
+    traffic.add_argument(
+        "--topology",
+        default="ring",
+        choices=sorted(TOPOLOGIES.names()),
+        help="architecture to drive the dynamic traffic through",
+    )
+    traffic.add_argument(
+        "--topology-options",
+        default=None,
+        help="JSON object of extra options for the topology factory",
+    )
+    traffic.add_argument("--rows", type=int, default=4, help="mesh rows per layer")
+    traffic.add_argument("--columns", type=int, default=4, help="mesh columns per layer")
+    traffic.add_argument(
+        "--wavelengths",
+        default="4",
+        help="comma-separated wavelength counts to sweep (default: 4)",
+    )
+    traffic.add_argument(
+        "--strategies",
+        default="first_fit,least_used,most_used,random",
+        help=(
+            "comma-separated online allocators to compare "
+            f"(available: {', '.join(sorted(ONLINE_ALLOCATORS.names()))})"
+        ),
+    )
+    traffic.add_argument(
+        "--loads",
+        default="8,16,24",
+        help="comma-separated offered loads in Erlangs (default: 8,16,24)",
+    )
+    traffic.add_argument(
+        "--requests", type=int, default=2000, help="connection requests per point"
+    )
+    traffic.add_argument(
+        "--holding", type=float, default=1.0, help="mean connection holding time"
+    )
+    traffic.add_argument(
+        "--model",
+        default="poisson",
+        choices=sorted(TRAFFIC_MODELS.names()),
+        help="traffic model generating the request stream",
+    )
+    traffic.add_argument(
+        "--model-options",
+        default=None,
+        help="JSON object of extra options for the traffic model",
+    )
+    traffic.add_argument(
+        "--warmup",
+        type=float,
+        default=0.1,
+        help="leading fraction of requests excluded from blocking statistics",
+    )
+    traffic.add_argument(
+        "--seed",
+        type=int,
+        default=DEFAULT_SWEEP_SEED,
+        help="seed of the request stream (allocator RNG derives from it)",
+    )
+    traffic.add_argument(
+        "--csv", type=str, default=None, help="also write the sweep rows to a CSV file"
+    )
+
     lint = subparsers.add_parser(
         "lint",
         help="static analysis of the project's reproducibility invariants",
@@ -744,12 +819,28 @@ def _command_run(args: argparse.Namespace) -> int:
             f"served from result store {args.store} "
             f"(fingerprint {summary.fingerprint}); no optimizer executed"
         )
-    print(
-        f"{summary.valid_solution_count} distinct valid allocations explored, "
-        f"{summary.pareto_size} on the Pareto front "
-        f"({', '.join(scenario.objectives)}) in {summary.runtime_seconds:.2f}s:"
-    )
-    rows = [dict(row) for row in summary.pareto_rows]
+    if summary.is_dynamic:
+        report = summary.blocking_report()
+        print(
+            f"dynamic traffic: {report.model!r} model, {report.strategy!r} strategy, "
+            f"{report.offered} offered requests "
+            f"({report.warmup_excluded} warm-up excluded) "
+            f"in {summary.runtime_seconds:.2f}s:"
+        )
+        print(
+            f"blocking probability {report.blocking_probability:.4f} "
+            f"(95% CI [{report.wilson_low:.4f}, {report.wilson_high:.4f}]), "
+            f"{report.blocked} blocked, "
+            f"mean link utilisation {report.mean_link_utilisation:.4f}"
+        )
+        rows = [report.summary_row()]
+    else:
+        print(
+            f"{summary.valid_solution_count} distinct valid allocations explored, "
+            f"{summary.pareto_size} on the Pareto front "
+            f"({', '.join(scenario.objectives)}) in {summary.runtime_seconds:.2f}s:"
+        )
+        rows = [dict(row) for row in summary.pareto_rows]
     print(format_table(rows))
     if args.profile:
         print(_profile_report(summary))
@@ -1192,6 +1283,86 @@ def _jobs_via_url(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_number_list(text: str, flag: str, kind: Callable[[str], Any]) -> List[Any]:
+    """Parse a comma-separated numeric list flag such as ``--loads 8,16,24``."""
+    values: List[Any] = []
+    for token in text.split(","):
+        token = token.strip()
+        if not token:
+            continue
+        try:
+            values.append(kind(token))
+        except ValueError:
+            raise ReproError(f"cannot parse {flag} value {token!r}") from None
+    if not values:
+        raise ReproError(f"{flag} needs at least one value, got {text!r}")
+    return values
+
+
+def _command_traffic(args: argparse.Namespace) -> int:
+    wavelength_counts = _parse_number_list(args.wavelengths, "--wavelengths", int)
+    loads = _parse_number_list(args.loads, "--loads", float)
+    strategies = [token.strip() for token in args.strategies.split(",") if token.strip()]
+    if not strategies:
+        raise ReproError(f"--strategies needs at least one value, got {args.strategies!r}")
+    reports = sweep_blocking(
+        topology=args.topology,
+        rows=args.rows,
+        columns=args.columns,
+        wavelength_counts=wavelength_counts,
+        strategies=strategies,
+        loads=loads,
+        request_count=args.requests,
+        mean_holding=args.holding,
+        warmup_fraction=args.warmup,
+        seed=args.seed,
+        model=args.model,
+        model_options=_parse_options(args.model_options, "--model-options"),
+        topology_options=_parse_options(args.topology_options, "--topology-options"),
+    )
+    print(
+        f"dynamic traffic sweep: {args.model!r} model on {args.topology!r} "
+        f"({args.rows}x{args.columns}), seed {args.seed}, "
+        f"{args.requests} requests per point ({args.warmup:.0%} warm-up excluded)"
+    )
+    rows = sweep_rows(
+        reports, loads=loads, wavelength_counts=wavelength_counts, strategies=strategies
+    )
+    print(format_table(rows))
+    for line in _traffic_ordering_lines(reports, loads, wavelength_counts, strategies):
+        print(line)
+    _maybe_write_csv(args, rows)
+    return 0
+
+
+def _traffic_ordering_lines(
+    reports: Sequence["BlockingReport"],
+    loads: Sequence[float],
+    wavelength_counts: Sequence[int],
+    strategies: Sequence[str],
+) -> List[str]:
+    """One line per (load, NW) point ranking the strategies by blocking."""
+    if len(strategies) < 2:
+        return []
+    lines: List[str] = []
+    position = 0
+    for load in loads:
+        for wavelength_count in wavelength_counts:
+            ranked = sorted(
+                reports[position : position + len(strategies)],
+                key=lambda report: (report.blocking_probability, report.strategy),
+            )
+            ordering = " <= ".join(
+                f"{report.strategy} ({report.blocking_probability:.4f})"
+                for report in ranked
+            )
+            lines.append(
+                f"ordering at {load:g} Erlangs, {wavelength_count} wavelengths: {ordering}"
+            )
+            position += len(strategies)
+    return lines
+
+
 def _command_lint(args: argparse.Namespace) -> int:
     return run_lint(args)
 
@@ -1210,6 +1381,7 @@ _COMMANDS = {
     "submit": _command_submit,
     "work": _command_work,
     "jobs": _command_jobs,
+    "traffic": _command_traffic,
     "lint": _command_lint,
 }
 

@@ -17,6 +17,7 @@ __all__ = [
     "InvalidChromosomeError",
     "SchedulingError",
     "SimulationError",
+    "TrafficError",
     "ExperimentError",
     "ScenarioError",
     "StoreError",
@@ -58,6 +59,10 @@ class SchedulingError(ReproError):
 
 class SimulationError(ReproError):
     """The discrete-event simulator reached an inconsistent state."""
+
+
+class TrafficError(ReproError):
+    """A dynamic-traffic model, allocator, or simulation request is invalid."""
 
 
 class ExperimentError(ReproError):

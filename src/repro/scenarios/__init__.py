@@ -26,7 +26,13 @@ Quickstart::
 """
 
 from .registry import Registry
-from .scenario import SCENARIO_SCHEMA, Scenario, ScenarioBuilder, VerificationSettings
+from .scenario import (
+    SCENARIO_SCHEMA,
+    Scenario,
+    ScenarioBuilder,
+    TrafficSettings,
+    VerificationSettings,
+)
 from .backends import (
     MAPPING_STRATEGIES,
     OPTIMIZERS,
@@ -54,6 +60,7 @@ __all__ = [
     "STUDY_SCHEMA",
     "Scenario",
     "ScenarioBuilder",
+    "TrafficSettings",
     "VerificationSettings",
     "OptimizerBackend",
     "OptimizerParameters",

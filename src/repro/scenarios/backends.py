@@ -370,6 +370,33 @@ class RandomBackend(_HeuristicBackend):
         return heuristics.random_allocation(evaluator, target_counts, seed=seed)
 
 
+@OPTIMIZERS.register("dynamic_rwa")
+class DynamicRwaBackend:
+    """Marker backend of the dynamic-traffic workload family.
+
+    A scenario carrying a ``traffic`` block never reaches
+    :meth:`OptimizerBackend.run`:
+    :func:`~repro.scenarios.study.execute_scenario` routes it through
+    :class:`~repro.traffic.simulator.DynamicTrafficSimulator` instead, because
+    the dynamic family has no population to search — its output is a
+    :class:`~repro.traffic.simulator.BlockingReport`, not an exploration
+    result.  Registering the name keeps scenario documents validating against
+    one optimizer registry and the CLI listing complete.
+    """
+
+    name = "dynamic_rwa"
+
+    def run(
+        self, evaluator: AllocationEvaluator, parameters: OptimizerParameters
+    ) -> ExplorationResult:
+        raise ScenarioError(
+            "the 'dynamic_rwa' backend runs through the dynamic-traffic "
+            "simulator; give the scenario a traffic block "
+            "(ScenarioBuilder.traffic(...)) and execute it via "
+            "execute_scenario/Study"
+        )
+
+
 # ------------------------------------------------------------------- workloads
 WORKLOADS.register("paper")(paper_task_graph)
 WORKLOADS.register("pipeline")(pipeline_task_graph)

@@ -46,7 +46,13 @@ from ..config import (
 )
 from ..errors import ScenarioError
 
-__all__ = ["SCENARIO_SCHEMA", "Scenario", "ScenarioBuilder", "VerificationSettings"]
+__all__ = [
+    "SCENARIO_SCHEMA",
+    "Scenario",
+    "ScenarioBuilder",
+    "TrafficSettings",
+    "VerificationSettings",
+]
 
 #: Identifier embedded in every serialised scenario document.
 SCENARIO_SCHEMA = "repro.scenario/1"
@@ -69,6 +75,7 @@ _TOP_LEVEL_KEYS = {
     "overrides",
     "seed",
     "verification",
+    "traffic",
 }
 
 #: Parameter groups that :attr:`Scenario.overrides` may tune.
@@ -155,6 +162,83 @@ class VerificationSettings:
 
 
 @dataclass(frozen=True)
+class TrafficSettings:
+    """Dynamic-traffic block of one scenario.
+
+    Its presence switches a scenario from static task-graph allocation to the
+    dynamic RWA workload family: ``model`` names a generator in
+    :data:`~repro.traffic.models.TRAFFIC_MODELS` (its RNG derives from
+    :attr:`Scenario.effective_seed` unless ``model_options`` pin a seed),
+    ``strategy`` names an online allocator in
+    :data:`~repro.traffic.allocators.ONLINE_ALLOCATORS`, and
+    ``warmup_fraction`` excludes the leading fraction of requests from the
+    blocking statistics.  The block is part of the fingerprint, so two
+    dynamic scenarios cache-collide only when every traffic knob matches.
+    """
+
+    model: str = "poisson"
+    model_options: Dict[str, Any] = field(default_factory=dict)
+    strategy: str = "first_fit"
+    strategy_options: Dict[str, Any] = field(default_factory=dict)
+    warmup_fraction: float = 0.1
+
+    def __post_init__(self) -> None:
+        _require(
+            isinstance(self.model, str) and bool(self.model),
+            "traffic 'model' must be a non-empty registry name",
+        )
+        _require(
+            isinstance(self.strategy, str) and bool(self.strategy),
+            "traffic 'strategy' must be a non-empty registry name",
+        )
+        for attribute in ("model_options", "strategy_options"):
+            value = getattr(self, attribute)
+            _require(isinstance(value, dict), f"traffic {attribute!r} must be an object")
+            object.__setattr__(self, attribute, dict(value))
+        _require(
+            0.0 <= float(self.warmup_fraction) < 1.0,
+            "traffic 'warmup_fraction' must be in [0, 1)",
+        )
+        object.__setattr__(self, "warmup_fraction", float(self.warmup_fraction))
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-compatible dictionary; inverse of :meth:`from_dict`."""
+        return {
+            "model": self.model,
+            "model_options": dict(self.model_options),
+            "strategy": self.strategy,
+            "strategy_options": dict(self.strategy_options),
+            "warmup_fraction": self.warmup_fraction,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Any) -> "TrafficSettings":
+        """Rebuild settings from :meth:`to_dict` output (or hand-written JSON)."""
+        if not isinstance(payload, dict):
+            raise ScenarioError("scenario 'traffic' must be an object")
+        defaults = cls()
+        unknown = set(payload) - {
+            "model",
+            "model_options",
+            "strategy",
+            "strategy_options",
+            "warmup_fraction",
+        }
+        _require(not unknown, f"unknown traffic keys: {sorted(unknown)}")
+        return cls(
+            model=payload.get("model", defaults.model),
+            model_options=payload.get("model_options", {}),
+            strategy=payload.get("strategy", defaults.strategy),
+            strategy_options=payload.get("strategy_options", {}),
+            warmup_fraction=payload.get("warmup_fraction", defaults.warmup_fraction),
+        )
+
+
+#: Optimizer name marking a scenario as a dynamic-traffic run.
+DYNAMIC_RWA_OPTIMIZER = "dynamic_rwa"
+
+
+@dataclass(frozen=True)
 class Scenario:
     """One complete, reproducible exploration run, described declaratively."""
 
@@ -176,6 +260,7 @@ class Scenario:
     overrides: Dict[str, Dict[str, Any]] = field(default_factory=dict)
     seed: Optional[int] = None
     verification: VerificationSettings = field(default_factory=VerificationSettings)
+    traffic: Optional[TrafficSettings] = None
 
     def __post_init__(self) -> None:
         if isinstance(self.verification, dict):
@@ -186,6 +271,27 @@ class Scenario:
             isinstance(self.verification, VerificationSettings),
             "scenario verification must be a VerificationSettings object",
         )
+        if isinstance(self.traffic, dict):
+            object.__setattr__(self, "traffic", TrafficSettings.from_dict(self.traffic))
+        _require(
+            self.traffic is None or isinstance(self.traffic, TrafficSettings),
+            "scenario traffic must be a TrafficSettings object (or absent)",
+        )
+        # A traffic block and the dynamic_rwa optimizer imply each other: the
+        # optimizer name is what reports/CSVs group by, the block is what the
+        # dynamic path executes, and allowing one without the other would let
+        # two scenarios with different behaviour share a fingerprint axis.
+        if self.traffic is not None:
+            _require(
+                self.optimizer == DYNAMIC_RWA_OPTIMIZER,
+                f"a scenario with a traffic block must use the "
+                f"{DYNAMIC_RWA_OPTIMIZER!r} optimizer, not {self.optimizer!r}",
+            )
+        elif self.optimizer == DYNAMIC_RWA_OPTIMIZER:
+            raise ScenarioError(
+                f"the {DYNAMIC_RWA_OPTIMIZER!r} optimizer needs a 'traffic' block "
+                "(ScenarioBuilder.traffic(...))"
+            )
         for attribute in (
             "topology_options",
             "workload_options",
@@ -308,6 +414,8 @@ class Scenario:
             }
         if self.verification != VerificationSettings():
             payload["verification"] = self.verification.to_dict()
+        if self.traffic is not None:
+            payload["traffic"] = self.traffic.to_dict()
         return payload
 
     @classmethod
@@ -343,6 +451,10 @@ class Scenario:
             if verification_payload is None
             else VerificationSettings.from_dict(verification_payload)
         )
+        traffic_payload = payload.get("traffic")
+        traffic = (
+            None if traffic_payload is None else TrafficSettings.from_dict(traffic_payload)
+        )
         return cls(
             name=str(payload.get("name", "scenario")),
             rows=_as_int(payload, "rows", 4),
@@ -364,6 +476,7 @@ class Scenario:
             overrides=payload.get("overrides", {}),
             seed=None if seed is None else _as_int(payload, "seed", None),
             verification=verification,
+            traffic=traffic,
         )
 
     @staticmethod
@@ -508,6 +621,34 @@ class ScenarioBuilder:
         self._fields["verification"] = VerificationSettings(
             simulate=simulate, tolerance=tolerance, parallel=parallel
         )
+        return self
+
+    def traffic(
+        self,
+        model: str = "poisson",
+        strategy: str = "first_fit",
+        warmup_fraction: float = TrafficSettings.warmup_fraction,
+        strategy_options: Optional[Dict[str, Any]] = None,
+        **model_options: Any,
+    ) -> "ScenarioBuilder":
+        """Make this a dynamic-traffic scenario (selects the ``dynamic_rwa`` optimizer).
+
+        Keyword arguments beyond the named ones flow into the traffic model::
+
+            ScenarioBuilder().traffic(
+                model="poisson", strategy="least_used",
+                offered_load_erlangs=16.0, request_count=2000,
+            )
+        """
+        self._fields["traffic"] = TrafficSettings(
+            model=model,
+            model_options=dict(model_options),
+            strategy=strategy,
+            strategy_options=dict(strategy_options or {}),
+            warmup_fraction=warmup_fraction,
+        )
+        self._fields["optimizer"] = DYNAMIC_RWA_OPTIMIZER
+        self._fields.setdefault("optimizer_options", {})
         return self
 
     def build(self) -> Scenario:

@@ -43,6 +43,7 @@ from typing import (
 
 if TYPE_CHECKING:  # pragma: no cover - typing only (jobs lives in repro.store)
     from ..store.jobs import Job
+    from ..traffic.simulator import BlockingReport
 
 import json
 
@@ -126,7 +127,18 @@ def execute_scenario(
     When ``store`` is given the resulting summary is written through to it,
     so later :func:`fetch_or_execute` / :class:`Study` calls can serve the
     run from the store instead of repeating it.
+
+    A scenario carrying a ``traffic`` block belongs to the dynamic workload
+    family: instead of searching a population it replays the traffic model's
+    request stream through the
+    :class:`~repro.traffic.simulator.DynamicTrafficSimulator` and reports a
+    blocking probability — same outcome type, same store semantics.
     """
+    if scenario.traffic is not None:
+        outcome = _execute_dynamic_scenario(scenario)
+        if store is not None:
+            store.put(outcome.summary())
+        return outcome
     evaluator = build_scenario_evaluator(scenario)
     backend = create_optimizer(scenario.optimizer)
     parameters = OptimizerParameters(
@@ -157,6 +169,56 @@ def execute_scenario(
     return outcome
 
 
+def _execute_dynamic_scenario(scenario: Scenario) -> "ScenarioOutcome":
+    """Run the dynamic-traffic path of :func:`execute_scenario`.
+
+    The traffic model's RNG derives from :attr:`Scenario.effective_seed` and
+    the allocator's from the adjacent stream (``seed + 1``), so one scenario
+    seed pins both the request sequence and any randomised strategy — the
+    fingerprint promise holds for dynamic runs exactly as for static ones.
+    """
+    from ..traffic.allocators import build_online_allocator
+    from ..traffic.models import build_traffic_model
+    from ..traffic.simulator import DynamicTrafficSimulator
+    from ..traffic.sweep import ALLOCATOR_SEED_OFFSET
+
+    settings = scenario.traffic
+    if settings is None:  # pragma: no cover - guarded by the caller
+        raise ScenarioError("dynamic execution needs a scenario with a traffic block")
+    topology = build_topology(
+        scenario.topology,
+        scenario.rows,
+        scenario.columns,
+        wavelength_count=scenario.wavelength_count,
+        configuration=scenario.onoc_configuration(),
+        options=scenario.topology_options,
+    )
+    model = build_traffic_model(
+        settings.model, settings.model_options, seed=scenario.effective_seed
+    )
+    allocator = build_online_allocator(
+        settings.strategy,
+        settings.strategy_options,
+        seed=scenario.effective_seed + ALLOCATOR_SEED_OFFSET,
+    )
+    simulator = DynamicTrafficSimulator(
+        topology,
+        model,
+        allocator,
+        warmup_fraction=settings.warmup_fraction,
+        topology_name=scenario.topology,
+    )
+    started = time.perf_counter()
+    report = simulator.run()
+    elapsed = time.perf_counter() - started
+    return ScenarioOutcome(
+        scenario=scenario,
+        result=None,
+        runtime_seconds=elapsed,
+        blocking=report,
+    )
+
+
 def fetch_or_execute(
     scenario: Scenario, store: Optional[StoreBackend] = None
 ) -> Tuple["ScenarioResult", bool]:
@@ -175,12 +237,18 @@ def fetch_or_execute(
 
 @dataclass
 class ScenarioOutcome:
-    """The full, in-memory outcome of one scenario run."""
+    """The full, in-memory outcome of one scenario run.
+
+    Static runs carry an :class:`ExplorationResult`; dynamic-traffic runs
+    carry a :class:`~repro.traffic.simulator.BlockingReport` in ``blocking``
+    instead (and ``result`` is ``None``).
+    """
 
     scenario: Scenario
-    result: ExplorationResult
+    result: Optional[ExplorationResult]
     runtime_seconds: float
     verification: Optional[VerificationReport] = None
+    blocking: Optional["BlockingReport"] = None
     _summary: Optional["ScenarioResult"] = field(
         default=None, repr=False, compare=False
     )
@@ -191,8 +259,11 @@ class ScenarioOutcome:
         When the run was verified, each row additionally carries the simulated
         makespan, its divergence from the analytical value and the conflict
         count of that solution's replay (the verifier walks the front in the
-        same order as the summary rows).
+        same order as the summary rows).  Dynamic-traffic runs have no front:
+        the list is empty.
         """
+        if self.result is None:
+            return []
         rows = self.result.summary_rows()
         if self.verification is not None:
             for row, verification in zip(rows, self.verification):
@@ -208,6 +279,32 @@ class ScenarioOutcome:
         return self._summary
 
     def _build_summary(self) -> "ScenarioResult":
+        if self.blocking is not None:
+            report = self.blocking
+            return ScenarioResult(
+                name=self.scenario.name,
+                fingerprint=self.scenario.fingerprint(),
+                optimizer=self.scenario.optimizer,
+                workload=self.scenario.workload,
+                mapping=self.scenario.mapping,
+                topology=self.scenario.topology,
+                wavelength_count=self.scenario.wavelength_count,
+                objective_keys=self.scenario.objectives,
+                valid_solution_count=0,
+                pareto_size=0,
+                best_time_kcycles=0.0,
+                best_energy_fj=0.0,
+                best_log10_ber=0.0,
+                runtime_seconds=self.runtime_seconds,
+                pareto_rows=(),
+                scenario=self.scenario.to_dict(),
+                evaluations=report.total_requests,
+                blocking=report.to_dict(),
+            )
+        if self.result is None:
+            raise ScenarioError(
+                "a scenario outcome needs an exploration result or a blocking report"
+            )
         best_time, best_energy, best_ber = self.result.best_objective_values()
         verification = self.verification
         return ScenarioResult(
@@ -291,6 +388,22 @@ class ScenarioResult:
     sim_max_divergence_kcycles: float = 0.0
     #: Per-solution replay rows (allocation, both makespans, utilisations ...).
     verification_rows: Tuple[Dict[str, float], ...] = ()
+    #: Serialised :class:`~repro.traffic.simulator.BlockingReport` of a
+    #: dynamic-traffic run (None for static scenarios).
+    blocking: Optional[Dict[str, Any]] = None
+
+    @property
+    def is_dynamic(self) -> bool:
+        """True when this summarises a dynamic-traffic (blocking) run."""
+        return self.blocking is not None
+
+    def blocking_report(self) -> Optional["BlockingReport"]:
+        """The dynamic run's :class:`BlockingReport`, or None for static runs."""
+        if self.blocking is None:
+            return None
+        from ..traffic.simulator import BlockingReport as _BlockingReport
+
+        return _BlockingReport.from_dict(self.blocking)
 
     @property
     def verification_passed(self) -> bool:
@@ -305,8 +418,12 @@ class ScenarioResult:
         return self.evaluations / self.runtime_seconds
 
     def summary_row(self) -> Dict[str, object]:
-        """One flat row for tables and CSV export."""
-        return {
+        """One flat row for tables and CSV export.
+
+        Dynamic-traffic runs extend the row with their blocking columns;
+        CSV export unions columns across rows, so mixed studies stay valid.
+        """
+        row: Dict[str, object] = {
             "name": self.name,
             "topology": self.topology,
             "optimizer": self.optimizer,
@@ -328,10 +445,16 @@ class ScenarioResult:
             "sim_conflicts": self.sim_conflicts,
             "sim_divergences": self.sim_divergences,
         }
+        if self.blocking is not None:
+            row["blocking_probability"] = self.blocking["blocking_probability"]
+            row["blocked"] = self.blocking["blocked"]
+            row["offered"] = self.blocking["offered"]
+            row["traffic_strategy"] = self.blocking["strategy"]
+        return row
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-compatible dictionary; inverse of :meth:`from_dict`."""
-        return {
+        payload = {
             "name": self.name,
             "fingerprint": self.fingerprint,
             "optimizer": self.optimizer,
@@ -359,6 +482,9 @@ class ScenarioResult:
             "sim_max_divergence_kcycles": self.sim_max_divergence_kcycles,
             "verification_rows": [dict(row) for row in self.verification_rows],
         }
+        if self.blocking is not None:
+            payload["blocking"] = dict(self.blocking)
+        return payload
 
     @classmethod
     def from_dict(cls, payload: Dict[str, Any]) -> "ScenarioResult":
@@ -393,6 +519,11 @@ class ScenarioResult:
             ),
             verification_rows=tuple(
                 dict(row) for row in payload.get("verification_rows", [])
+            ),
+            blocking=(
+                None
+                if payload.get("blocking") is None
+                else dict(payload["blocking"])
             ),
         )
 

@@ -14,7 +14,7 @@ workloads (resource contention, injection jitter) can be studied.
   output (conflict-freeness + makespan agreement with the analytical model).
 """
 
-from .events import Event, EventQueue
+from .events import PRIORITY_ACQUIRE, PRIORITY_RELEASE, Event, EventQueue
 from .engine import DiscreteEventEngine
 from .onoc_sim import ConflictRecord, OnocSimulator, SimulationReport, TransferRecord
 from .statistics import SimulationStatistics, UtilisationTracker
@@ -28,6 +28,8 @@ from .verify import (
 __all__ = [
     "Event",
     "EventQueue",
+    "PRIORITY_RELEASE",
+    "PRIORITY_ACQUIRE",
     "DiscreteEventEngine",
     "OnocSimulator",
     "SimulationReport",

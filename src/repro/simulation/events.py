@@ -14,7 +14,16 @@ from typing import Any, Callable, Optional
 
 from ..errors import SimulationError
 
-__all__ = ["Event", "EventQueue"]
+__all__ = ["Event", "EventQueue", "PRIORITY_RELEASE", "PRIORITY_ACQUIRE"]
+
+# Shared tie-break convention for events that touch a contended resource:
+# at equal timestamps, events that *release* capacity (transfer completions,
+# connection departures) must fire before events that *acquire* it (task
+# launches, connection arrivals), otherwise a request can be refused capacity
+# that frees at the very same instant — and the refusal would depend on
+# insertion order instead of being deterministic.
+PRIORITY_RELEASE = 0
+PRIORITY_ACQUIRE = 1
 
 
 @dataclass(order=True)
@@ -91,7 +100,10 @@ class EventQueue:
         return self._heap[0].time
 
     def __len__(self) -> int:
+        # O(heap size): cancelled events stay in the heap until popped.  Use
+        # truthiness to test for pending events — the engine's hot loop does —
+        # which is amortised O(1) via :meth:`peek_time`.
         return sum(1 for event in self._heap if not event.cancelled)
 
     def __bool__(self) -> bool:
-        return len(self) > 0
+        return self.peek_time() is not None

@@ -30,6 +30,7 @@ from ..config import OnocConfiguration
 from ..errors import SimulationError
 from ..topology.base import OnocTopology
 from .engine import DiscreteEventEngine
+from .events import PRIORITY_ACQUIRE, PRIORITY_RELEASE
 from .statistics import SimulationStatistics, UtilisationTracker
 
 __all__ = ["TransferRecord", "ConflictRecord", "SimulationReport", "OnocSimulator"]
@@ -166,12 +167,15 @@ class OnocSimulator:
                     edge = graph.communication_between(name, successor)
                     start_transfer(edge.index, successor)
 
-            # Priority 1: at equal timestamps, transfer completions (priority 0)
-            # must release their wavelengths before a finishing task launches
-            # new transfers, otherwise back-to-back reuse of a wavelength would
-            # be reported as a conflict.
+            # PRIORITY_ACQUIRE: at equal timestamps, transfer completions
+            # (PRIORITY_RELEASE) must release their wavelengths before a
+            # finishing task launches new transfers, otherwise back-to-back
+            # reuse of a wavelength would be reported as a conflict.
             engine.schedule_after(
-                task.execution_cycles, finish_task, priority=1, label=f"finish {name}"
+                task.execution_cycles,
+                finish_task,
+                priority=PRIORITY_ACQUIRE,
+                label=f"finish {name}",
             )
 
         def start_transfer(edge_index: int, destination_task: str) -> None:
@@ -220,7 +224,10 @@ class OnocSimulator:
                     start_task(destination_task)
 
             engine.schedule_after(
-                duration, finish_transfer, priority=0, label=f"finish c{edge_index}"
+                duration,
+                finish_transfer,
+                priority=PRIORITY_RELEASE,
+                label=f"finish c{edge_index}",
             )
 
         for name in graph.entry_tasks():

@@ -1,0 +1,158 @@
+"""Online wavelength-assignment strategies for dynamic traffic.
+
+An online allocator sees one connection request at a time, together with the
+set of wavelengths that are free on *every* segment of the request's path
+(the wavelength-continuity constraint) and the network-wide occupancy count
+per wavelength.  It picks one wavelength; a request whose free set is empty is
+blocked before the allocator is consulted.
+
+The four classic heuristics from the RWA literature are registered in
+:data:`ONLINE_ALLOCATORS`:
+
+=============  ==============================================================
+``first_fit``  Lowest-indexed free wavelength (packs the comb from the bottom).
+``least_used`` Free wavelength with the fewest active connections network-wide
+               (spreads load across the comb), ties to the lowest index.
+``most_used``  Free wavelength with the most active connections network-wide
+               (packs onto already-busy wavelengths), ties to the lowest index.
+``random``     Uniform choice among the free set from a seeded RNG stream.
+=============  ==============================================================
+
+Allocators are constructed through :func:`build_online_allocator` — lint rule
+R004 bans bare-name construction outside this module, and the builder folds
+the scenario seed into seedable strategies (``random``) exactly like the
+optimizer backends.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Mapping, Optional, Protocol, Sequence, runtime_checkable
+
+import numpy as np
+
+from ..errors import TrafficError
+from ..registry import Registry
+from .models import DEFAULT_TRAFFIC_SEED, ConnectionRequest
+
+__all__ = [
+    "OnlineAllocator",
+    "ONLINE_ALLOCATORS",
+    "FirstFitAllocator",
+    "LeastUsedAllocator",
+    "MostUsedAllocator",
+    "RandomAllocator",
+    "build_online_allocator",
+]
+
+
+@runtime_checkable
+class OnlineAllocator(Protocol):
+    """Pick a wavelength for one request given current occupancy."""
+
+    name: str
+
+    def choose(
+        self,
+        request: ConnectionRequest,
+        free: Sequence[int],
+        usage: Sequence[int],
+    ) -> int:
+        """Return one wavelength index from ``free``.
+
+        ``free`` is the sorted tuple of wavelengths idle on every segment of
+        the request's path (never empty — blocking is decided by the
+        simulator); ``usage[w]`` counts connections currently holding
+        wavelength ``w`` anywhere in the network.
+        """
+        ...
+
+
+ONLINE_ALLOCATORS: Registry[Any] = Registry("online allocator")
+
+
+@ONLINE_ALLOCATORS.register("first_fit")
+class FirstFitAllocator:
+    """Always the lowest-indexed free wavelength."""
+
+    name = "first_fit"
+
+    def choose(
+        self,
+        request: ConnectionRequest,
+        free: Sequence[int],
+        usage: Sequence[int],
+    ) -> int:
+        return min(free)
+
+
+@ONLINE_ALLOCATORS.register("least_used")
+class LeastUsedAllocator:
+    """The free wavelength carrying the fewest connections network-wide."""
+
+    name = "least_used"
+
+    def choose(
+        self,
+        request: ConnectionRequest,
+        free: Sequence[int],
+        usage: Sequence[int],
+    ) -> int:
+        return min(free, key=lambda wavelength: (usage[wavelength], wavelength))
+
+
+@ONLINE_ALLOCATORS.register("most_used")
+class MostUsedAllocator:
+    """The free wavelength carrying the most connections network-wide."""
+
+    name = "most_used"
+
+    def choose(
+        self,
+        request: ConnectionRequest,
+        free: Sequence[int],
+        usage: Sequence[int],
+    ) -> int:
+        return min(free, key=lambda wavelength: (-usage[wavelength], wavelength))
+
+
+@ONLINE_ALLOCATORS.register("random")
+class RandomAllocator:
+    """Uniform seeded choice among the free wavelengths."""
+
+    name = "random"
+
+    def __init__(self, seed: int = DEFAULT_TRAFFIC_SEED) -> None:
+        self.seed = int(seed)
+        self._rng = np.random.default_rng(self.seed)
+
+    def choose(
+        self,
+        request: ConnectionRequest,
+        free: Sequence[int],
+        usage: Sequence[int],
+    ) -> int:
+        return free[int(self._rng.integers(0, len(free)))]
+
+
+def build_online_allocator(
+    name: str,
+    options: Optional[Mapping[str, Any]] = None,
+    seed: Optional[int] = None,
+) -> OnlineAllocator:
+    """Instantiate a registered allocator by name, folding in the seed.
+
+    ``seed`` (derived from ``Scenario.effective_seed``) reaches strategies
+    that accept one unless the options already pin an explicit ``seed``; the
+    deterministic strategies take no seed and ignore it.
+    """
+    factory = ONLINE_ALLOCATORS.get(name)
+    merged: Dict[str, Any] = dict(options or {})
+    if seed is not None and "seed" not in merged and factory is RandomAllocator:
+        merged["seed"] = int(seed)
+    try:
+        allocator = factory(**merged)
+    except TypeError as exc:
+        raise TrafficError(
+            f"invalid options for online allocator {name!r}: {exc}"
+        ) from None
+    return allocator

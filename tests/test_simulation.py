@@ -55,6 +55,28 @@ class TestEventQueue:
         assert queue.peek_time() is None
         assert not queue
 
+    def test_queue_with_only_cancelled_events_is_falsy(self):
+        queue = EventQueue()
+        event = queue.push(1.0, lambda: None)
+        event.cancel()
+        assert not queue
+        assert len(queue) == 0
+
+    def test_release_fires_before_acquire_at_equal_time(self):
+        # The shared tie-break convention: capacity freed at time t must be
+        # visible to an acquisition at the same t, regardless of which event
+        # was scheduled first.
+        from repro.simulation import PRIORITY_ACQUIRE, PRIORITY_RELEASE
+
+        assert PRIORITY_RELEASE < PRIORITY_ACQUIRE
+        queue = EventQueue()
+        order = []
+        queue.push(2.0, lambda: order.append("acquire"), priority=PRIORITY_ACQUIRE)
+        queue.push(2.0, lambda: order.append("release"), priority=PRIORITY_RELEASE)
+        while queue:
+            queue.pop().action()
+        assert order == ["release", "acquire"]
+
 
 class TestDiscreteEventEngine:
     def test_clock_advances_with_events(self):

@@ -397,10 +397,17 @@ def _tiny_scenario(topology: str, optimizer: str) -> Scenario:
 
 
 class TestSimulationReplayAcrossTopologies:
-    """Every backend's front replays conflict-free on every topology."""
+    """Every static backend's front replays conflict-free on every topology.
+
+    ``dynamic_rwa`` is excluded: it is the marker of traffic-driven scenarios
+    and produces a blocking report, not a replayable allocation front
+    (covered in ``test_traffic.py``).
+    """
 
     @pytest.mark.parametrize("topology", ["ring", "multi_ring", "crossbar"])
-    @pytest.mark.parametrize("optimizer", sorted(OPTIMIZERS.names()))
+    @pytest.mark.parametrize(
+        "optimizer", sorted(set(OPTIMIZERS.names()) - {"dynamic_rwa"})
+    )
     def test_front_replays_exactly(self, topology, optimizer):
         outcome = execute_scenario(_tiny_scenario(topology, optimizer))
         summary = outcome.summary()

@@ -1,0 +1,137 @@
+#!/usr/bin/env python
+"""Tour of the unified telemetry layer.
+
+This example walks every surface of :mod:`repro.telemetry`:
+
+1. the process-wide **metrics registry** fills itself while a scenario runs —
+   engine counters, phase histograms, store hits/misses all book themselves,
+2. a **JSONL span trace** is recorded for the same run
+   (what ``python -m repro run scenario.json --trace trace.jsonl`` does) and
+   read back through the report helpers — the span tree, the aggregate
+   table, and the proof that trace phase totals equal the phase seconds in
+   the result document,
+3. your own code joins in: a custom ``timed_span`` books one duration into
+   *both* the registry and the trace from a single clock read,
+4. the registry is rendered as **Prometheus text** and scraped live from a
+   running server's ``GET /metrics`` endpoint.
+
+Run it with::
+
+    python examples/telemetry_tour.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+import threading
+import time
+import urllib.request
+from pathlib import Path
+
+from repro.scenarios import ScenarioBuilder, execute_scenario
+from repro.store import ResultStore, create_server
+from repro.telemetry import (
+    configure_tracing,
+    get_registry,
+    render_prometheus,
+    reset_tracing,
+    timed_span,
+)
+from repro.telemetry.report import aggregate_spans, build_span_tree, load_trace
+
+
+def build_scenario():
+    return (
+        ScenarioBuilder()
+        .named("telemetry-tour")
+        .grid(4, 4)
+        .wavelengths(8)
+        .genetic(population_size=32, generations=12)
+        .seed(2017)
+        .build()
+    )
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as tempdir:
+        trace_path = Path(tempdir) / "trace.jsonl"
+        db_path = Path(tempdir) / "results.sqlite"
+
+        # 1 + 2. Trace a run; the registry fills itself along the way.
+        configure_tracing(str(trace_path))
+        with ResultStore(db_path) as store:
+            outcome = execute_scenario(build_scenario(), store=store)
+        result = outcome.summary()
+        reset_tracing()  # flush + detach the trace sink
+
+        registry = get_registry()
+        print("registry after one run:")
+        print(f"  evaluations  "
+              f"{registry.counter_value('repro_engine_evaluations_total'):.0f}")
+        print(f"  generations  "
+              f"{registry.counter_value('repro_engine_generations_total'):.0f}")
+        evaluation = registry.histogram_stats(
+            "repro_engine_phase_seconds", phase="evaluation"
+        )
+        print(f"  evaluation   {evaluation['sum']:.3f}s "
+              f"across {evaluation['count']:.0f} generation(s)")
+
+        # The trace agrees with the result document *exactly* — both sides
+        # of timed_span read the same perf_counter pair.
+        records = load_trace(str(trace_path))
+        traced = sum(
+            r["duration"] for r in records if r["name"] == "engine.evaluation"
+        )
+        print(f"\ntrace: {len(records)} span(s); evaluation total "
+              f"{traced:.6f}s vs reported {result.evaluation_seconds:.6f}s")
+        roots = build_span_tree(records)
+        print(f"root span: {roots[0].name} "
+              f"({len(roots[0].children)} direct child(ren))")
+        top = aggregate_spans(records)[0]
+        print(f"hottest span: {top['name']} x{top['count']} "
+              f"= {top['total_seconds']:.3f}s")
+
+        # 3. Your own spans ride the same rails.
+        configure_tracing(str(trace_path))
+        with timed_span("tour.sleep", metric="tour_sleep_seconds", note="demo"):
+            time.sleep(0.05)
+        reset_tracing()
+        # Extra keyword attrs double as histogram labels and span attributes.
+        booked = registry.histogram_stats("tour_sleep_seconds", note="demo")
+        print(f"\ncustom span booked {booked['sum']:.3f}s into the registry "
+              f"and appended to {trace_path.name}")
+
+        # 4. Prometheus text — rendered directly, then scraped over HTTP.
+        text = render_prometheus(registry)
+        engine_lines = [
+            line for line in text.splitlines()
+            if line.startswith("repro_engine_") and "_total" in line
+        ]
+        print("\nprometheus render (engine counters):")
+        for line in engine_lines:
+            print(f"  {line}")
+
+        with ResultStore(db_path) as store:
+            server = create_server(store, port=0, quiet=True)
+            thread = threading.Thread(target=server.serve_forever, daemon=True)
+            thread.start()
+            try:
+                port = server.server_address[1]
+                # A first request books the HTTP series the scrape will show.
+                urllib.request.urlopen(f"http://127.0.0.1:{port}/api/v1/health")
+                with urllib.request.urlopen(
+                    f"http://127.0.0.1:{port}/metrics"
+                ) as response:
+                    scraped = response.read().decode("utf-8")
+            finally:
+                server.shutdown()
+                server.server_close()
+        wanted = ("repro_store_entries", "repro_http_requests_total")
+        print(f"\nGET /metrics returned {len(scraped.splitlines())} line(s):")
+        for line in scraped.splitlines():
+            if line.startswith(wanted):
+                print(f"  {line}")
+
+
+if __name__ == "__main__":
+    main()

@@ -30,6 +30,7 @@ from typing import Iterable, List, Sequence
 import numpy as np
 
 from ..errors import AllocationError
+from ..telemetry import get_registry
 from .chromosome import Chromosome
 from .objectives import (
     AllocationEvaluator,
@@ -282,6 +283,14 @@ class BatchEvaluator:
             Binary array of shape ``(population, Nl, NW)`` or
             ``(population, Nl * NW)``; any integer or boolean dtype.
         """
+        registry = get_registry()
+        with registry.timer("repro_batch_evaluate_seconds"):
+            evaluation = self._evaluate_population(genes)
+        registry.counter("repro_batch_calls_total").inc()
+        registry.counter("repro_batch_rows_total").inc(evaluation.genes.shape[0])
+        return evaluation
+
+    def _evaluate_population(self, genes: np.ndarray) -> BatchEvaluation:
         tensor = self._coerce(genes)
         population = tensor.shape[0]
         genes_f = tensor.astype(float)

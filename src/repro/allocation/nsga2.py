@@ -32,7 +32,6 @@ of them.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -40,6 +39,7 @@ import numpy as np
 
 from ..config import GeneticParameters
 from ..errors import AllocationError
+from ..telemetry import MetricsRegistry, Stopwatch, get_registry, span, timed_span
 from .chromosome import Chromosome
 from .objectives import AllocationEvaluator, AllocationSolution, ObjectiveVector
 from .pareto import ParetoFront, crowding_distance, non_dominated_sort
@@ -48,6 +48,12 @@ __all__ = ["GenerationRecord", "Nsga2Result", "Nsga2Optimizer"]
 
 #: Evaluation engines accepted by :class:`Nsga2Optimizer`.
 _ENGINES = ("batch", "scalar")
+
+#: Registry series the run books are derived from (one registry per run).
+EVALUATIONS_METRIC = "repro_engine_evaluations_total"
+MEMO_HITS_METRIC = "repro_engine_memo_hits_total"
+GENERATIONS_METRIC = "repro_engine_generations_total"
+PHASE_METRIC = "repro_engine_phase_seconds"
 
 
 @dataclass(frozen=True)
@@ -185,11 +191,13 @@ class Nsga2Optimizer:
         self._batch = evaluator.batch()
         self._rng = np.random.default_rng(self._parameters.seed)
         self._memo: Dict[bytes, _EvalRecord] = {}
-        self._evaluations = 0
-        self._memo_hits = 0
         self._genome = evaluator.communication_count * evaluator.wavelength_count
         self._objective_columns = [ObjectiveVector.KEYS.index(key) for key in keys]
-        self._phase_seconds = {"evaluation": 0.0, "selection": 0.0, "operator": 0.0}
+        #: Run-local metrics registry: evaluations, memo hits, and the
+        #: per-phase timer histograms the result fields are derived from.
+        #: A fresh one is installed at each :meth:`run` and merged into the
+        #: process-wide registry when the run completes.
+        self._metrics = MetricsRegistry()
 
     # ----------------------------------------------------------------- public
     @property
@@ -212,62 +220,91 @@ class Nsga2Optimizer:
         """The evaluation engine in use (``"batch"`` or ``"scalar"``)."""
         return self._engine
 
+    @property
+    def metrics(self) -> MetricsRegistry:
+        """The run-local metrics registry (books of the most recent run)."""
+        return self._metrics
+
+    def _books(self) -> Tuple[float, float, float, float, float]:
+        """Current registry readings backing the per-generation deltas."""
+        registry = self._metrics
+        return (
+            registry.counter_value(EVALUATIONS_METRIC),
+            registry.counter_value(MEMO_HITS_METRIC),
+            registry.histogram_stats(PHASE_METRIC, phase="evaluation")["sum"],
+            registry.histogram_stats(PHASE_METRIC, phase="selection")["sum"],
+            registry.histogram_stats(PHASE_METRIC, phase="operator")["sum"],
+        )
+
     def run(self) -> Nsga2Result:
         """Execute the configured number of generations and collect the results."""
         parameters = self._parameters
-        run_started = time.perf_counter()
+        self._metrics = MetricsRegistry()
+        registry = self._metrics
         unique_valid: Dict[Tuple[int, ...], AllocationSolution] = {}
         front: ParetoFront[AllocationSolution] = ParetoFront()
         history: List[GenerationRecord] = []
 
-        generation_started = run_started
-        population = self._initial_population_matrix()
-        objectives = self._evaluate_matrix(population, unique_valid, front)
-        history.append(
-            self._record(0, objectives, front, generation_started, 0, 0)
-        )
+        with span(
+            "engine.run",
+            engine=self._engine,
+            population=parameters.population_size,
+            generations=parameters.generations,
+        ), Stopwatch() as run_watch:
+            with span("engine.generation", generation=0), Stopwatch() as watch:
+                books = self._books()
+                population = self._initial_population_matrix()
+                objectives = self._evaluate_matrix(population, unique_valid, front)
+            registry.counter(GENERATIONS_METRIC).inc()
+            history.append(self._record(0, objectives, front, watch.elapsed, books))
 
-        for generation in range(1, parameters.generations + 1):
-            generation_started = time.perf_counter()
-            evaluations_before = self._evaluations
-            memo_hits_before = self._memo_hits
-            offspring = self._make_offspring(population, objectives)
-            offspring_objectives = self._evaluate_matrix(
-                offspring, unique_valid, front
-            )
-            combined = np.concatenate([population, offspring])
-            combined_objectives = np.concatenate(
-                [objectives, offspring_objectives]
-            )
-            selected = self._environmental_selection(combined_objectives)
-            population = combined[selected]
-            objectives = combined_objectives[selected]
-            history.append(
-                self._record(
-                    generation,
-                    objectives,
-                    front,
-                    generation_started,
-                    evaluations_before,
-                    memo_hits_before,
+            for generation in range(1, parameters.generations + 1):
+                with span(
+                    "engine.generation", generation=generation
+                ), Stopwatch() as watch:
+                    books = self._books()
+                    offspring = self._make_offspring(population, objectives)
+                    offspring_objectives = self._evaluate_matrix(
+                        offspring, unique_valid, front
+                    )
+                    combined = np.concatenate([population, offspring])
+                    combined_objectives = np.concatenate(
+                        [objectives, offspring_objectives]
+                    )
+                    selected = self._environmental_selection(combined_objectives)
+                    population = combined[selected]
+                    objectives = combined_objectives[selected]
+                registry.counter(GENERATIONS_METRIC).inc()
+                history.append(
+                    self._record(generation, objectives, front, watch.elapsed, books)
                 )
-            )
 
-        final_population = [self._materialize(row) for row in population]
-        return Nsga2Result(
+            final_population = [self._materialize(row) for row in population]
+
+        result = Nsga2Result(
             objective_keys=self._objective_keys,
             final_population=final_population,
             pareto_front=front,
             unique_valid_solutions=unique_valid,
             history=history,
-            evaluations=self._evaluations,
-            memo_hits=self._memo_hits,
-            wall_clock_seconds=time.perf_counter() - run_started,
+            evaluations=int(registry.counter_value(EVALUATIONS_METRIC)),
+            memo_hits=int(registry.counter_value(MEMO_HITS_METRIC)),
+            wall_clock_seconds=run_watch.elapsed,
             engine=self._engine,
-            evaluation_seconds=sum(record.evaluation_seconds for record in history),
-            selection_seconds=sum(record.selection_seconds for record in history),
-            operator_seconds=sum(record.operator_seconds for record in history),
+            evaluation_seconds=registry.histogram_stats(
+                PHASE_METRIC, phase="evaluation"
+            )["sum"],
+            selection_seconds=registry.histogram_stats(
+                PHASE_METRIC, phase="selection"
+            )["sum"],
+            operator_seconds=registry.histogram_stats(
+                PHASE_METRIC, phase="operator"
+            )["sum"],
         )
+        # Fold the run books into the process-wide registry so studies,
+        # workers, and `/metrics` see engine activity without extra wiring.
+        get_registry().merge(registry.snapshot())
+        return result
 
     # ------------------------------------------------------------ inner steps
     def _initial_population_matrix(self) -> np.ndarray:
@@ -311,67 +348,80 @@ class Nsga2Optimizer:
         :meth:`~repro.allocation.pareto.ParetoFront.extend_array` call per
         generation, the scalar engine adds them one by one (the oracle path).
         """
-        started = time.perf_counter()
-        keys = [row.tobytes() for row in matrix]
-        fresh: Dict[bytes, int] = {}
-        for index, key in enumerate(keys):
-            if key in self._memo or key in fresh:
-                self._memo_hits += 1
-            else:
-                fresh[key] = index
+        registry = self._metrics
+        with timed_span(
+            "engine.evaluation",
+            metric=PHASE_METRIC,
+            registry=registry,
+            phase="evaluation",
+        ):
+            keys = [row.tobytes() for row in matrix]
+            fresh: Dict[bytes, int] = {}
+            hits = 0
+            for index, key in enumerate(keys):
+                if key in self._memo or key in fresh:
+                    hits += 1
+                else:
+                    fresh[key] = index
+            if hits:
+                registry.counter(MEMO_HITS_METRIC).inc(hits)
 
-        newcomers: List[AllocationSolution] = []
-        if fresh:
-            fresh_indices = list(fresh.values())
-            if self._engine == "batch":
-                evaluation = self._batch.evaluate_population(matrix[fresh_indices])
-                for position, key in enumerate(fresh):
-                    valid = bool(evaluation.valid[position])
-                    solution = evaluation.solution(position) if valid else None
-                    record = _EvalRecord(
-                        objectives=(
-                            float(evaluation.execution_time_kcycles[position]),
-                            float(evaluation.mean_bit_error_rate[position]),
-                            float(evaluation.bit_energy_fj[position]),
-                        ),
-                        valid=valid,
-                        solution=solution,
-                    )
-                    self._store(key, record, unique_valid, newcomers)
-            else:
-                nl = self._evaluator.communication_count
-                nw = self._evaluator.wavelength_count
-                for key, index in fresh.items():
-                    solution = self._evaluator.evaluate(
-                        Chromosome.from_numpy(matrix[index], nl, nw)
-                    )
-                    record = _EvalRecord(
-                        objectives=solution.objectives.as_tuple(),
-                        valid=solution.is_valid,
-                        solution=solution if solution.is_valid else None,
-                    )
-                    self._store(key, record, unique_valid, newcomers)
+            newcomers: List[AllocationSolution] = []
+            if fresh:
+                registry.counter(EVALUATIONS_METRIC).inc(len(fresh))
+                fresh_indices = list(fresh.values())
+                if self._engine == "batch":
+                    evaluation = self._batch.evaluate_population(matrix[fresh_indices])
+                    for position, key in enumerate(fresh):
+                        valid = bool(evaluation.valid[position])
+                        solution = evaluation.solution(position) if valid else None
+                        record = _EvalRecord(
+                            objectives=(
+                                float(evaluation.execution_time_kcycles[position]),
+                                float(evaluation.mean_bit_error_rate[position]),
+                                float(evaluation.bit_energy_fj[position]),
+                            ),
+                            valid=valid,
+                            solution=solution,
+                        )
+                        self._store(key, record, unique_valid, newcomers)
+                else:
+                    nl = self._evaluator.communication_count
+                    nw = self._evaluator.wavelength_count
+                    for key, index in fresh.items():
+                        solution = self._evaluator.evaluate(
+                            Chromosome.from_numpy(matrix[index], nl, nw)
+                        )
+                        record = _EvalRecord(
+                            objectives=solution.objectives.as_tuple(),
+                            valid=solution.is_valid,
+                            solution=solution if solution.is_valid else None,
+                        )
+                        self._store(key, record, unique_valid, newcomers)
 
-        objectives = np.empty((matrix.shape[0], 3))
-        for index, key in enumerate(keys):
-            objectives[index] = self._memo[key].objectives
-        self._phase_seconds["evaluation"] += time.perf_counter() - started
+            objectives = np.empty((matrix.shape[0], 3))
+            for index, key in enumerate(keys):
+                objectives[index] = self._memo[key].objectives
 
         if newcomers:
-            started = time.perf_counter()
-            pairs = [
-                (solution, solution.objective_tuple(self._objective_keys))
-                for solution in newcomers
-            ]
-            if self._engine == "batch":
-                front.extend_array(
-                    np.asarray([objective for _, objective in pairs], dtype=float),
-                    [solution for solution, _ in pairs],
-                )
-            else:
-                for solution, objective in pairs:
-                    front.add(solution, objective)
-            self._phase_seconds["selection"] += time.perf_counter() - started
+            with timed_span(
+                "engine.selection",
+                metric=PHASE_METRIC,
+                registry=registry,
+                phase="selection",
+            ):
+                pairs = [
+                    (solution, solution.objective_tuple(self._objective_keys))
+                    for solution in newcomers
+                ]
+                if self._engine == "batch":
+                    front.extend_array(
+                        np.asarray([objective for _, objective in pairs], dtype=float),
+                        [solution for solution, _ in pairs],
+                    )
+                else:
+                    for solution, objective in pairs:
+                        front.add(solution, objective)
         return objectives
 
     def _store(
@@ -382,7 +432,6 @@ class Nsga2Optimizer:
         newcomers: List[AllocationSolution],
     ) -> None:
         self._memo[key] = record
-        self._evaluations += 1
         if record.valid and record.solution is not None:
             genes = record.solution.chromosome.genes
             if genes not in unique_valid:
@@ -416,42 +465,52 @@ class Nsga2Optimizer:
     def _rank_and_distance(
         self, objectives: np.ndarray
     ) -> Tuple[np.ndarray, np.ndarray]:
-        started = time.perf_counter()
-        keyed = self._keyed(objectives)
-        fronts = non_dominated_sort(keyed, engine=self._kernel_engine)
-        rank = np.zeros(len(keyed), dtype=int)
-        distance = np.zeros(len(keyed))
-        for front_position, front_indices in enumerate(fronts):
-            indices = np.asarray(front_indices, dtype=int)
-            rank[indices] = front_position
-            distance[indices] = crowding_distance(
-                keyed[indices], engine=self._kernel_engine
-            )
-        self._phase_seconds["selection"] += time.perf_counter() - started
+        with timed_span(
+            "engine.selection",
+            metric=PHASE_METRIC,
+            registry=self._metrics,
+            phase="selection",
+        ):
+            keyed = self._keyed(objectives)
+            fronts = non_dominated_sort(keyed, engine=self._kernel_engine)
+            rank = np.zeros(len(keyed), dtype=int)
+            distance = np.zeros(len(keyed))
+            for front_position, front_indices in enumerate(fronts):
+                indices = np.asarray(front_indices, dtype=int)
+                rank[indices] = front_position
+                distance[indices] = crowding_distance(
+                    keyed[indices], engine=self._kernel_engine
+                )
         return rank, distance
 
     def _environmental_selection(self, objectives: np.ndarray) -> np.ndarray:
         """Indices of the survivors among the merged parent+offspring pool."""
-        started = time.perf_counter()
-        target = self._parameters.population_size
-        keyed = self._keyed(objectives)
-        fronts = non_dominated_sort(keyed, engine=self._kernel_engine)
-        selected: List[int] = []
-        for front_indices in fronts:
-            if len(selected) + len(front_indices) <= target:
-                selected.extend(front_indices)
-                continue
-            remaining = target - len(selected)
-            if remaining <= 0:
+        with timed_span(
+            "engine.selection",
+            metric=PHASE_METRIC,
+            registry=self._metrics,
+            phase="selection",
+        ):
+            target = self._parameters.population_size
+            keyed = self._keyed(objectives)
+            fronts = non_dominated_sort(keyed, engine=self._kernel_engine)
+            selected: List[int] = []
+            for front_indices in fronts:
+                if len(selected) + len(front_indices) <= target:
+                    selected.extend(front_indices)
+                    continue
+                remaining = target - len(selected)
+                if remaining <= 0:
+                    break
+                distances = crowding_distance(
+                    keyed[np.asarray(front_indices, dtype=int)],
+                    engine=self._kernel_engine,
+                )
+                order = np.argsort(-distances, kind="stable")
+                selected.extend(
+                    front_indices[position] for position in order[:remaining]
+                )
                 break
-            distances = crowding_distance(
-                keyed[np.asarray(front_indices, dtype=int)],
-                engine=self._kernel_engine,
-            )
-            order = np.argsort(-distances, kind="stable")
-            selected.extend(front_indices[position] for position in order[:remaining])
-            break
-        self._phase_seconds["selection"] += time.perf_counter() - started
         return np.asarray(selected, dtype=int)
 
     def _make_offspring(
@@ -465,39 +524,45 @@ class Nsga2Optimizer:
         (segment swaps, bit flips) is applied to whole matrices at once.
         """
         rank, distance = self._rank_and_distance(objectives)
-        started = time.perf_counter()
-        target = self._parameters.population_size
-        pair_count = (target + 1) // 2
-        winners = np.empty(2 * pair_count, dtype=int)
-        swap_bounds = np.zeros((pair_count, 2), dtype=int)
-        flip_rows: List[np.ndarray] = []
-        probability = self._parameters.mutation_probability
+        with timed_span(
+            "engine.operator",
+            metric=PHASE_METRIC,
+            registry=self._metrics,
+            phase="operator",
+        ):
+            target = self._parameters.population_size
+            pair_count = (target + 1) // 2
+            winners = np.empty(2 * pair_count, dtype=int)
+            swap_bounds = np.zeros((pair_count, 2), dtype=int)
+            flip_rows: List[np.ndarray] = []
+            probability = self._parameters.mutation_probability
 
-        produced = 0
-        for pair in range(pair_count):
-            winners[2 * pair] = self._tournament(rank, distance)
-            winners[2 * pair + 1] = self._tournament(rank, distance)
-            if self._rng.random() < self._parameters.crossover_probability:
-                lower, upper = sorted(
-                    self._rng.integers(0, self._genome, size=2)
-                )
-                swap_bounds[pair] = (lower, upper)
-            for _ in range(min(2, target - produced)):
-                flip_rows.append(self._draw_flips(probability))
-                produced += 1
+            produced = 0
+            for pair in range(pair_count):
+                winners[2 * pair] = self._tournament(rank, distance)
+                winners[2 * pair + 1] = self._tournament(rank, distance)
+                if self._rng.random() < self._parameters.crossover_probability:
+                    lower, upper = sorted(
+                        self._rng.integers(0, self._genome, size=2)
+                    )
+                    swap_bounds[pair] = (lower, upper)
+                for _ in range(min(2, target - produced)):
+                    flip_rows.append(self._draw_flips(probability))
+                    produced += 1
 
-        parents_a = population[winners[0::2]]
-        parents_b = population[winners[1::2]]
-        positions = np.arange(self._genome)[None, :]
-        swap = (positions >= swap_bounds[:, 0:1]) & (positions < swap_bounds[:, 1:2])
-        offspring = np.empty((2 * pair_count, self._genome), dtype=np.uint8)
-        offspring[0::2] = np.where(swap, parents_b, parents_a)
-        offspring[1::2] = np.where(swap, parents_a, parents_b)
-        offspring = offspring[:target]
-        if flip_rows and probability > 0.0:
-            flips = np.stack(flip_rows)
-            offspring = np.where(flips, 1 - offspring, offspring).astype(np.uint8)
-        self._phase_seconds["operator"] += time.perf_counter() - started
+            parents_a = population[winners[0::2]]
+            parents_b = population[winners[1::2]]
+            positions = np.arange(self._genome)[None, :]
+            swap = (positions >= swap_bounds[:, 0:1]) & (
+                positions < swap_bounds[:, 1:2]
+            )
+            offspring = np.empty((2 * pair_count, self._genome), dtype=np.uint8)
+            offspring[0::2] = np.where(swap, parents_b, parents_a)
+            offspring[1::2] = np.where(swap, parents_a, parents_b)
+            offspring = offspring[:target]
+            if flip_rows and probability > 0.0:
+                flips = np.stack(flip_rows)
+                offspring = np.where(flips, 1 - offspring, offspring).astype(np.uint8)
         return np.ascontiguousarray(offspring)
 
     def _tournament(self, rank: np.ndarray, distance: np.ndarray) -> int:
@@ -562,9 +627,8 @@ class Nsga2Optimizer:
         generation: int,
         objectives: np.ndarray,
         front: ParetoFront[AllocationSolution],
-        started: float,
-        evaluations_before: int,
-        memo_hits_before: int,
+        wall_clock_seconds: float,
+        books_before: Tuple[float, float, float, float, float],
     ) -> GenerationRecord:
         valid = np.isfinite(objectives).all(axis=1)
         if valid.any():
@@ -573,8 +637,7 @@ class Nsga2Optimizer:
             best_energy = float(objectives[valid, 2].min())
         else:
             best_time = best_energy = best_ber = float("inf")
-        phases = self._phase_seconds
-        self._phase_seconds = {"evaluation": 0.0, "selection": 0.0, "operator": 0.0}
+        evaluations, memo_hits, eval_s, sel_s, op_s = self._books()
         return GenerationRecord(
             generation=generation,
             valid_count=int(np.count_nonzero(valid)),
@@ -582,10 +645,10 @@ class Nsga2Optimizer:
             best_energy_fj=best_energy,
             best_ber=best_ber,
             front_size=len(front),
-            evaluations=self._evaluations - evaluations_before,
-            memo_hits=self._memo_hits - memo_hits_before,
-            wall_clock_seconds=time.perf_counter() - started,
-            evaluation_seconds=phases["evaluation"],
-            selection_seconds=phases["selection"],
-            operator_seconds=phases["operator"],
+            evaluations=int(evaluations - books_before[0]),
+            memo_hits=int(memo_hits - books_before[1]),
+            wall_clock_seconds=wall_clock_seconds,
+            evaluation_seconds=eval_s - books_before[2],
+            selection_seconds=sel_s - books_before[3],
+            operator_seconds=op_s - books_before[4],
         )

@@ -34,6 +34,10 @@ The CLI exposes the most common workflows without writing Python:
     and persist the results; SIGINT/SIGTERM finish the in-flight job first.
 ``python -m repro jobs ls|status|cancel|requeue|stats --store results.sqlite``
     Inspect and manage the job queue (also available via ``--url``).
+``python -m repro telemetry trace.jsonl``
+    Pretty-print the span tree and per-span aggregate table of a JSONL trace
+    recorded with ``--trace PATH`` (on ``run``/``study``/``work``/``serve``)
+    or the ``REPRO_TRACE`` environment variable.
 
 ``run`` and ``study`` accept ``--store PATH``: results are then served from
 the store when present and persisted into it after execution, so repeated
@@ -85,6 +89,7 @@ from .scenarios import (
 )
 from .simulation import SimulationVerifier
 from .store import ResultStore, Worker, WorkerPool, create_server
+from .telemetry import configure_tracing
 from .store.jobs import DEFAULT_LEASE_SECONDS, DEFAULT_MAX_ATTEMPTS, JOB_STATES, enqueue_submission
 from .topology import TOPOLOGIES, build_topology, topology_description, worst_case_link_loss_db
 from .traffic import (
@@ -150,6 +155,15 @@ def build_parser() -> argparse.ArgumentParser:
         help='topology options as a JSON object, e.g. \'{"layers": 2}\'',
     )
 
+    tracing = argparse.ArgumentParser(add_help=False)
+    tracing.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="append one JSONL line per telemetry span to this file "
+        "(inspect with `repro telemetry PATH`; REPRO_TRACE=PATH works too)",
+    )
+
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     subparsers.add_parser("info", parents=[common], help="describe the default setup")
@@ -210,7 +224,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     run = subparsers.add_parser(
-        "run", help="execute one declarative scenario from a JSON file"
+        "run",
+        parents=[tracing],
+        help="execute one declarative scenario from a JSON file",
     )
     run.add_argument(
         "scenario", nargs="?", default=None, help="path to a scenario JSON document"
@@ -258,7 +274,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     study = subparsers.add_parser(
-        "study", help="execute a batch of scenarios from a JSON file"
+        "study",
+        parents=[tracing],
+        help="execute a batch of scenarios from a JSON file",
     )
     study.add_argument(
         "study", help="path to a study JSON document (or a JSON array of scenarios)"
@@ -347,7 +365,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     serve = subparsers.add_parser(
-        "serve", help="serve a result store over a JSON HTTP API"
+        "serve",
+        parents=[tracing],
+        help="serve a result store over a JSON HTTP API",
     )
     serve.add_argument(
         "--store", required=True, help="path to the SQLite result store"
@@ -355,7 +375,15 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--host", default="127.0.0.1", help="bind address")
     serve.add_argument("--port", type=int, default=8787, help="TCP port (0 = ephemeral)")
     serve.add_argument(
-        "--verbose", action="store_true", help="log each request to stderr"
+        "--quiet",
+        action="store_true",
+        help="silence the per-request access-log line",
+    )
+    serve.add_argument(
+        "--verbose",
+        action="store_true",
+        help="log each request to stderr (now the default; kept for "
+        "compatibility, overrides --quiet)",
     )
 
     submit = subparsers.add_parser(
@@ -388,7 +416,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     work = subparsers.add_parser(
-        "work", help="run queue workers that execute submitted jobs"
+        "work",
+        parents=[tracing],
+        help="run queue workers that execute submitted jobs",
     )
     work.add_argument(
         "--store", required=True, help="path to the SQLite result store"
@@ -536,6 +566,25 @@ def build_parser() -> argparse.ArgumentParser:
         help="static analysis of the project's reproducibility invariants",
     )
     add_lint_arguments(lint)
+
+    telemetry = subparsers.add_parser(
+        "telemetry",
+        help="inspect a JSONL span trace (written with --trace or REPRO_TRACE)",
+    )
+    telemetry.add_argument(
+        "trace_file", help="path to the JSONL trace file to analyse"
+    )
+    telemetry.add_argument(
+        "--csv",
+        type=str,
+        default=None,
+        help="also write one flat CSV row per span to this file",
+    )
+    telemetry.add_argument(
+        "--no-tree",
+        action="store_true",
+        help="skip the indented span tree (print only the aggregate table)",
+    )
 
     return parser
 
@@ -946,7 +995,7 @@ def _format_age(seconds: float) -> str:
 def _command_cache(args: argparse.Namespace) -> int:
     with ResultStore(args.store) as store:
         if args.action == "ls":
-            now = time.time()
+            now = time.time()  # repro-lint: allow R006 — compared against store wall-clock timestamps, not a duration
             rows = []
             for row in store.rows():
                 rows.append(
@@ -1027,8 +1076,13 @@ def _restore_signal_handlers(previous: Dict[int, Any]) -> None:
 def _command_serve(args: argparse.Namespace) -> int:
     store = ResultStore(args.store)
     try:
+        # Access logging defaults ON for the CLI service (one structured line
+        # per request); --quiet silences it, --verbose forces it back on.
         server = create_server(
-            store, host=args.host, port=args.port, quiet=not args.verbose
+            store,
+            host=args.host,
+            port=args.port,
+            quiet=args.quiet and not args.verbose,
         )
     except OSError as error:
         store.close()
@@ -1103,7 +1157,7 @@ def _http_json(method: str, url: str, payload: Optional[Any] = None) -> Any:
 
 
 def _job_rows(job_dicts: Sequence[Dict[str, Any]]) -> List[Dict[str, Any]]:
-    now = time.time()
+    now = time.time()  # repro-lint: allow R006 — compared against queue wall-clock timestamps, not a duration
     rows = []
     for job in job_dicts:
         error = job.get("error") or ""
@@ -1367,6 +1421,45 @@ def _command_lint(args: argparse.Namespace) -> int:
     return run_lint(args)
 
 
+def _command_telemetry(args: argparse.Namespace) -> int:
+    from .telemetry.report import (
+        aggregate_spans,
+        build_span_tree,
+        load_trace,
+        render_span_tree,
+        span_rows,
+    )
+
+    records = load_trace(args.trace_file)
+    if not records:
+        print(f"no spans in {args.trace_file}")
+        return 0
+    traces = {record.get("trace") for record in records}
+    print(
+        f"{len(records)} span(s) across {len(traces)} trace(s) "
+        f"in {args.trace_file}"
+    )
+    if not args.no_tree:
+        print()
+        for line in render_span_tree(build_span_tree(records)):
+            print(line)
+    print()
+    table = [
+        {
+            "span": row["name"],
+            "count": row["count"],
+            "total_s": round(row["total_seconds"], 6),
+            "mean_s": round(row["mean_seconds"], 6),
+            "min_s": round(row["min_seconds"], 6),
+            "max_s": round(row["max_seconds"], 6),
+        }
+        for row in aggregate_spans(records)
+    ]
+    print(format_table(table))
+    _maybe_write_csv(args, span_rows(records))
+    return 0
+
+
 _COMMANDS = {
     "topologies": _command_topologies,
     "info": _command_info,
@@ -1383,6 +1476,7 @@ _COMMANDS = {
     "jobs": _command_jobs,
     "traffic": _command_traffic,
     "lint": _command_lint,
+    "telemetry": _command_telemetry,
 }
 
 
@@ -1390,6 +1484,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point of ``python -m repro``; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    if getattr(args, "trace", None):
+        configure_tracing(args.trace)
     try:
         return _COMMANDS[args.command](args)
     except ReproError as error:

@@ -23,6 +23,7 @@ __all__ = [
     "StoreWriteDisciplineRule",
     "RegistryDisciplineRule",
     "FingerprintPurityRule",
+    "TimingDisciplineRule",
 ]
 
 
@@ -786,7 +787,7 @@ construction (through same-module helper calls) breaks that key."""
             "        return {\"name\": self.name, \"stamp\": self._stamp()}\n"
             "\n"
             "    def _stamp(self):\n"
-            "        return time.time()\n"
+            "        return time.time_ns()\n"
             "\n"
             "    def fingerprint(self):\n"
             "        payload = json.dumps(self.to_dict(), sort_keys=True)\n"
@@ -903,6 +904,84 @@ construction (through same-module helper calls) breaks that key."""
         return name in _IMPURE_CALLS or name.startswith(_IMPURE_PREFIXES)
 
 
+# --------------------------------------------------------------------------- #
+# R006 — timing discipline
+# --------------------------------------------------------------------------- #
+
+#: Clock reads R006 bans outside the allowed modules.  `time.monotonic` is
+#: deliberately not listed: it is a deadline/poll clock, not a measurement.
+_TIMING_CLOCK_CALLS = {"time.time", "time.perf_counter"}
+
+
+class TimingDisciplineRule(Rule):
+    id = "R006"
+    title = "durations are measured through repro.telemetry"
+    explanation = """\
+Hand-rolled `time.time()` / `time.perf_counter()` timing produces numbers
+the telemetry layer cannot see: they never reach the metrics registry, the
+span trace, or `/metrics`, so the reported phase totals drift away from what
+was actually measured.  Inside `src/repro` every duration must go through
+`repro.telemetry` (`Stopwatch`, `timed_span`, `registry.timer(...)`); only
+the telemetry package itself and the store's transaction clocks — where
+`time.time()` stamps persisted rows, not durations — read clocks directly.
+A genuinely non-timing wall-clock read (e.g. an age computed against stored
+timestamps) is allowlisted with `# repro-lint: allow R006 — reason`."""
+    bad_fixture = {
+        "src/repro/profiling.py": (
+            "import time\n"
+            "\n"
+            "def measure(fn):\n"
+            "    started = time.perf_counter()\n"
+            "    fn()\n"
+            "    return time.perf_counter() - started\n"
+        ),
+    }
+    good_fixture = {
+        "src/repro/profiling.py": (
+            "from repro.telemetry import Stopwatch, get_registry\n"
+            "\n"
+            "def measure(fn):\n"
+            "    with Stopwatch() as watch:\n"
+            "        fn()\n"
+            "    get_registry().histogram(\"repro_profiling_seconds\").observe(\n"
+            "        watch.elapsed\n"
+            "    )\n"
+            "    return watch.elapsed\n"
+        ),
+    }
+
+    def _in_scope(self, file: SourceFile) -> bool:
+        if not file.module.startswith("repro"):
+            return False
+        if file.module.startswith("repro.telemetry"):
+            # The telemetry package is the timing implementation.
+            return False
+        if file.module.startswith("repro.store") and not file.module.endswith(
+            (".worker", ".server")
+        ):
+            # R003's domain: storage-module `time.time()` reads stamp
+            # persisted rows (one clock read per transition), they don't
+            # measure durations.  The worker/server service loops stay in.
+            return False
+        return True
+
+    def check(self, file: SourceFile, project: Project) -> Iterable[Violation]:
+        if not self._in_scope(file):
+            return
+        assert file.tree is not None
+        for node in ast.walk(file.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = file.resolve_call(node.func)
+            if name in _TIMING_CLOCK_CALLS:
+                yield file.violation(
+                    node,
+                    self.id,
+                    f"bare `{name}()` outside repro.telemetry; measure with "
+                    "Stopwatch/timed_span (or allowlist a non-timing read)",
+                )
+
+
 ALL_RULES: Sequence[Rule] = (
     MarkerHygieneRule(),
     DeterminismRule(),
@@ -910,6 +989,7 @@ ALL_RULES: Sequence[Rule] = (
     StoreWriteDisciplineRule(),
     RegistryDisciplineRule(),
     FingerprintPurityRule(),
+    TimingDisciplineRule(),
 )
 
 RULES_BY_ID: Dict[str, Rule] = {rule.id: rule for rule in ALL_RULES}

@@ -8,7 +8,6 @@ an :class:`ExperimentRecord` that the report/benchmark layer consumes.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -18,6 +17,7 @@ from ..application.mapping import Mapping
 from ..application.task_graph import TaskGraph
 from ..config import GeneticParameters, OnocConfiguration
 from ..errors import ExperimentError
+from ..telemetry import Stopwatch
 from ..topology.base import OnocTopology
 from ..topology.registry import build_topology
 
@@ -155,10 +155,9 @@ class WavelengthExplorationExperiment:
             genetic=genetic_parameters or self._configuration.genetic,
             objective_keys=tuple(objective_keys),
         )
-        started = time.perf_counter()
-        result = backend.run(allocator.evaluator, parameters)
-        elapsed = time.perf_counter() - started
-        return make_record(result, elapsed)
+        with Stopwatch() as watch:
+            result = backend.run(allocator.evaluator, parameters)
+        return make_record(result, watch.elapsed)
 
     def run_many(
         self,

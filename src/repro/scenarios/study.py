@@ -24,7 +24,6 @@ test-suite asserts this.
 
 from __future__ import annotations
 
-import time
 from collections import Counter
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
@@ -54,6 +53,13 @@ from ..analysis.plotting import format_table
 from ..errors import ScenarioError
 from ..simulation.verify import SimulationVerifier, VerificationReport
 from ..store.backend import MemoryStore, StoreBackend
+from ..telemetry import (
+    MetricsRegistry,
+    Stopwatch,
+    get_registry,
+    set_registry,
+    span,
+)
 from ..topology.registry import build_topology
 from .backends import OptimizerParameters, build_mapping, build_workload, create_optimizer
 from .scenario import Scenario
@@ -146,22 +152,28 @@ def execute_scenario(
         objective_keys=scenario.objectives,
         options=dict(scenario.optimizer_options),
     )
-    started = time.perf_counter()
-    result = backend.run(evaluator, parameters)
-    verification: Optional[VerificationReport] = None
-    settings = scenario.verification
-    if settings.simulate:
-        verifier = SimulationVerifier.from_evaluator(
-            evaluator, tolerance=settings.tolerance
-        )
-        verification = verifier.verify_solutions(
-            result.pareto_solutions, parallel=settings.parallel
-        )
-    elapsed = time.perf_counter() - started
+    with span(
+        "scenario.execute",
+        fingerprint=scenario.fingerprint(),
+        optimizer=scenario.optimizer,
+        workload=scenario.workload,
+        topology=scenario.topology,
+    ), Stopwatch() as watch:
+        result = backend.run(evaluator, parameters)
+        verification: Optional[VerificationReport] = None
+        settings = scenario.verification
+        if settings.simulate:
+            verifier = SimulationVerifier.from_evaluator(
+                evaluator, tolerance=settings.tolerance
+            )
+            verification = verifier.verify_solutions(
+                result.pareto_solutions, parallel=settings.parallel
+            )
+    get_registry().counter("repro_scenario_executions_total", kind="static").inc()
     outcome = ScenarioOutcome(
         scenario=scenario,
         result=result,
-        runtime_seconds=elapsed,
+        runtime_seconds=watch.elapsed,
         verification=verification,
     )
     if store is not None:
@@ -208,13 +220,18 @@ def _execute_dynamic_scenario(scenario: Scenario) -> "ScenarioOutcome":
         warmup_fraction=settings.warmup_fraction,
         topology_name=scenario.topology,
     )
-    started = time.perf_counter()
-    report = simulator.run()
-    elapsed = time.perf_counter() - started
+    with span(
+        "scenario.dynamic",
+        fingerprint=scenario.fingerprint(),
+        strategy=settings.strategy,
+        topology=scenario.topology,
+    ), Stopwatch() as watch:
+        report = simulator.run()
+    get_registry().counter("repro_scenario_executions_total", kind="dynamic").inc()
     return ScenarioOutcome(
         scenario=scenario,
         result=None,
-        runtime_seconds=elapsed,
+        runtime_seconds=watch.elapsed,
         blocking=report,
     )
 
@@ -538,9 +555,23 @@ class ScenarioResult:
 
 
 def _execute_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
-    """Process-pool worker: scenario dict in, result summary dict out."""
+    """Process-pool worker: scenario dict in, result + registry snapshot out.
+
+    The child ships its process-wide registry snapshot with the result so
+    the parent study can aggregate telemetry across the pool; the snapshot
+    rides outside the result document and never touches its schema.
+    """
     scenario = Scenario.from_dict(payload)
-    return execute_scenario(scenario).summary().to_dict()
+    # Pool children are reused across payloads, so book each execution into
+    # a fresh registry: the shipped snapshot is this payload's delta only.
+    local = MetricsRegistry()
+    previous = set_registry(local)
+    try:
+        result = execute_scenario(scenario).summary().to_dict()
+    finally:
+        set_registry(previous)
+        previous.merge(local.snapshot())
+    return {"result": result, "telemetry": local.snapshot()}
 
 
 class StudyCache:
@@ -789,30 +820,33 @@ class Study:
 
         pending: Dict[str, Scenario] = {}
         hits: List[str] = []
-        for scenario, fingerprint in zip(self._scenarios, fingerprints):
-            if fingerprint in session or fingerprint in pending:
-                continue
-            cached = self._store.get(fingerprint)
-            if cached is None:
-                pending[fingerprint] = scenario
+        with span("study.run", study=self._name, scenarios=total):
+            for scenario, fingerprint in zip(self._scenarios, fingerprints):
+                if fingerprint in session or fingerprint in pending:
+                    continue
+                cached = self._store.get(fingerprint)
+                if cached is None:
+                    pending[fingerprint] = scenario
+                else:
+                    session[fingerprint] = cached
+                    hits.append(fingerprint)
+            for fingerprint in dict.fromkeys(fingerprints):
+                if fingerprint in session:
+                    notify(fingerprint)
+
+            workers = 0 if parallel is None else int(parallel)
+            if workers > 1 and pending:
+                self._run_parallel(
+                    pending, min(workers, len(pending)), session, notify
+                )
             else:
-                session[fingerprint] = cached
-                hits.append(fingerprint)
-        for fingerprint in dict.fromkeys(fingerprints):
-            if fingerprint in session:
-                notify(fingerprint)
+                for fingerprint, scenario in pending.items():
+                    session[fingerprint] = execute_scenario(
+                        scenario, store=self._store
+                    ).summary()
+                    notify(fingerprint)
 
-        workers = 0 if parallel is None else int(parallel)
-        if workers > 1 and pending:
-            self._run_parallel(pending, min(workers, len(pending)), session, notify)
-        else:
-            for fingerprint, scenario in pending.items():
-                session[fingerprint] = execute_scenario(
-                    scenario, store=self._store
-                ).summary()
-                notify(fingerprint)
-
-        self._store.record_study(self._name, list(dict.fromkeys(fingerprints)))
+            self._store.record_study(self._name, list(dict.fromkeys(fingerprints)))
         results = tuple(session[fingerprint] for fingerprint in fingerprints)
         return StudyResult(
             name=self._name,
@@ -834,6 +868,7 @@ class Study:
         payloads = {
             fingerprint: scenario.to_dict() for fingerprint, scenario in pending.items()
         }
+        registry = get_registry()
         with ProcessPoolExecutor(max_workers=workers) as executor:
             futures = {
                 executor.submit(_execute_payload, payload): fingerprint
@@ -844,7 +879,9 @@ class Study:
                 done, outstanding = wait(outstanding, return_when=FIRST_COMPLETED)
                 for future in done:
                     fingerprint = futures[future]
-                    result = ScenarioResult.from_dict(future.result())
+                    payload = future.result()
+                    result = ScenarioResult.from_dict(payload["result"])
+                    registry.merge(payload.get("telemetry") or {})
                     self._store.put(result)
                     session[fingerprint] = result
                     notify(fingerprint)

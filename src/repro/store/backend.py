@@ -20,6 +20,7 @@ from __future__ import annotations
 import time
 from typing import TYPE_CHECKING, Any, Dict, Iterator, List, Optional, Protocol, Sequence, Tuple, Union, runtime_checkable
 
+from ..telemetry import get_registry
 from .jobs import DEFAULT_LEASE_SECONDS, DEFAULT_MAX_ATTEMPTS, Job, MemoryJobQueue
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (study imports us)
@@ -178,8 +179,10 @@ class MemoryStore(MemoryJobQueue):
         result = self._results.get(fingerprint)
         if result is None:
             self._misses += 1
+            get_registry().counter("repro_store_misses_total", backend=self.backend_name).inc()
             return None
         self._hits += 1
+        get_registry().counter("repro_store_hits_total", backend=self.backend_name).inc()
         self._accessed_at[fingerprint] = time.time()
         return result
 
@@ -189,6 +192,7 @@ class MemoryStore(MemoryJobQueue):
     def touch(self, fingerprint: str) -> None:
         if fingerprint in self._results:
             self._hits += 1
+            get_registry().counter("repro_store_hits_total", backend=self.backend_name).inc()
             self._accessed_at[fingerprint] = time.time()
 
     def put(self, result: "ScenarioResult") -> None:
@@ -197,6 +201,7 @@ class MemoryStore(MemoryJobQueue):
         self._results[fingerprint] = result
         self._created_at.setdefault(fingerprint, now)
         self._accessed_at[fingerprint] = now
+        get_registry().counter("repro_store_puts_total", backend=self.backend_name).inc()
 
     def fingerprints(self) -> List[str]:
         return list(self._results)
@@ -246,6 +251,10 @@ class MemoryStore(MemoryJobQueue):
                 self._created_at.pop(fingerprint, None)
                 removed += 1
         self._evictions += removed
+        if removed:
+            get_registry().counter(
+                "repro_store_evictions_total", backend=self.backend_name
+            ).inc(removed)
         return removed
 
     def stats(self) -> Dict[str, Any]:

@@ -37,6 +37,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Dict, List, Optional, Protocol, Tuple, Union, runtime_checkable
 
 from ..errors import JobError
+from ..telemetry import get_registry
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (study imports us)
     from ..scenarios.scenario import Scenario
@@ -51,7 +52,12 @@ __all__ = [
     "backoff_seconds",
     "enqueue_submission",
     "failure_transition",
+    "note_job_claimed",
+    "note_job_enqueued",
+    "note_job_expired_dead",
+    "note_job_finished",
     "scenarios_from_submission",
+    "summarise_jobs",
 ]
 
 #: Every state a job can be in (see the module docs for the transitions).
@@ -308,8 +314,21 @@ def _scenario_document(scenario: Union["Scenario", Dict[str, Any]]) -> Tuple[str
     return scenario.fingerprint(), scenario.to_dict()
 
 
-def summarise_jobs(records: List[Dict[str, Any]]) -> Dict[str, Any]:
-    """The shared ``jobs_stats`` payload, from plain per-job field dicts."""
+def summarise_jobs(
+    records: List[Dict[str, Any]], now: Optional[float] = None
+) -> Dict[str, Any]:
+    """The shared ``jobs_stats`` payload, from plain per-job field dicts.
+
+    Wait and run means treat in-flight jobs consistently: every job that has
+    been claimed contributes its queue wait, and every job that has consumed
+    worker time contributes it — finished attempts (done/failed/dead) as
+    ``finished_at - started_at`` and *currently leased* jobs as their elapsed
+    time so far (``now - started_at``).  Historically leased jobs counted
+    into the wait mean but silently dropped out of the run mean, so a queue
+    with long-running in-flight work looked faster than it was.
+    """
+    if now is None:
+        now = time.time()
     counts = {state: 0 for state in JOB_STATES}
     waits: List[float] = []
     runs: List[float] = []
@@ -319,7 +338,9 @@ def summarise_jobs(records: List[Dict[str, Any]]) -> Dict[str, Any]:
         finished = record.get("finished_at")
         if started is not None:
             waits.append(max(0.0, started - record["enqueued_at"]))
-        if record["state"] == "done" and started is not None and finished is not None:
+        if record["state"] == "leased" and started is not None:
+            runs.append(max(0.0, now - started))
+        elif started is not None and finished is not None:
             runs.append(max(0.0, finished - started))
     def mean(values: List[float]) -> float:
         return (sum(values) / len(values)) if values else 0.0
@@ -335,6 +356,56 @@ def summarise_jobs(records: List[Dict[str, Any]]) -> Dict[str, Any]:
         "mean_wait_seconds": mean(waits),
         "mean_run_seconds": mean(runs),
     }
+
+
+# --------------------------------------------------------------- telemetry
+# Queue-side counters live here, next to the transition rules, so the two
+# backends book identical series (workers and the HTTP API both go through
+# these transitions; the worker's own WorkerStats stay per-process).
+
+def note_job_enqueued() -> None:
+    get_registry().counter("repro_jobs_enqueued_total").inc()
+
+
+def note_job_claimed(reclaimed: bool) -> None:
+    """Book a successful claim; an expired-lease re-claim is a retry."""
+    registry = get_registry()
+    registry.counter("repro_jobs_claimed_total").inc()
+    if reclaimed:
+        registry.counter("repro_jobs_lease_expired_total").inc()
+        registry.counter("repro_jobs_retried_total").inc()
+
+
+def note_job_expired_dead() -> None:
+    """Book an expired lease whose attempt budget was already spent."""
+    registry = get_registry()
+    registry.counter("repro_jobs_lease_expired_total").inc()
+    registry.counter("repro_jobs_dead_total").inc()
+
+
+def note_job_finished(record: Dict[str, Any]) -> None:
+    """Book a terminal/retry transition from the job's updated field dict."""
+    registry = get_registry()
+    state = record["state"]
+    if state == "done":
+        registry.counter("repro_jobs_completed_total").inc()
+        started = record.get("started_at")
+        finished = record.get("finished_at")
+        if started is not None:
+            registry.histogram("repro_jobs_wait_seconds").observe(
+                max(0.0, started - record["enqueued_at"])
+            )
+            if finished is not None:
+                registry.histogram("repro_jobs_run_seconds").observe(
+                    max(0.0, finished - started)
+                )
+    elif state == "failed":
+        registry.counter("repro_jobs_failed_total").inc()
+    elif state == "dead":
+        registry.counter("repro_jobs_dead_total").inc()
+    elif state == "queued":
+        # A retryable failure went back to the queue for another attempt.
+        registry.counter("repro_jobs_retried_total").inc()
 
 
 class MemoryJobQueue:
@@ -381,6 +452,7 @@ class MemoryJobQueue:
         }
         with self._jobs_lock:
             self._jobs[record["id"]] = record
+        note_job_enqueued()
         return Job(**record)
 
     # ------------------------------------------------------------------- claim
@@ -410,7 +482,9 @@ class MemoryJobQueue:
                         finished_at=now,
                         updated_at=now,
                     )
+                    note_job_expired_dead()
                     continue
+                reclaimed = _expired_lease(record, now)
                 record.update(
                     state="leased",
                     attempts=record["attempts"] + 1,
@@ -420,6 +494,7 @@ class MemoryJobQueue:
                     started_at=record["started_at"] or now,
                     updated_at=now,
                 )
+                note_job_claimed(reclaimed)
                 return Job(**record)
         return None
 
@@ -460,6 +535,7 @@ class MemoryJobQueue:
                 finished_at=now,
                 updated_at=now,
             )
+            note_job_finished(record)
             return Job(**record)
 
     def fail(
@@ -485,6 +561,7 @@ class MemoryJobQueue:
                 finished_at=None if state == "queued" else now,
                 updated_at=now,
             )
+            note_job_finished(record)
             return Job(**record)
 
     def release(self, job_id: str, worker_id: str) -> Job:

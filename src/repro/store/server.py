@@ -14,6 +14,7 @@ Endpoints (all JSON):
 
 ====================================  =========================================
 ``GET  /``                            service banner + endpoint list
+``GET  /metrics``                     Prometheus text-format telemetry scrape
 ``GET  /api/v1/health``               liveness probe with entry count
 ``GET  /api/v1/stats``                backend + queue stats (hits, depth ...)
 ``GET  /api/v1/results``              metadata row per stored result
@@ -50,6 +51,8 @@ from urllib.parse import parse_qs, urlsplit
 from ..errors import JobError, ReproError, ScenarioError, StoreError
 from ..scenarios.scenario import Scenario
 from ..scenarios.study import ScenarioResult
+from ..telemetry import Stopwatch, get_registry, render_prometheus
+from ..telemetry.prometheus import CONTENT_TYPE as _METRICS_CONTENT_TYPE
 from .backend import StoreBackend
 from .jobs import DEFAULT_MAX_ATTEMPTS, Job, enqueue_submission
 
@@ -59,6 +62,7 @@ __all__ = ["StoreHTTPServer", "create_server", "serve"]
 API_PREFIX = "/api/v1"
 
 _ENDPOINTS = [
+    "GET  /metrics",
     "GET  /api/v1/health",
     "GET  /api/v1/stats",
     "GET  /api/v1/results",
@@ -97,11 +101,17 @@ class _StoreRequestHandler(BaseHTTPRequestHandler):
     server: StoreHTTPServer
 
     # ------------------------------------------------------------------ plumbing
+    def log_request(self, code: Any = "-", size: Any = "-") -> None:
+        # The stdlib per-response line is replaced by the single structured
+        # access line emitted from _dispatch (it carries the duration too).
+        pass
+
     def log_message(self, format: str, *args: Any) -> None:
         if not self.server.quiet:  # pragma: no cover - exercised manually
             super().log_message(format, *args)
 
     def _send_json(self, payload: Any, status: int = 200) -> None:
+        self._response_status = status
         body = json.dumps(payload, indent=2).encode("utf-8") + b"\n"
         self.send_response(status)
         self.send_header("Content-Type", "application/json; charset=utf-8")
@@ -149,24 +159,100 @@ class _StoreRequestHandler(BaseHTTPRequestHandler):
         Expected conditions keep their specific status codes (malformed
         documents 400, bad transitions 409, store trouble 500); anything
         uncaught is a 500 envelope rather than a raw traceback on the wire.
+
+        Every request — success or envelope — books one
+        ``repro_http_requests_total{method,route,status}`` increment, one
+        ``repro_http_request_seconds{route}`` observation, and (unless the
+        server is quiet) one structured access-log line.
         """
-        try:
-            route()
-        except ScenarioError as error:
-            self._send_error_json(400, str(error))
-        except JobError as error:
-            self._send_error_json(409, str(error))
-        except (StoreError, ReproError) as error:
-            self._send_error_json(500, str(error))
-        except (BrokenPipeError, ConnectionError):  # pragma: no cover - client gone
-            pass
-        except Exception as error:  # noqa: BLE001 - the envelope is the contract
+        self._response_status = 0
+        with Stopwatch() as watch:
             try:
-                self._send_error_json(
-                    500, f"internal error: {type(error).__name__}: {error}"
-                )
-            except (BrokenPipeError, ConnectionError):  # pragma: no cover
+                route()
+            except ScenarioError as error:
+                self._send_error_json(400, str(error))
+            except JobError as error:
+                self._send_error_json(409, str(error))
+            except (StoreError, ReproError) as error:
+                self._send_error_json(500, str(error))
+            except (BrokenPipeError, ConnectionError):  # pragma: no cover - client gone
                 pass
+            except Exception as error:  # noqa: BLE001 - the envelope is the contract
+                try:
+                    self._send_error_json(
+                        500, f"internal error: {type(error).__name__}: {error}"
+                    )
+                except (BrokenPipeError, ConnectionError):  # pragma: no cover
+                    pass
+        status = self._response_status
+        route_label = self._route_label()
+        registry = get_registry()
+        registry.counter(
+            "repro_http_requests_total",
+            method=self.command,
+            route=route_label,
+            status=status,
+        ).inc()
+        registry.histogram(
+            "repro_http_request_seconds", route=route_label
+        ).observe(watch.elapsed)
+        self.log_message(
+            "%s %s status=%d duration_ms=%.1f",
+            self.command,
+            self.path,
+            status,
+            watch.elapsed * 1000.0,
+        )
+
+    def _route_label(self) -> str:
+        """A low-cardinality route template for metric labels."""
+        segments = self._segments()
+        if not segments:
+            return "/"
+        if segments == ["metrics"]:
+            return "/metrics"
+        if segments[:2] != ["api", "v1"] or len(segments) == 2:
+            return "<unknown>"
+        route = segments[2:]
+        head = route[0]
+        if len(route) == 1 and head in (
+            "health", "stats", "scenarios", "results", "jobs", "studies"
+        ):
+            return f"{API_PREFIX}/{head}"
+        if head == "results" and len(route) == 2:
+            return f"{API_PREFIX}/results/<fingerprint>"
+        if head == "results" and len(route) == 3 and route[2] in (
+            "pareto", "verification"
+        ):
+            return f"{API_PREFIX}/results/<fingerprint>/{route[2]}"
+        if head == "jobs" and len(route) == 2:
+            return f"{API_PREFIX}/jobs/<id>"
+        if head == "jobs" and len(route) == 3 and route[2] == "requeue":
+            return f"{API_PREFIX}/jobs/<id>/requeue"
+        if head == "studies" and len(route) == 2:
+            return f"{API_PREFIX}/studies/<name>"
+        return "<unknown>"
+
+    def _send_metrics(self) -> None:
+        """``GET /metrics``: the global registry in Prometheus text format.
+
+        Store/queue state (entry counts, queue depth, per-state totals ...)
+        is derived at scrape time from :meth:`~StoreBackend.stats` and
+        exported as gauges alongside the registry's counters and timers.
+        """
+        extra: Dict[str, Any] = {}
+        for key, value in self.server.store.stats().items():
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                continue
+            name = f"repro_{key}" if key.startswith("jobs_") else f"repro_store_{key}"
+            extra[name] = value
+        body = render_prometheus(get_registry(), extra).encode("utf-8")
+        self._response_status = 200
+        self.send_response(200)
+        self.send_header("Content-Type", _METRICS_CONTENT_TYPE)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
 
     def do_GET(self) -> None:  # noqa: N802 - http.server API
         self._dispatch(self._route_get)
@@ -189,6 +275,9 @@ class _StoreRequestHandler(BaseHTTPRequestHandler):
                     "endpoints": _ENDPOINTS,
                 }
             )
+            return
+        if segments == ["metrics"]:
+            self._send_metrics()
             return
         if segments[:2] != ["api", "v1"]:
             self._send_error_json(404, f"unknown path {self.path!r}")

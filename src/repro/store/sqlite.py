@@ -41,6 +41,7 @@ from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple, Union
 from ..errors import JobError, StoreError
 from ..scenarios.scenario import Scenario
 from ..scenarios.study import ScenarioResult
+from ..telemetry import get_registry
 from .jobs import (
     DEFAULT_LEASE_SECONDS,
     DEFAULT_MAX_ATTEMPTS,
@@ -50,6 +51,10 @@ from .jobs import (
     _scenario_document,
     failure_transition,
     new_job_id,
+    note_job_claimed,
+    note_job_enqueued,
+    note_job_expired_dead,
+    note_job_finished,
     summarise_jobs,
 )
 
@@ -234,8 +239,14 @@ class ResultStore:
             with self._connection:
                 if row is None or row["repro_version"] != _current_version():
                     self._bump_counter("misses", 1)
+                    get_registry().counter(
+                        "repro_store_misses_total", backend=self.backend_name
+                    ).inc()
                     return None
                 self._bump_counter("hits", 1)
+                get_registry().counter(
+                    "repro_store_hits_total", backend=self.backend_name
+                ).inc()
                 self._execute(
                     "UPDATE results SET accessed_at = ?, access_count = access_count + 1 "
                     "WHERE fingerprint = ?",
@@ -263,6 +274,9 @@ class ResultStore:
             )
             if cursor.rowcount:
                 self._bump_counter("hits", 1)
+                get_registry().counter(
+                    "repro_store_hits_total", backend=self.backend_name
+                ).inc()
 
     def put(self, result: ScenarioResult) -> None:
         """Insert or replace (upsert) the document under its content address."""
@@ -319,6 +333,9 @@ class ResultStore:
                     now,
                 ),
             )
+        get_registry().counter(
+            "repro_store_puts_total", backend=self.backend_name
+        ).inc()
 
     def _decode(self, fingerprint: str, document: str) -> ScenarioResult:
         try:
@@ -424,6 +441,7 @@ class ResultStore:
                     now,
                 ),
             )
+        note_job_enqueued()
         return self.job(job_id)
 
     def claim(
@@ -458,7 +476,7 @@ class ResultStore:
                     "OR (state = 'leased' AND lease_expires_at <= ?)"
                 )
                 if row["state"] == "leased" and row["attempts"] >= row["max_attempts"]:
-                    self._execute(
+                    cursor = self._execute(
                         f"""
                         UPDATE jobs SET state = 'dead', error = ?,
                             lease_owner = NULL, lease_expires_at = NULL,
@@ -475,6 +493,8 @@ class ResultStore:
                             now,
                         ),
                     )
+                    if cursor.rowcount:
+                        note_job_expired_dead()
                     continue
                 cursor = self._execute(
                     f"""
@@ -486,6 +506,7 @@ class ResultStore:
                     (worker_id, now + lease_seconds, now, now, now, row["id"], now, now),
                 )
                 if cursor.rowcount:
+                    note_job_claimed(reclaimed=row["state"] == "leased")
                     return self._job_locked(row["id"])
             # Lost the race for this candidate; look for the next one.
 
@@ -524,13 +545,15 @@ class ResultStore:
     def complete(self, job_id: str, worker_id: str) -> Job:
         """Mark a leased job done (the result is already in the store)."""
         now = time.time()
-        return self._transition_held(
+        job = self._transition_held(
             job_id,
             worker_id,
             "UPDATE jobs SET state = 'done', error = NULL, lease_owner = NULL, "
             "lease_expires_at = NULL, finished_at = ?, updated_at = ?",
             (now, now),
         )
+        note_job_finished(job.to_dict())
+        return job
 
     def fail(
         self,
@@ -549,7 +572,7 @@ class ResultStore:
         state, not_before = failure_transition(
             current.attempts, current.max_attempts, retryable, now, delay_seconds
         )
-        return self._transition_held(
+        job = self._transition_held(
             job_id,
             worker_id,
             "UPDATE jobs SET state = ?, error = ?, not_before = ?, "
@@ -557,6 +580,8 @@ class ResultStore:
             "updated_at = ?",
             (state, str(error), not_before, None if state == "queued" else now, now),
         )
+        note_job_finished(job.to_dict())
+        return job
 
     def release(self, job_id: str, worker_id: str) -> Job:
         """Give a leased job back untouched (graceful shutdown mid-claim).
@@ -691,6 +716,10 @@ class ResultStore:
                     TERMINAL_STATES + (now - max_age_seconds,),
                 )
             self._bump_counter("evictions", removed)
+        if removed:
+            get_registry().counter(
+                "repro_store_evictions_total", backend=self.backend_name
+            ).inc(removed)
         return removed
 
     def stats(self) -> Dict[str, Any]:

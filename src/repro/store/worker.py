@@ -24,10 +24,11 @@ import socket
 import threading
 import time
 import uuid
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Dict, List, Optional
 
 from ..errors import JobError, ReproError, ScenarioError
+from ..telemetry import MetricsRegistry, get_registry, merge_snapshots, set_registry, span
 from .backend import StoreBackend
 from .jobs import DEFAULT_LEASE_SECONDS, Job, backoff_seconds
 
@@ -58,14 +59,22 @@ class WorkerStats:
     dead: int = 0
     #: Leases lost mid-run (another worker re-claimed after expiry).
     lost_leases: int = 0
+    #: Telemetry registry snapshot from this worker's process
+    #: (:meth:`~repro.telemetry.MetricsRegistry.snapshot`); empty when the
+    #: worker ran in-process and booked straight into the global registry.
+    registry: Dict[str, Any] = field(default_factory=dict)
 
     def merge(self, other: "WorkerStats") -> "WorkerStats":
         """Accumulate another worker's counters into this one (for pools)."""
         for name in self.__dataclass_fields__:
+            if name == "registry":
+                continue
             setattr(self, name, getattr(self, name) + getattr(other, name))
+        snapshots = [s for s in (self.registry, other.registry) if s]
+        self.registry = merge_snapshots(snapshots) if snapshots else {}
         return self
 
-    def to_dict(self) -> Dict[str, int]:
+    def to_dict(self) -> Dict[str, Any]:
         return {name: getattr(self, name) for name in self.__dataclass_fields__}
 
     def summary(self) -> str:
@@ -155,7 +164,14 @@ class Worker:
         )
         beater.start()
         try:
-            result, hit = self._execute(job)
+            with span(
+                "worker.job",
+                job=job.id,
+                fingerprint=job.fingerprint,
+                attempt=job.attempts,
+                worker=self.worker_id,
+            ):
+                result, hit = self._execute(job)
         except KeyboardInterrupt:
             finished.set()
             beater.join()
@@ -180,6 +196,7 @@ class Worker:
             self.stats.completed += 1
             if hit:
                 self.stats.store_hits += 1
+                get_registry().counter("repro_worker_store_hits_total").inc()
             return done
         finally:
             finished.set()
@@ -290,9 +307,15 @@ def _pool_worker(
 
     from .sqlite import ResultStore
 
+    # Each child books into a fresh registry and ships the snapshot home in
+    # its stats payload, so the parent can merge per-worker telemetry without
+    # double counting (the global registry of a pool child is never read).
+    local = MetricsRegistry()
+    set_registry(local)
     with ResultStore(path) as store:
         worker = Worker(store, stop=stop, **options)
         stats = worker.run(**run_options)
+    stats.registry = local.snapshot()
     results.put(stats.to_dict())
 
 
@@ -311,6 +334,9 @@ class WorkerPool:
         self.path = str(path)
         self.concurrency = int(concurrency)
         self.worker_options = worker_options
+        #: Per-child :class:`WorkerStats` from the last :meth:`run` call,
+        #: in result-arrival order (each carries its registry snapshot).
+        self.child_stats: List[WorkerStats] = []
         import multiprocessing
 
         self._context = multiprocessing.get_context()
@@ -349,9 +375,16 @@ class WorkerPool:
             process.join()
         import queue as queue_module
 
+        self.child_stats = []
         for _ in self._processes:
             try:
-                merged.merge(WorkerStats(**results.get(timeout=5.0)))
+                child = WorkerStats(**results.get(timeout=5.0))
             except queue_module.Empty:  # pragma: no cover - a child died hard
                 break
+            self.child_stats.append(child)
+            merged.merge(child)
+        # Fold the children's telemetry into this process's registry so the
+        # pool is observable exactly like an in-process worker.
+        if merged.registry:
+            get_registry().merge(merged.registry)
         return merged

@@ -1,0 +1,57 @@
+"""Unified telemetry: metrics registry, trace spans, and Prometheus text.
+
+``repro.telemetry`` is the one sanctioned home for wall-clock reads in the
+instrumented tree (lint rule R006 enforces this): every component times
+itself through :class:`Stopwatch`, :func:`timed_span`, or a registry
+histogram, and every counter that used to be a hand-rolled ``self._x += 1``
+now lives in a :class:`MetricsRegistry` that can be snapshotted, shipped
+across a process boundary as plain JSON, and merged back together.
+
+Three layers, all dependency-free:
+
+* :mod:`repro.telemetry.metrics` — counters / gauges / histograms keyed by
+  ``(name, labels)``, thread-safe, cheap when disabled, mergeable.
+* :mod:`repro.telemetry.trace` — ``span(name, **attrs)`` context managers
+  appending one JSON line per completed span to a trace sink
+  (``REPRO_TRACE=path`` or ``--trace path``), with monotonic timestamps,
+  parent/child nesting, and the scenario fingerprint as the trace id.
+* :mod:`repro.telemetry.prometheus` — text exposition of a registry for
+  ``GET /metrics`` on ``repro serve``.
+
+Telemetry never enters fingerprints, ``comparable_dict``, or stored result
+documents: it observes the system, it does not feed back into it.
+"""
+
+from .metrics import (
+    MetricsRegistry,
+    Stopwatch,
+    get_registry,
+    merge_snapshots,
+    set_registry,
+    timed_span,
+)
+from .prometheus import render_prometheus
+from .trace import (
+    Tracer,
+    configure_tracing,
+    current_tracer,
+    reset_tracing,
+    span,
+    tracing_enabled,
+)
+
+__all__ = [
+    "MetricsRegistry",
+    "Stopwatch",
+    "Tracer",
+    "configure_tracing",
+    "current_tracer",
+    "get_registry",
+    "merge_snapshots",
+    "render_prometheus",
+    "reset_tracing",
+    "set_registry",
+    "span",
+    "timed_span",
+    "tracing_enabled",
+]

@@ -1,0 +1,366 @@
+"""Thread-safe, mergeable metrics: counters, gauges, and histogram timers.
+
+A :class:`MetricsRegistry` keys every instrument by ``(name, labels)`` and
+serialises to a plain-JSON snapshot that survives a process boundary: a
+worker ships ``registry.snapshot()`` alongside its stats payload and the
+parent calls :meth:`MetricsRegistry.merge` to fold it in.  Counters and
+histograms add under merge; gauges keep the incoming sample (last writer
+wins), which is the only sane semantic for point-in-time readings.
+
+The registry is the *one* place in the instrumented tree allowed to read
+wall clocks (lint rule R006): components time themselves with
+:class:`Stopwatch` or :func:`timed_span`, never with bare
+``time.perf_counter()``.
+
+Disabled registries are cheap: every instrument accessor returns a shared
+null object whose methods are no-ops, so a hot loop pays one attribute
+check and a method call — the engine-overhead benchmark pins the total
+cost at under 3% of throughput.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from threading import RLock
+from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Stopwatch",
+    "get_registry",
+    "merge_snapshots",
+    "set_registry",
+    "timed_span",
+]
+
+LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Mapping[str, Any]) -> LabelKey:
+    return tuple(sorted((str(key), str(value)) for key, value in labels.items()))
+
+
+class Counter:
+    """Monotonically increasing count; adds under snapshot merge."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self, lock: RLock) -> None:
+        self._lock = lock
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Gauge:
+    """Point-in-time reading; last writer wins under snapshot merge."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self, lock: RLock) -> None:
+        self._lock = lock
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Histogram:
+    """Streaming count/sum/min/max — the timer backing store."""
+
+    __slots__ = ("_lock", "count", "sum", "min", "max")
+
+    def __init__(self, lock: RLock) -> None:
+        self._lock = lock
+        self.count = 0
+        self.sum = 0.0
+        self.min = 0.0
+        self.max = 0.0
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        with self._lock:
+            if self.count == 0 or value < self.min:
+                self.min = value
+            if self.count == 0 or value > self.max:
+                self.max = value
+            self.count += 1
+            self.sum += value
+
+    def stats(self) -> Dict[str, float]:
+        with self._lock:
+            return {
+                "count": float(self.count),
+                "sum": self.sum,
+                "min": self.min,
+                "max": self.max,
+            }
+
+
+class _NullInstrument:
+    """Shared no-op stand-in handed out by disabled registries."""
+
+    __slots__ = ()
+    value = 0.0
+    count = 0
+    sum = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def stats(self) -> Dict[str, float]:
+        return {"count": 0.0, "sum": 0.0, "min": 0.0, "max": 0.0}
+
+
+_NULL = _NullInstrument()
+
+
+class Stopwatch:
+    """Context-manager wall-clock timer; the sanctioned perf_counter read.
+
+    ``elapsed`` is valid after the ``with`` block exits (and keeps updating
+    if read inside it).
+    """
+
+    __slots__ = ("_started", "_elapsed")
+
+    def __init__(self) -> None:
+        self._started = 0.0
+        self._elapsed = 0.0
+
+    def __enter__(self) -> "Stopwatch":
+        self._started = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self._elapsed = time.perf_counter() - self._started
+
+    @property
+    def elapsed(self) -> float:
+        if self._elapsed:
+            return self._elapsed
+        if self._started:
+            return time.perf_counter() - self._started
+        return 0.0
+
+
+class MetricsRegistry:
+    """Label-keyed counters, gauges, and histograms with snapshot/merge."""
+
+    def __init__(self, enabled: bool = True) -> None:
+        self._lock = RLock()
+        self._enabled = bool(enabled)
+        self._counters: Dict[Tuple[str, LabelKey], Counter] = {}
+        self._gauges: Dict[Tuple[str, LabelKey], Gauge] = {}
+        self._histograms: Dict[Tuple[str, LabelKey], Histogram] = {}
+
+    # ------------------------------------------------------------- switches
+    @property
+    def enabled(self) -> bool:
+        return self._enabled
+
+    def enable(self) -> None:
+        self._enabled = True
+
+    def disable(self) -> None:
+        self._enabled = False
+
+    # ---------------------------------------------------------- instruments
+    def counter(self, name: str, **labels: Any) -> Counter:
+        if not self._enabled:
+            return _NULL  # type: ignore[return-value]
+        key = (name, _label_key(labels))
+        instrument = self._counters.get(key)
+        if instrument is None:
+            with self._lock:
+                instrument = self._counters.setdefault(key, Counter(self._lock))
+        return instrument
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        if not self._enabled:
+            return _NULL  # type: ignore[return-value]
+        key = (name, _label_key(labels))
+        instrument = self._gauges.get(key)
+        if instrument is None:
+            with self._lock:
+                instrument = self._gauges.setdefault(key, Gauge(self._lock))
+        return instrument
+
+    def histogram(self, name: str, **labels: Any) -> Histogram:
+        if not self._enabled:
+            return _NULL  # type: ignore[return-value]
+        key = (name, _label_key(labels))
+        instrument = self._histograms.get(key)
+        if instrument is None:
+            with self._lock:
+                instrument = self._histograms.setdefault(key, Histogram(self._lock))
+        return instrument
+
+    @contextmanager
+    def timer(self, name: str, **labels: Any) -> Iterator[Stopwatch]:
+        """Time a block into the ``name`` histogram (seconds)."""
+        with Stopwatch() as watch:
+            yield watch
+        self.histogram(name, **labels).observe(watch.elapsed)
+
+    # -------------------------------------------------------------- readers
+    def counter_value(self, name: str, **labels: Any) -> float:
+        instrument = self._counters.get((name, _label_key(labels)))
+        return instrument.value if instrument is not None else 0.0
+
+    def gauge_value(self, name: str, **labels: Any) -> float:
+        instrument = self._gauges.get((name, _label_key(labels)))
+        return instrument.value if instrument is not None else 0.0
+
+    def histogram_stats(self, name: str, **labels: Any) -> Dict[str, float]:
+        instrument = self._histograms.get((name, _label_key(labels)))
+        if instrument is None:
+            return {"count": 0.0, "sum": 0.0, "min": 0.0, "max": 0.0}
+        return instrument.stats()
+
+    def iter_counters(self) -> List[Tuple[str, LabelKey, float]]:
+        with self._lock:
+            return [
+                (name, labels, instrument.value)
+                for (name, labels), instrument in sorted(self._counters.items())
+            ]
+
+    def iter_gauges(self) -> List[Tuple[str, LabelKey, float]]:
+        with self._lock:
+            return [
+                (name, labels, instrument.value)
+                for (name, labels), instrument in sorted(self._gauges.items())
+            ]
+
+    def iter_histograms(self) -> List[Tuple[str, LabelKey, Dict[str, float]]]:
+        with self._lock:
+            return [
+                (name, labels, instrument.stats())
+                for (name, labels), instrument in sorted(self._histograms.items())
+            ]
+
+    # ------------------------------------------------------- snapshot/merge
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-safe, deterministically ordered dump of every instrument."""
+        return {
+            "counters": [
+                {"name": name, "labels": dict(labels), "value": value}
+                for name, labels, value in self.iter_counters()
+            ],
+            "gauges": [
+                {"name": name, "labels": dict(labels), "value": value}
+                for name, labels, value in self.iter_gauges()
+            ],
+            "histograms": [
+                {"name": name, "labels": dict(labels), **stats}
+                for name, labels, stats in self.iter_histograms()
+            ],
+        }
+
+    def merge(self, snapshot: Mapping[str, Any]) -> None:
+        """Fold another registry's :meth:`snapshot` into this one."""
+        if not self.enabled:
+            return
+        for entry in snapshot.get("counters", []):
+            self.counter(entry["name"], **entry.get("labels", {})).inc(
+                float(entry["value"])
+            )
+        for entry in snapshot.get("gauges", []):
+            self.gauge(entry["name"], **entry.get("labels", {})).set(
+                float(entry["value"])
+            )
+        for entry in snapshot.get("histograms", []):
+            histogram = self.histogram(entry["name"], **entry.get("labels", {}))
+            count = int(entry.get("count", 0))
+            if count <= 0:
+                continue
+            with histogram._lock:
+                if histogram.count == 0 or entry["min"] < histogram.min:
+                    histogram.min = float(entry["min"])
+                if histogram.count == 0 or entry["max"] > histogram.max:
+                    histogram.max = float(entry["max"])
+                histogram.count += count
+                histogram.sum += float(entry["sum"])
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+
+
+def merge_snapshots(snapshots: Iterable[Mapping[str, Any]]) -> Dict[str, Any]:
+    """Sum a sequence of snapshots into one (counters/histograms add)."""
+    combined = MetricsRegistry()
+    for snapshot in snapshots:
+        combined.merge(snapshot)
+    return combined.snapshot()
+
+
+#: Process-wide default registry; workers snapshot it, parents merge it.
+_REGISTRY = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide registry all built-in instrumentation reports to."""
+    return _REGISTRY
+
+
+def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Swap the process-wide registry; returns the previous one."""
+    global _REGISTRY
+    previous = _REGISTRY
+    _REGISTRY = registry
+    return previous
+
+
+@contextmanager
+def timed_span(
+    name: str,
+    metric: Optional[str] = None,
+    registry: Optional[MetricsRegistry] = None,
+    **attrs: Any,
+) -> Iterator[None]:
+    """Time a block once; feed the same elapsed value to trace and metrics.
+
+    Emits a trace span ``name`` (when tracing is configured) and, when
+    ``metric`` is given, observes the identical duration into that
+    histogram with ``attrs`` as labels — so a trace file's per-span totals
+    agree exactly with the registry-derived phase seconds.
+    """
+    from .trace import current_tracer
+
+    tracer = current_tracer()
+    handle = tracer.begin(name, attrs) if tracer.enabled else None
+    started = time.perf_counter()
+    try:
+        yield
+    finally:
+        elapsed = time.perf_counter() - started
+        if metric is not None:
+            (registry if registry is not None else _REGISTRY).histogram(
+                metric, **attrs
+            ).observe(elapsed)
+        if handle is not None:
+            tracer.end(handle, duration=elapsed)

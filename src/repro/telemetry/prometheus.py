@@ -1,0 +1,79 @@
+"""Prometheus text exposition (format 0.0.4) for a :class:`MetricsRegistry`.
+
+Hand-rolled on purpose — the repo is dependency-free — and deliberately
+summary-shaped: histograms are exported as ``<name>_count`` /
+``<name>_sum`` (plus ``_min``/``_max`` gauges) rather than bucketed
+series, which is all the scrape-side dashboards need for rates and means.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Mapping, Tuple
+
+from .metrics import MetricsRegistry
+
+__all__ = ["CONTENT_TYPE", "render_prometheus"]
+
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def _escape(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_labels(labels: Tuple[Tuple[str, str], ...]) -> str:
+    if not labels:
+        return ""
+    rendered = ",".join(f'{key}="{_escape(value)}"' for key, value in labels)
+    return "{" + rendered + "}"
+
+
+def _format_value(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def render_prometheus(
+    registry: MetricsRegistry,
+    extra_gauges: Mapping[str, Any] = {},
+) -> str:
+    """Render the registry (plus ad-hoc scrape-time gauges) as text.
+
+    ``extra_gauges`` maps bare metric names to numeric values sampled at
+    scrape time (store entry counts, queue depths) without forcing the
+    caller to mutate the registry just to expose a reading.
+    """
+    lines: List[str] = []
+
+    seen_types = set()
+
+    def _type_line(name: str, kind: str) -> None:
+        if name not in seen_types:
+            seen_types.add(name)
+            lines.append(f"# TYPE {name} {kind}")
+
+    for name, labels, value in registry.iter_counters():
+        _type_line(name, "counter")
+        lines.append(f"{name}{_format_labels(labels)} {_format_value(value)}")
+
+    for name, labels, value in registry.iter_gauges():
+        _type_line(name, "gauge")
+        lines.append(f"{name}{_format_labels(labels)} {_format_value(value)}")
+
+    for name, labels, stats in registry.iter_histograms():
+        _type_line(name, "summary")
+        rendered = _format_labels(labels)
+        lines.append(f"{name}_count{rendered} {_format_value(stats['count'])}")
+        lines.append(f"{name}_sum{rendered} {_format_value(stats['sum'])}")
+        lines.append(f"{name}_min{rendered} {_format_value(stats['min'])}")
+        lines.append(f"{name}_max{rendered} {_format_value(stats['max'])}")
+
+    for name in sorted(extra_gauges):
+        value = extra_gauges[name]
+        if not isinstance(value, (int, float)):
+            continue
+        _type_line(name, "gauge")
+        lines.append(f"{name} {_format_value(float(value))}")
+
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,215 @@
+"""JSONL trace spans: nested, monotonic-clocked, fingerprint-correlated.
+
+A :class:`Tracer` appends one JSON object per *completed* span to a line-
+oriented sink.  Spans nest through a thread-local stack — a span opened
+while another is active records it as its parent — and every span carries
+a ``trace`` correlation key: inherited from its parent, else the
+``fingerprint`` attribute when the root span has one (scenario executions
+always do), else the span's own id.  Timestamps come from
+``time.perf_counter()``: monotonic, comparable only within a process, and
+exactly the clock the metrics layer uses, so span durations and registry
+phase seconds agree.
+
+The sink is configured once per process — ``REPRO_TRACE=path`` in the
+environment or :func:`configure_tracing` (which backs the ``--trace``
+CLI flag).  With no sink, :func:`span` costs a single attribute check.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from contextlib import contextmanager
+from typing import Any, Dict, IO, Iterator, List, Mapping, Optional
+
+__all__ = [
+    "OpenSpan",
+    "Tracer",
+    "configure_tracing",
+    "current_tracer",
+    "reset_tracing",
+    "span",
+    "tracing_enabled",
+]
+
+_ENV_VAR = "REPRO_TRACE"
+
+
+class OpenSpan:
+    """An in-flight span handle: identity plus its start timestamp."""
+
+    __slots__ = ("name", "attrs", "span_id", "parent_id", "trace_id", "started", "depth")
+
+    def __init__(
+        self,
+        name: str,
+        attrs: Mapping[str, Any],
+        span_id: str,
+        parent_id: Optional[str],
+        trace_id: str,
+        started: float,
+        depth: int,
+    ) -> None:
+        self.name = name
+        self.attrs = dict(attrs)
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.trace_id = trace_id
+        self.started = started
+        self.depth = depth
+
+
+class Tracer:
+    """Appends completed spans to a JSONL sink; no-op until configured."""
+
+    def __init__(self, path: Optional[str] = None) -> None:
+        self._path = path
+        self._file: Optional[IO[str]] = None
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._sequence = 0
+
+    # -------------------------------------------------------------- plumbing
+    @property
+    def enabled(self) -> bool:
+        return self._path is not None
+
+    @property
+    def path(self) -> Optional[str]:
+        return self._path
+
+    def _stack(self) -> List[OpenSpan]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def _next_id(self) -> str:
+        with self._lock:
+            self._sequence += 1
+            return f"{os.getpid():x}-{self._sequence:x}"
+
+    def _write(self, record: Dict[str, Any]) -> None:
+        with self._lock:
+            if self._file is None:
+                if self._path is None:  # pragma: no cover - guarded by callers
+                    return
+                self._file = open(self._path, "a", encoding="utf-8")
+            self._file.write(json.dumps(record, sort_keys=True) + "\n")
+            self._file.flush()
+
+    def close(self) -> None:
+        with self._lock:
+            if self._file is not None:
+                self._file.close()
+                self._file = None
+
+    # ----------------------------------------------------------------- spans
+    def begin(self, name: str, attrs: Mapping[str, Any]) -> Optional[OpenSpan]:
+        """Open a span; returns ``None`` when no sink is configured."""
+        if not self.enabled:
+            return None
+        stack = self._stack()
+        parent = stack[-1] if stack else None
+        span_id = self._next_id()
+        if parent is not None:
+            trace_id = parent.trace_id
+        else:
+            trace_id = str(attrs.get("fingerprint") or span_id)
+        handle = OpenSpan(
+            name=name,
+            attrs=attrs,
+            span_id=span_id,
+            parent_id=parent.span_id if parent else None,
+            trace_id=trace_id,
+            started=time.perf_counter(),
+            depth=len(stack),
+        )
+        stack.append(handle)
+        return handle
+
+    def end(self, handle: Optional[OpenSpan], duration: Optional[float] = None) -> None:
+        """Close a span and write its line; ``duration`` overrides the clock.
+
+        Passing the externally-measured ``duration`` (as :func:`~repro.
+        telemetry.metrics.timed_span` does) keeps the written span and the
+        histogram observation byte-for-byte the same number.
+        """
+        if handle is None:
+            return
+        stack = self._stack()
+        if stack and stack[-1] is handle:
+            stack.pop()
+        elif handle in stack:  # pragma: no cover - unbalanced exit safety net
+            stack.remove(handle)
+        if duration is None:
+            duration = time.perf_counter() - handle.started
+        self._write(
+            {
+                "name": handle.name,
+                "trace": handle.trace_id,
+                "span": handle.span_id,
+                "parent": handle.parent_id,
+                "start": handle.started,
+                "end": handle.started + duration,
+                "duration": duration,
+                "depth": handle.depth,
+                "attrs": handle.attrs,
+            }
+        )
+
+    @contextmanager
+    def span(self, name: str, **attrs: Any) -> Iterator[Optional[OpenSpan]]:
+        handle = self.begin(name, attrs)
+        try:
+            yield handle
+        finally:
+            self.end(handle)
+
+
+#: Process-wide tracer; ``None`` until first use so REPRO_TRACE is honoured
+#: even when it is exported after import time.
+_TRACER: Optional[Tracer] = None
+
+
+def current_tracer() -> Tracer:
+    """The process-wide tracer (created from ``REPRO_TRACE`` on first use)."""
+    global _TRACER
+    if _TRACER is None:
+        _TRACER = Tracer(os.environ.get(_ENV_VAR) or None)
+    return _TRACER
+
+
+def configure_tracing(path: Optional[str]) -> Tracer:
+    """Point the process-wide tracer at ``path`` (``None`` disables)."""
+    global _TRACER
+    if _TRACER is not None:
+        _TRACER.close()
+    _TRACER = Tracer(path)
+    return _TRACER
+
+
+def reset_tracing() -> None:
+    """Close any configured sink and fall back to the environment default."""
+    global _TRACER
+    if _TRACER is not None:
+        _TRACER.close()
+    _TRACER = None
+
+
+def tracing_enabled() -> bool:
+    return current_tracer().enabled
+
+
+@contextmanager
+def span(name: str, **attrs: Any) -> Iterator[Optional[OpenSpan]]:
+    """Emit ``name`` as a trace span around the block (no-op when disabled)."""
+    tracer = current_tracer()
+    if not tracer.enabled:
+        yield None
+        return
+    with tracer.span(name, **attrs) as handle:
+        yield handle

@@ -30,6 +30,7 @@ from typing import Any, Dict, List, Mapping, Tuple
 from ..errors import TrafficError
 from ..simulation.engine import DiscreteEventEngine
 from ..simulation.events import PRIORITY_ACQUIRE, PRIORITY_RELEASE
+from ..telemetry import get_registry, timed_span
 from ..topology.base import OnocTopology
 from .allocators import OnlineAllocator
 from .models import ConnectionRequest, TrafficModel
@@ -278,7 +279,20 @@ class DynamicTrafficSimulator:
                 label=f"arrive {request.index}",
             )
 
-        duration = engine.run(max_events=max(1_000_000, 4 * len(requests)))
+        strategy_name = getattr(self._allocator, "name", type(self._allocator).__name__)
+        with timed_span(
+            "traffic.run",
+            metric="repro_traffic_run_seconds",
+            strategy=strategy_name,
+            topology=self._topology_name,
+        ):
+            duration = engine.run(max_events=max(1_000_000, 4 * len(requests)))
+
+        registry = get_registry()
+        registry.counter("repro_traffic_requests_total").inc(len(requests))
+        registry.counter("repro_traffic_offered_total").inc(offered)
+        registry.counter("repro_traffic_blocked_total").inc(blocked)
+        registry.counter("repro_traffic_events_total").inc(engine.processed_events)
 
         probability = blocked / offered if offered else 0.0
         low, high = wilson_interval(blocked, offered)
